@@ -1,0 +1,38 @@
+"""Shared benchmark configuration.
+
+Benchmarks regenerate every table/figure of the paper at a reduced dataset
+scale (recorded in each printout and in EXPERIMENTS.md).  Graphs are cached
+process-wide by the experiment runner, so the first benchmark touching a
+dataset pays its synthesis cost once.
+"""
+
+import pytest
+
+from repro.experiments.runner import ExperimentConfig
+
+#: one shared configuration so every benchmark sees identical workloads
+BENCH_CONFIG = ExperimentConfig(
+    scale=0.05,
+    seed=7,
+    snapshots=6,
+    large_dataset_shrink=0.1,
+)
+
+
+@pytest.fixture(scope="session")
+def config() -> ExperimentConfig:
+    return BENCH_CONFIG
+
+
+@pytest.fixture(scope="session")
+def show():
+    """Print a FigureResult block once per benchmark session."""
+    seen = set()
+
+    def _show(result):
+        if result.figure_id not in seen:
+            seen.add(result.figure_id)
+            print("\n" + result.to_text())
+        return result
+
+    return _show

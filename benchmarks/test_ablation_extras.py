@@ -1,0 +1,71 @@
+"""Extra ablations beyond Fig. 11b (DESIGN.md §6).
+
+Covers the two design choices the paper folds into the algorithm but never
+isolates in its own ablation: the deletion-to-addition transform and the
+selective RNN processing.
+"""
+
+from dataclasses import replace
+
+from repro.baselines.algorithms import (
+    AlgorithmParams,
+    Placement,
+    build_costs,
+    measure_quantities,
+)
+from repro.experiments.runner import ExperimentRunner
+
+
+def _workload(config):
+    runner = ExperimentRunner(config)
+    graph = runner.graph("Wikipedia")
+    return graph, runner.spec("Wikipedia")
+
+
+def test_deletion_to_addition_transform(benchmark, config):
+    """Removing the transform makes DiTile pay RACE-style deletion costs."""
+    graph, spec = _workload(config)
+    placement = Placement(snapshot_groups=1, vertex_groups=16)
+    quantities = measure_quantities(graph)
+
+    def run():
+        with_transform = build_costs(
+            graph, spec, "ditile", placement, quantities=quantities
+        )
+        # Without the transform, deletions inflate the invalidated set the
+        # same way Race-Alg's deletion penalty does.
+        without_transform = build_costs(
+            graph, spec, "race", placement,
+            params=replace(AlgorithmParams(), race_deletion_penalty=1.6),
+            quantities=quantities,
+        )
+        return with_transform, without_transform
+
+    with_transform, without_transform = benchmark.pedantic(
+        run, rounds=1, iterations=1
+    )
+    assert without_transform.total_macs > with_transform.total_macs
+    deletions = sum(q.removed_edges for q in quantities[1:])
+    assert deletions > 0  # the workload actually exercises deletions
+
+
+def test_selective_rnn_processing(benchmark, config):
+    """Selective RNN processing must save RNN MACs proportional to reuse."""
+    graph, spec = _workload(config)
+    placement = Placement(snapshot_groups=1, vertex_groups=16)
+    quantities = measure_quantities(graph)
+
+    def run():
+        selective = build_costs(
+            graph, spec, "ditile", placement, quantities=quantities
+        )
+        full_rnn = build_costs(
+            graph, spec, "re", placement, quantities=quantities
+        )
+        return selective, full_rnn
+
+    selective, full_rnn = benchmark.pedantic(run, rounds=1, iterations=1)
+    assert selective.rnn_macs < full_rnn.rnn_macs
+    # The saving tracks the reuse level: well below half the full cost at
+    # the ~10% dissimilarity of the synthesized Wikipedia trace.
+    assert selective.rnn_macs < 0.6 * full_rnn.rnn_macs

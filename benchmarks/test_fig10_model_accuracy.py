@@ -1,0 +1,17 @@
+"""Fig. 10 benchmark: analytic estimate vs measured traffic.
+
+Paper: actual off-chip DRAM access exceeds the analytic estimate by 5% on
+average; actual on-chip transfer exceeds it by 9%.
+"""
+
+from repro.experiments.figures import figure10
+
+
+def test_fig10_model_accuracy(benchmark, config, show):
+    result = benchmark.pedantic(figure10, args=(config,), rounds=1, iterations=1)
+    show(result)
+    avg = result.rows[-1]
+    # Actual >= estimate, and the excess stays in a single-digit-to-teens
+    # percent band like the paper's +5% / +9%.
+    assert 1.0 <= avg[1] <= 1.15
+    assert 1.0 <= avg[2] <= 1.25

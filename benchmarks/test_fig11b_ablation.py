@@ -1,0 +1,24 @@
+"""Fig. 11b benchmark: the six ablation variants on Wikipedia.
+
+Paper: NoPs +38.9%, NoWos +18.9%, NoRa +12.0%, OnlyPs +23.0%,
+OnlyWos +45.9%, OnlyRa +68.8% execution-time increase over full DiTile.
+"""
+
+from repro.experiments.figures import figure11b
+
+
+def test_fig11b_ablation(benchmark, config, show):
+    result = benchmark.pedantic(
+        figure11b, args=(config,), rounds=1, iterations=1
+    )
+    show(result)
+    rows = result.row_dict()
+    # The full design is fastest; every variant degrades.
+    assert rows["DiTile-DGNN"][2] == 0
+    for name in ("NoPs", "NoWos", "NoRa", "OnlyPs", "OnlyWos", "OnlyRa"):
+        assert rows[name][2] > 0, name
+    # Single-contribution variants lose more than single-removal variants
+    # on average (each contribution matters, paper §7.5).
+    only = (rows["OnlyPs"][2] + rows["OnlyWos"][2] + rows["OnlyRa"][2]) / 3
+    missing_one = (rows["NoPs"][2] + rows["NoWos"][2] + rows["NoRa"][2]) / 3
+    assert only >= missing_one

@@ -1,0 +1,20 @@
+"""Fig. 13 benchmark: sensitivity to snapshot dissimilarity.
+
+Paper: baselines run x2.92 / x1.72 / x1.51 slower than DiTile on average
+as dissimilarity grows through 0-5% / 5-10% / 10-15% — the advantage
+shrinks with dissimilarity but persists.
+"""
+
+from repro.experiments.figures import figure13
+
+
+def test_fig13_sensitivity(benchmark, config, show):
+    result = benchmark.pedantic(figure13, args=(config,), rounds=1, iterations=1)
+    show(result)
+    averages = [row[-1] for row in result.rows]
+    # Monotone decreasing advantage, always above 1x.
+    assert averages[0] > averages[1] > averages[2]
+    assert all(avg > 1.0 for avg in averages)
+    # The low-dissimilarity band shows the largest gap, in the paper's
+    # 1.5x-3.5x range.
+    assert 1.5 <= averages[0] <= 4.5

@@ -1,0 +1,23 @@
+"""Fig. 14 benchmark: area breakdown at chip / tile / PE level.
+
+Paper: chip = tiles 77.8% / buffer 15.7% / NoC 5.6% / logic 0.9%;
+tile = PE array 60.5% / distributed buffer 28.4% / FIFO 8.1% / mesh 2.3% /
+control 0.7%; PE = MAC 59.4% / local buffer 23.8% / control 2.0%.
+"""
+
+import pytest
+
+from repro.experiments.figures import figure14
+
+
+def test_fig14_area(benchmark, show):
+    result = benchmark.pedantic(figure14, rounds=1, iterations=1)
+    show(result)
+    values = {(row[0], row[1]): row[2] for row in result.rows}
+    assert values[("chip", "tiles")] == pytest.approx(77.8, abs=0.5)
+    assert values[("chip", "on_chip_buffer")] == pytest.approx(15.7, abs=0.5)
+    assert values[("chip", "reconfigurable_noc")] == pytest.approx(5.6, abs=0.5)
+    assert values[("tile", "pe_array")] == pytest.approx(60.5, abs=0.5)
+    assert values[("tile", "distributed_buffer")] == pytest.approx(28.4, abs=0.5)
+    assert values[("pe", "mac_array")] == pytest.approx(59.4, abs=0.5)
+    assert values[("pe", "local_buffer")] == pytest.approx(23.8, abs=0.5)

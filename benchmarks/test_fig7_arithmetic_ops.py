@@ -1,0 +1,25 @@
+"""Fig. 7 benchmark: arithmetic operations per algorithm per dataset.
+
+Paper: DiTile-Alg reduces operations by 65.7% / 33.9% / 26.4% on average
+vs Re-Alg / Race-Alg / Mega-Alg.
+"""
+
+import numpy as np
+
+from repro.experiments.figures import figure7
+
+
+def test_fig7_arithmetic_ops(benchmark, config, show):
+    result = benchmark.pedantic(figure7, args=(config,), rounds=1, iterations=1)
+    show(result)
+    per_dataset = result.rows[:-1]
+    # DiTile-Alg does the least work on every dataset.
+    for row in per_dataset:
+        assert row[4] == min(row[1:5]), row[0]
+    # Average reduction vs Re-Alg lands near the paper's 65.7%.
+    avg = result.rows[-1]
+    reduction = 1.0 - avg[4] / avg[1]
+    assert 0.5 <= reduction <= 0.8
+    # Race-Alg and Mega-Alg sit strictly between Re-Alg and DiTile-Alg.
+    ratios = np.array([avg[2] / avg[1], avg[3] / avg[1]])
+    assert np.all((ratios > 0.3) & (ratios < 0.9))

@@ -1,0 +1,21 @@
+"""Fig. 8 benchmark: DRAM traffic per algorithm per dataset.
+
+Paper: DiTile reduces DRAM access by 58.1% / 26.6% / 33.5% on average vs
+Re-Alg / Race-Alg / Mega-Alg.
+"""
+
+from repro.experiments.figures import figure8
+
+
+def test_fig8_dram_access(benchmark, config, show):
+    result = benchmark.pedantic(figure8, args=(config,), rounds=1, iterations=1)
+    show(result)
+    for row in result.rows[:-1]:
+        assert row[4] == min(row[1:5]), row[0]
+    avg = result.rows[-1]
+    reduction_vs_re = 1.0 - avg[4] / avg[1]
+    assert 0.4 <= reduction_vs_re <= 0.75
+    # Race-Alg and Mega-Alg land close together, both well above DiTile
+    # (the paper's reductions: 26.6% and 33.5%).
+    assert avg[2] > 1.2 * avg[4]
+    assert avg[3] > 1.2 * avg[4]

@@ -1,0 +1,27 @@
+"""Fig. 9 benchmark: execution cycles of all five accelerators.
+
+Paper: DiTile cuts execution time by 48.4% / 56.1% / 23.2% / 36.1% on
+average vs ReaDy / DGNN-Booster / RACE / MEGA, and performs 1.3x-3.0x
+better per dataset.
+"""
+
+from repro.experiments.figures import figure9
+
+
+def test_fig9_execution_time(benchmark, config, show):
+    result = benchmark.pedantic(figure9, args=(config,), rounds=1, iterations=1)
+    show(result)
+    for row in result.rows[:-1]:
+        ditile = row[5]
+        assert all(ditile < baseline for baseline in row[1:5]), row[0]
+    avg = result.rows[-1]
+    ready, booster, race, mega, ditile = avg[1:6]
+    # The incremental designs (RACE, MEGA) run closest to DiTile; the
+    # full-recompute designs (ReaDy, Booster) trail far behind.  Speedups
+    # stay within the paper's 1.3x-3.0x envelope (widened for the reduced
+    # scale).
+    closest = min(ready, booster, race, mega)
+    assert race <= closest * 1.1
+    assert ready > race and booster > race
+    for baseline in (ready, booster, race, mega):
+        assert 1.1 <= baseline / ditile <= 4.0

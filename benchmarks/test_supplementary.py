@@ -1,0 +1,55 @@
+"""Supplementary benchmarks: pipeline utilization, roofline, link loads,
+front-end overhead (beyond the paper's figures; see EXPERIMENTS.md)."""
+
+from repro.experiments.supplementary import (
+    frontend_overhead,
+    link_load_analysis,
+    pipeline_utilization,
+    roofline_classification,
+)
+
+
+def test_pipeline_utilization(benchmark, config, show):
+    result = benchmark.pedantic(
+        pipeline_utilization, args=(config,), rounds=1, iterations=1
+    )
+    show(result)
+    rows = result.row_dict()
+    balanced = rows["DiTile (balanced)"]
+    natural = rows["NoWos (natural split)"]
+    # Balance shortens the makespan (or at worst ties).
+    assert balanced[1] <= natural[1] * 1.001
+    for row in result.rows:
+        assert 0.0 < row[2] <= 1.0
+
+
+def test_roofline_classification(benchmark, config, show):
+    result = benchmark.pedantic(
+        roofline_classification, args=(config,), rounds=1, iterations=1
+    )
+    show(result)
+    bounds = {row[2] for row in result.rows}
+    assert bounds <= {"compute", "memory", "interconnect", "overhead"}
+    for row in result.rows:
+        assert 0.0 <= row[4] <= 1.0
+
+
+def test_link_load_analysis(benchmark, config, show):
+    result = benchmark.pedantic(
+        link_load_analysis, args=(config,), rounds=1, iterations=1
+    )
+    show(result)
+    rows = result.row_dict()
+    relink = rows["Re-Link"]
+    mesh = rows["static mesh"]
+    # The bypass never lengthens routes.
+    assert relink[2] <= mesh[2] + 1e-9
+
+
+def test_frontend_overhead(benchmark, config, show):
+    result = benchmark.pedantic(
+        frontend_overhead, args=(config,), rounds=1, iterations=1
+    )
+    show(result)
+    for row in result.rows:
+        assert row[3] < 50.0  # planning is far cheaper than execution

@@ -1,0 +1,54 @@
+"""Hardware-scaling sweep benchmarks (supplementary to the paper's figures:
+scalability is claimed in §1/§8 but never plotted)."""
+
+from repro.core.plan import DGNNSpec
+from repro.experiments.runner import ExperimentRunner
+from repro.experiments.sweeps import (
+    buffer_scaling_sweep,
+    gnn_depth_sweep,
+    tile_scaling_sweep,
+)
+
+
+def _workload(config):
+    runner = ExperimentRunner(config)
+    return runner.graph("Wikipedia"), runner.spec("Wikipedia")
+
+
+def test_tile_scaling(benchmark, config, show):
+    graph, spec = _workload(config)
+    result = benchmark.pedantic(
+        tile_scaling_sweep, args=(graph, spec), rounds=1, iterations=1
+    )
+    show(result)
+    cycles = [row[2] for row in result.rows]
+    # More tiles never slow the workload down materially.
+    assert cycles[-1] <= cycles[0] * 1.1
+
+
+def test_buffer_scaling(benchmark, config, show):
+    graph, spec = _workload(config)
+    result = benchmark.pedantic(
+        buffer_scaling_sweep,
+        args=(graph, spec),
+        kwargs={"capacities_kib": (64, 512, 4096)},
+        rounds=1,
+        iterations=1,
+    )
+    show(result)
+    alphas = [row[1] for row in result.rows]
+    assert alphas == sorted(alphas, reverse=True)
+
+
+def test_depth_scaling(benchmark, config, show):
+    graph, spec = _workload(config)
+    result = benchmark.pedantic(
+        gnn_depth_sweep,
+        args=(graph, spec.feature_dim),
+        kwargs={"hidden_dim": 64, "depths": (1, 2, 3)},
+        rounds=1,
+        iterations=1,
+    )
+    show(result)
+    macs = [row[1] for row in result.rows]
+    assert macs == sorted(macs)

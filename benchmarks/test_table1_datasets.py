@@ -1,0 +1,13 @@
+"""Table 1 benchmark: dataset synthesis matching the published statistics."""
+
+from repro.experiments.figures import table1
+
+
+def test_table1_datasets(benchmark, config, show):
+    result = benchmark.pedantic(table1, args=(config,), rounds=1, iterations=1)
+    show(result)
+    assert len(result.rows) == 6
+    for row in result.rows:
+        published_ratio = row[1] / row[2]  # V/E
+        synthesized_ratio = row[6] / row[7]
+        assert abs(synthesized_ratio / published_ratio - 1.0) < 0.35

@@ -1,0 +1,62 @@
+"""Robustness and extension benchmarks: seed variance, steady-state
+streaming (warm start), and the training-iteration extension."""
+
+from repro.baselines.algorithms import Placement, build_costs
+from repro.core.training import training_costs
+from repro.experiments.runner import ExperimentConfig, ExperimentRunner
+from repro.experiments.variance import seed_variance
+
+
+def test_seed_variance(benchmark, config, show):
+    small = ExperimentConfig(scale=0.02, snapshots=4,
+                             large_dataset_shrink=0.1)
+    result = benchmark.pedantic(
+        seed_variance,
+        args=(small,),
+        kwargs={"seeds": (1, 2, 3)},
+        rounds=1,
+        iterations=1,
+    )
+    show(result)
+    for row in result.rows:
+        mean, cv = row[1], row[5]
+        assert mean > 1.0  # every baseline slower than DiTile on every seed
+        assert cv < 0.25  # headline ratios robust to synthesis noise
+
+
+def test_warm_start_steady_state(benchmark, config):
+    runner = ExperimentRunner(config)
+    graph = runner.graph("Wikipedia")
+    spec = runner.spec("Wikipedia")
+    placement = Placement(snapshot_groups=1, vertex_groups=16)
+
+    def run():
+        cold = build_costs(graph, spec, "ditile", placement)
+        warm = build_costs(graph, spec, "ditile", placement, warm_start=True)
+        return cold, warm
+
+    cold, warm = benchmark.pedantic(run, rounds=1, iterations=1)
+    # Steady-state streaming amortizes away the cold start.
+    assert warm.total_macs < cold.total_macs
+    saving = 1.0 - warm.total_macs / cold.total_macs
+    assert saving > 0.2  # the cold start dominates short windows
+
+
+def test_training_extension(benchmark, config):
+    runner = ExperimentRunner(config)
+    graph = runner.graph("Wikipedia")
+    spec = runner.spec("Wikipedia")
+    model = runner.ditile()
+
+    def run():
+        inference = model.build_costs(graph, spec)
+        train = training_costs(
+            inference, spec,
+            vertices_per_snapshot=[s.num_vertices for s in graph],
+        )
+        return inference, train
+
+    inference, train = benchmark.pedantic(run, rounds=1, iterations=1)
+    # One training iteration costs ~3x inference (forward + backward).
+    ratio = train.total_macs / inference.total_macs
+    assert 2.5 <= ratio <= 3.5

@@ -1,0 +1,82 @@
+"""Event-stream pipeline: CSV edge stream -> snapshots -> accelerator.
+
+Real dynamic-graph traces arrive as timestamped edge events (the
+continuous-time representation of paper §2.1).  This example walks the
+full on-ramp: write a synthetic interaction stream to CSV, import it as a
+continuous-time dynamic graph, discretize it into regular-interval
+snapshots (Eq. 1), run the DiTile scheduler + simulator on the result, and
+round-trip the discretized graph through the .npz persistence layer.
+
+Run:  python examples/event_stream_pipeline.py
+"""
+
+import tempfile
+from pathlib import Path
+
+import numpy as np
+
+from repro import DGNNSpec, DiTileAccelerator
+from repro.graphs import load_dynamic_graph, load_edge_stream, save_dynamic_graph
+
+
+def synthesize_stream(path: Path, num_vertices: int = 400, num_events: int = 6000):
+    """Write a power-law interaction stream with occasional unfollows."""
+    rng = np.random.default_rng(11)
+    weights = (np.arange(1, num_vertices + 1) ** -1.0)
+    weights /= weights.sum()
+    rows = ["src,dst,time,op"]
+    live = set()
+    for t in range(1, num_events + 1):
+        if live and rng.random() < 0.15:  # deletions are the minority
+            src, dst = list(live)[rng.integers(len(live))]
+            live.discard((src, dst))
+            rows.append(f"{src},{dst},{t},remove")
+            continue
+        src = int(rng.integers(num_vertices))
+        dst = int(rng.choice(num_vertices, p=weights))
+        if src != dst:
+            live.add((src, dst))
+            rows.append(f"{src},{dst},{t},add")
+    path.write_text("\n".join(rows))
+
+
+def main():
+    with tempfile.TemporaryDirectory() as tmp:
+        stream_path = Path(tmp) / "interactions.csv"
+        synthesize_stream(stream_path)
+
+        # 1. Import the continuous-time dynamic graph <G, O>.
+        continuous = load_edge_stream(stream_path, name="interactions")
+        first, last = continuous.time_span
+        print(
+            f"stream: |O|={continuous.num_events} events over "
+            f"[{first:.0f}, {last:.0f}], V={continuous.num_vertices}"
+        )
+
+        # 2. Discretize at regular intervals (paper Eq. 1).
+        graph = continuous.discretize(8, feature_dim=64)
+        print(f"discretized: {graph.stats().summary()}")
+
+        # 3. Plan and simulate on DiTile-DGNN.
+        spec = DGNNSpec.classic(64)
+        model = DiTileAccelerator()
+        plan = model.plan(graph, spec)
+        result = model.simulate(graph, spec)
+        print(plan.summary())
+        print(
+            f"simulated: {result.execution_cycles:.3e} cycles, "
+            f"{1e3 * result.energy_joules:.3f} mJ, "
+            f"{result.dram_bytes / 2**20:.2f} MB DRAM"
+        )
+
+        # 4. Persist the discretized snapshots for later runs.
+        archive = Path(tmp) / "interactions.npz"
+        save_dynamic_graph(graph, archive)
+        restored = load_dynamic_graph(archive)
+        assert all(a == b for a, b in zip(graph, restored))
+        print(f"round-tripped through {archive.name}: "
+              f"{archive.stat().st_size / 1024:.0f} KiB")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,64 @@
+"""GNN variant zoo: GCN vs GraphSAGE vs GIN vs EvolveGCN on one workload.
+
+The paper abstracts all message-passing GNNs "in the form of adjacency
+matrices" (§2.2); this example demonstrates that the library's redundancy-
+free machinery really is kernel-agnostic: the exact incremental engine
+reproduces full-recompute embeddings for every feature-recurrent variant,
+and the weight-evolving EvolveGCN runs as a contrast.
+
+Run:  python examples/gnn_variant_zoo.py
+"""
+
+import numpy as np
+
+from repro import DGNNModel, IncrementalDGNN, generate_dynamic_graph
+from repro.models import (
+    EvolveGCNModel,
+    GCNModel,
+    LSTMCell,
+    create_gin_model,
+    create_sage_model,
+)
+
+
+def main():
+    graph = generate_dynamic_graph(
+        300, 1800, 6, dissimilarity=0.1, feature_dim=24, seed=5,
+        with_features=True, name="variant-zoo",
+    )
+    print(f"workload: {graph.stats().summary()}\n")
+
+    builders = {
+        "GCN": lambda: GCNModel.create([24, 32, 16], seed=1),
+        "GraphSAGE": lambda: create_sage_model([24, 32, 16], seed=1),
+        "GIN": lambda: create_gin_model([24, 32, 16], seed=1),
+    }
+    print(f"{'variant':10s} {'reuse saved':>12s} {'max |err|':>10s}")
+    for name, build in builders.items():
+        model = DGNNModel(build(), LSTMCell.create(16, 12, seed=2))
+        full = model.run(graph)
+        engine = IncrementalDGNN(model)
+        incremental = engine.run(graph)
+        error = max(
+            float(np.abs(full.hidden[t] - incremental.hidden[t]).max())
+            for t in range(graph.num_snapshots)
+        )
+        print(
+            f"{name:10s} {100 * engine.stats.reuse_fraction():11.1f}% "
+            f"{error:10.2e}"
+        )
+
+    # EvolveGCN: the weights, not the features, carry the temporal signal.
+    evolve = EvolveGCNModel.create([24, 32, 16], seed=3)
+    outputs = evolve.run(graph)
+    drift = [
+        float(np.linalg.norm(outputs.weights[t][0] - outputs.weights[0][0]))
+        for t in range(graph.num_snapshots)
+    ]
+    print("\nEvolveGCN layer-0 weight drift per snapshot:")
+    print("  " + "  ".join(f"{d:.3f}" for d in drift))
+    print("(monotone drift: the recurrent cell keeps adapting the kernel)")
+
+
+if __name__ == "__main__":
+    main()

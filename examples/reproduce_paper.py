@@ -1,0 +1,26 @@
+"""Reproduce every table and figure of the paper's evaluation section.
+
+Runs Table 1 and Figures 7-14 at the configured scale and prints each as a
+text table, with the paper's published numbers alongside for comparison.
+
+Run:  python examples/reproduce_paper.py [scale]
+(default scale 0.0625; the two largest datasets get an extra 5x shrink)
+"""
+
+import sys
+
+from repro.experiments import ALL_FIGURES, ExperimentConfig
+
+
+def main():
+    scale = float(sys.argv[1]) if len(sys.argv) > 1 else 0.0625
+    config = ExperimentConfig(scale=scale)
+    print(f"reproducing all evaluation artifacts at scale={scale}\n")
+    for name, figure_fn in ALL_FIGURES.items():
+        result = figure_fn(config) if name != "figure14" else figure_fn()
+        print(result.to_text())
+        print()
+
+
+if __name__ == "__main__":
+    main()

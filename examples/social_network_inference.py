@@ -1,0 +1,86 @@
+"""Social-network link prediction: numeric DGNN inference with exact reuse.
+
+The paper's intro motivates DGNNs with social-network analysis: entities
+interact over time and the model must track both who-is-connected-to-whom
+(GNN) and how relationships evolve (RNN).  This example runs *numeric*
+inference — real embeddings, not an analytic model — on a Reddit-like
+evolving interaction graph, twice:
+
+1. full recompute of every snapshot (the Re-Alg behaviour), and
+2. the exact redundancy-free incremental engine (the DiTile idea),
+
+verifies the embeddings are identical, and reports the measured reuse.
+Finally it ranks candidate links by embedding affinity — the downstream
+task a deployment would run.
+
+Run:  python examples/social_network_inference.py
+"""
+
+import time
+
+import numpy as np
+
+from repro import DGNNModel, IncrementalDGNN, generate_dynamic_graph
+
+
+def main():
+    # An evolving interaction graph: strong temporal similarity, power-law
+    # activity (a few hub communities, many quiet users).
+    graph = generate_dynamic_graph(
+        num_vertices=600,
+        num_edges=5_000,
+        num_snapshots=10,
+        dissimilarity=0.08,
+        feature_dim=32,
+        seed=42,
+        with_features=True,
+        name="social-interactions",
+    )
+    print(f"workload: {graph.stats().summary()}")
+
+    model = DGNNModel.create(
+        feature_dim=32, hidden_dims=[48, 24], rnn_hidden_dim=24, seed=1
+    )
+
+    start = time.perf_counter()
+    full = model.run(graph)
+    full_seconds = time.perf_counter() - start
+
+    engine = IncrementalDGNN(model)
+    start = time.perf_counter()
+    incremental = engine.run(graph)
+    incremental_seconds = time.perf_counter() - start
+
+    for t in range(graph.num_snapshots):
+        assert np.allclose(full.hidden[t], incremental.hidden[t], atol=1e-10)
+    stats = engine.stats
+    print(
+        f"incremental == full recompute across {graph.num_snapshots} snapshots; "
+        f"reuse saved {100 * stats.reuse_fraction():.1f}% of GNN row computations"
+    )
+    print(
+        f"wall-clock: full {1e3 * full_seconds:.1f} ms, "
+        f"incremental {1e3 * incremental_seconds:.1f} ms"
+    )
+    changed = ", ".join(str(c) for c in stats.changed_seeds[1:6])
+    print(f"changed vertices per snapshot (first 5 transitions): {changed}")
+
+    # Downstream task: rank the strongest not-yet-connected affinities from
+    # the final hidden states (a standard link-prediction readout).
+    hidden = incremental.final_hidden()
+    norms = np.linalg.norm(hidden, axis=1, keepdims=True)
+    normalized = hidden / np.maximum(norms, 1e-12)
+    affinity = normalized @ normalized.T
+    np.fill_diagonal(affinity, -np.inf)
+    last = graph[graph.num_snapshots - 1]
+    for src, dst in last.iter_edges():
+        affinity[dst, src] = -np.inf
+    flat = np.argsort(affinity, axis=None)[::-1][:5]
+    print("top predicted links (dst <- src, affinity):")
+    for idx in flat:
+        dst, src = divmod(int(idx), last.num_vertices)
+        print(f"  {dst:4d} <- {src:4d}  {affinity[dst, src]:+.3f}")
+
+
+if __name__ == "__main__":
+    main()

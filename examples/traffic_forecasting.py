@@ -1,0 +1,66 @@
+"""Traffic forecasting: strategy selection across workload regimes.
+
+Traffic prediction (T-GCN-style, cited in the paper's intro) runs a DGNN
+over a road network whose sensor graph barely changes, but other dynamic
+workloads are dense and volatile.  This example shows the core §4.2 result:
+no static parallelization wins everywhere, and the redundancy-free
+*dynamic* strategy picks the right mapping per workload.
+
+For three regimes (sparse/stable road network, dense/stable social graph,
+dense/volatile interaction graph) it evaluates the analytic communication
+model (Eqs. 7-16) for every grid shape of a 4x4 array and reports which one
+Algorithm 1 selects.
+
+Run:  python examples/traffic_forecasting.py
+"""
+
+from repro import DGNNSpec, ParallelismOptimizer, WorkloadProfile, generate_dynamic_graph
+from repro.core.parallelism import spatial_factors, temporal_factors
+
+
+REGIMES = [
+    # name, vertices, edges, snapshots, dissimilarity
+    ("road-network (sparse, stable)", 800, 2_400, 24, 0.02),
+    ("social graph (dense, stable)", 800, 24_000, 8, 0.05),
+    ("event stream (very sparse, volatile)", 800, 800, 64, 0.5),
+]
+
+TILES = 16
+
+
+def main():
+    spec = DGNNSpec.classic(feature_dim=64)
+    for name, vertices, edges, snapshots, dis in REGIMES:
+        graph = generate_dynamic_graph(
+            vertices, edges, snapshots, dissimilarity=dis, feature_dim=64,
+            seed=3, name=name,
+        )
+        profile = WorkloadProfile.from_graph(graph, spec.num_gnn_layers)
+        optimizer = ParallelismOptimizer(profile, TILES)
+        print(f"\n== {name}: T={snapshots}, E/V={edges / vertices:.0f}, "
+              f"Dis={profile.dissimilarity:.2f}")
+        print(f"   {'grid (Sxv)':>10s} {'temporal':>10s} {'spatial':>10s} "
+              f"{'reuse':>10s} {'total':>10s}")
+        for ev in sorted(
+            optimizer.candidates(), key=lambda e: e.factors.snapshot_groups
+        ):
+            f, b = ev.factors, ev.breakdown
+            print(
+                f"   {f.snapshot_groups:>4d} x {f.vertex_groups:<3d} "
+                f"{b.temporal:10.0f} {b.rf_spatial:10.0f} "
+                f"{b.reuse:10.0f} {b.total:10.0f}"
+            )
+        best = optimizer.optimize()
+        temporal = optimizer.model.total_comm(temporal_factors(profile, TILES))
+        spatial = optimizer.model.total_comm(spatial_factors(profile, TILES))
+        f = best.factors
+        print(
+            f"   -> Algorithm 1 selects {f.snapshot_groups}x{f.vertex_groups} "
+            f"(Ps={f.snapshots_per_tile:.1f}, Pv={f.vertices_per_tile:.0f}): "
+            f"{best.total_comm:.0f} rows vs pure-temporal {temporal:.0f}, "
+            f"pure-spatial {spatial:.0f}"
+        )
+
+
+if __name__ == "__main__":
+    main()

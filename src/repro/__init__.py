@@ -1,0 +1,93 @@
+"""DiTile-DGNN reproduction library (ISCA 2025).
+
+A full-system reproduction of *DiTile-DGNN: An Efficient Accelerator for
+Distributed Dynamic Graph Neural Network Inference* (Yang, Zheng, Louri):
+the dynamic-graph substrate, numeric DGNN models with an exact
+redundancy-free incremental engine, the paper's tiling/parallelism/balance
+algorithms, an analytic cycle-level accelerator simulator with energy and
+area models, the four baseline accelerators, and a per-figure experiment
+harness.
+
+Quick start::
+
+    from repro import DiTileAccelerator, DGNNSpec, load_dataset
+
+    graph = load_dataset("Wikipedia", scale=0.05, seed=0)
+    spec = DGNNSpec.classic(graph.feature_dim)
+    result = DiTileAccelerator().simulate(graph, spec)
+    print(result.execution_cycles, result.energy_joules)
+"""
+
+from .graphs import (
+    DynamicGraph,
+    GraphSnapshot,
+    TABLE1_DATASETS,
+    dataset_names,
+    dataset_profile,
+    generate_dynamic_graph,
+    load_dataset,
+)
+from .models import DGNNModel, GCNModel, GRUCell, IncrementalDGNN, LSTMCell
+from .core import (
+    DGNNSpec,
+    DiTileScheduler,
+    ExecutionPlan,
+    ParallelismOptimizer,
+    SchedulerOptions,
+    WorkloadProfile,
+    balance_workload,
+    subgraph_tiling,
+)
+from .accel import (
+    AcceleratorSimulator,
+    AreaModel,
+    EnergyModel,
+    HardwareConfig,
+    SimulationResult,
+)
+from .baselines import (
+    DGNNBoosterAccelerator,
+    MEGAAccelerator,
+    RACEAccelerator,
+    ReaDyAccelerator,
+)
+from .ditile import DiTileAccelerator
+from .experiments import ExperimentConfig, ExperimentRunner
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "GraphSnapshot",
+    "DynamicGraph",
+    "TABLE1_DATASETS",
+    "dataset_names",
+    "dataset_profile",
+    "generate_dynamic_graph",
+    "load_dataset",
+    "GCNModel",
+    "LSTMCell",
+    "GRUCell",
+    "DGNNModel",
+    "IncrementalDGNN",
+    "DGNNSpec",
+    "DiTileScheduler",
+    "SchedulerOptions",
+    "ExecutionPlan",
+    "ParallelismOptimizer",
+    "WorkloadProfile",
+    "subgraph_tiling",
+    "balance_workload",
+    "HardwareConfig",
+    "AcceleratorSimulator",
+    "SimulationResult",
+    "EnergyModel",
+    "AreaModel",
+    "ReaDyAccelerator",
+    "DGNNBoosterAccelerator",
+    "RACEAccelerator",
+    "MEGAAccelerator",
+    "DiTileAccelerator",
+    "ExperimentConfig",
+    "ExperimentRunner",
+    "__version__",
+]

@@ -1,0 +1,57 @@
+"""Accelerator simulator: hardware config, timing, energy, and area models."""
+
+from .config import DRAMConfig, HardwareConfig, NoCConfig, PEConfig, TileConfig
+from .energy import EnergyBreakdown, EnergyModel, EnergyParams
+from .area import AreaModel, AreaParams, AreaReport
+from .dram import DRAMModel, DRAMTraffic
+from .noc import NoCModel, NoCTraffic, TrafficClass, mesh_hops, ring_hops
+from .pe import KernelEfficiency, PEModel
+from .tile import TileModel, TileWork
+from .metrics import CostSummary, CycleBreakdown, SimulationResult, SnapshotCosts
+from .simulator import AcceleratorSimulator, SimulatorParams
+from .pipeline import PipelineResult, PipelineSimulator, TileSegment, TileTimeline
+from .routing import LinkLoadReport, TrafficMatrixRouter, spatial_traffic_matrix
+from .analysis import RooflineAnalysis, analyze
+from .dispatch import DispatchResult, PEDispatcher
+
+__all__ = [
+    "PEConfig",
+    "TileConfig",
+    "NoCConfig",
+    "DRAMConfig",
+    "HardwareConfig",
+    "EnergyParams",
+    "EnergyBreakdown",
+    "EnergyModel",
+    "AreaParams",
+    "AreaReport",
+    "AreaModel",
+    "DRAMTraffic",
+    "DRAMModel",
+    "NoCTraffic",
+    "TrafficClass",
+    "NoCModel",
+    "ring_hops",
+    "mesh_hops",
+    "KernelEfficiency",
+    "PEModel",
+    "TileModel",
+    "TileWork",
+    "SnapshotCosts",
+    "CostSummary",
+    "CycleBreakdown",
+    "SimulationResult",
+    "AcceleratorSimulator",
+    "SimulatorParams",
+    "PipelineSimulator",
+    "PipelineResult",
+    "TileSegment",
+    "TileTimeline",
+    "TrafficMatrixRouter",
+    "LinkLoadReport",
+    "spatial_traffic_matrix",
+    "RooflineAnalysis",
+    "analyze",
+    "PEDispatcher",
+    "DispatchResult",
+]

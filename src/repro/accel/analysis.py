@@ -1,0 +1,81 @@
+"""Roofline-style bound analysis of simulation results.
+
+Classifies a run as compute-, memory-, or interconnect-bound from the
+simulator's cycle components, and computes operational intensity against
+the hardware's roofline — the standard lens for judging whether an
+optimization (fewer ops vs less traffic) can still pay off.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from .config import HardwareConfig
+from .metrics import SimulationResult
+
+__all__ = ["RooflineAnalysis", "analyze"]
+
+
+@dataclass(frozen=True)
+class RooflineAnalysis:
+    """Derived performance characteristics of one simulation."""
+
+    bound: str  # "compute" | "memory" | "interconnect" | "overhead"
+    operational_intensity: float  # MACs per DRAM byte
+    ridge_intensity: float  # machine balance point (MACs/byte)
+    achieved_macs_per_cycle: float
+    peak_macs_per_cycle: float
+    compute_fraction: float
+    memory_fraction: float
+    interconnect_fraction: float
+
+    @property
+    def achieved_fraction_of_peak(self) -> float:
+        """Achieved throughput relative to the array's peak."""
+        if self.peak_macs_per_cycle == 0:
+            return 0.0
+        return self.achieved_macs_per_cycle / self.peak_macs_per_cycle
+
+    @property
+    def is_below_ridge(self) -> bool:
+        """True when the workload sits on the memory-bound roofline side."""
+        return self.operational_intensity < self.ridge_intensity
+
+    def summary(self) -> str:
+        """One-line human-readable classification."""
+        return (
+            f"{self.bound}-bound: OI={self.operational_intensity:.1f} MAC/B "
+            f"(ridge {self.ridge_intensity:.1f}), "
+            f"{self.achieved_macs_per_cycle:.0f}/{self.peak_macs_per_cycle} "
+            f"MACs/cycle ({100 * self.achieved_fraction_of_peak:.1f}% of peak)"
+        )
+
+
+def analyze(result: SimulationResult, hardware: HardwareConfig) -> RooflineAnalysis:
+    """Classify a simulation result against its hardware roofline."""
+    cycles = result.cycles
+    total = max(cycles.total, 1e-12)
+    components = {
+        "compute": cycles.compute,
+        "memory": cycles.off_chip,
+        "interconnect": cycles.on_chip,
+        "overhead": cycles.overhead,
+    }
+    bound = max(components, key=components.get)
+
+    intensity = (
+        result.total_macs / result.dram_bytes if result.dram_bytes > 0 else float("inf")
+    )
+    peak = hardware.peak_macs_per_cycle
+    dram_bw = hardware.dram.bandwidth_bytes_per_cycle
+    ridge = peak / dram_bw if dram_bw > 0 else float("inf")
+    return RooflineAnalysis(
+        bound=bound,
+        operational_intensity=intensity,
+        ridge_intensity=ridge,
+        achieved_macs_per_cycle=result.total_macs / total,
+        peak_macs_per_cycle=peak,
+        compute_fraction=cycles.compute / total,
+        memory_fraction=cycles.off_chip / total,
+        interconnect_fraction=cycles.on_chip / total,
+    )

@@ -1,0 +1,179 @@
+"""Hardware configuration of the DiTile-DGNN accelerator (paper §6, §7.1).
+
+The evaluated configuration (§7.1 *Accelerator Modeling*):
+
+* 16x16 tiles interconnected by the reconfigurable interconnect;
+* each tile: a distributed buffer, a router interface, a 4x4 PE array, and
+  a 512 KB reuse FIFO;
+* each PE: a 256 KB local buffer, a data dispatcher, a 4x4 multiplier array
+  feeding a 4x4 adder (accumulation) array, and a post-processing unit;
+* 700 MHz on-chip clock, FP32 datapath, 4 MB distributed buffer capacity.
+
+Baselines are normalized to the same multiplier count, storage, frequency,
+and bandwidth (§7.1 *Baselines*), which :meth:`HardwareConfig.normalized`
+enforces.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+
+__all__ = ["PEConfig", "TileConfig", "NoCConfig", "DRAMConfig", "HardwareConfig"]
+
+
+@dataclass(frozen=True)
+class PEConfig:
+    """One processing element (Fig. 5d)."""
+
+    mac_rows: int = 4
+    mac_cols: int = 4
+    local_buffer_bytes: int = 256 * 1024
+
+    @property
+    def macs_per_cycle(self) -> int:
+        """Peak multiply-accumulates per cycle (multiplier array size)."""
+        return self.mac_rows * self.mac_cols
+
+
+@dataclass(frozen=True)
+class TileConfig:
+    """One tile (Fig. 5c): a PE array plus its buffers."""
+
+    pe_rows: int = 4
+    pe_cols: int = 4
+    pe: PEConfig = PEConfig()
+    reuse_fifo_bytes: int = 512 * 1024
+
+    @property
+    def num_pes(self) -> int:
+        """PEs per tile."""
+        return self.pe_rows * self.pe_cols
+
+    @property
+    def macs_per_cycle(self) -> int:
+        """Peak tile MAC throughput per cycle."""
+        return self.num_pes * self.pe.macs_per_cycle
+
+
+@dataclass(frozen=True)
+class NoCConfig:
+    """Interconnect parameters (Fig. 5b).
+
+    ``topology`` selects the transfer-time model: the paper's
+    ``"ditile"`` dual-layer design (horizontal rings + vertical ring with
+    Re-Link bypasses), a conventional ``"mesh"`` (ReaDy-style), or a
+    ``"crossbar"`` (RACE-style engine interconnect).
+    """
+
+    topology: str = "ditile"
+    link_bytes_per_cycle: int = 128  # 1024-bit links
+    router_latency_cycles: int = 2
+    relink_enabled: bool = True
+
+    def __post_init__(self) -> None:
+        if self.topology not in ("ditile", "mesh", "crossbar", "ring"):
+            raise ValueError(f"unknown topology {self.topology!r}")
+        if self.link_bytes_per_cycle <= 0:
+            raise ValueError("link_bytes_per_cycle must be positive")
+
+
+@dataclass(frozen=True)
+class DRAMConfig:
+    """Off-chip memory model parameters (DRAMSim2 substitute, DESIGN.md §2)."""
+
+    bandwidth_bytes_per_cycle: float = 64.0  # ~45 GB/s at 700 MHz
+    base_latency_cycles: int = 120
+    streaming_efficiency: float = 0.85  # row-buffer-friendly accesses
+    random_efficiency: float = 0.35  # scattered feature gathers
+
+    def __post_init__(self) -> None:
+        if self.bandwidth_bytes_per_cycle <= 0:
+            raise ValueError("bandwidth must be positive")
+        if not 0 < self.streaming_efficiency <= 1:
+            raise ValueError("streaming_efficiency must be in (0, 1]")
+        if not 0 < self.random_efficiency <= 1:
+            raise ValueError("random_efficiency must be in (0, 1]")
+
+
+@dataclass(frozen=True)
+class HardwareConfig:
+    """Full accelerator configuration."""
+
+    grid_rows: int = 4
+    grid_cols: int = 4
+    tile: TileConfig = TileConfig()
+    noc: NoCConfig = NoCConfig()
+    dram: DRAMConfig = DRAMConfig()
+    frequency_hz: float = 700e6
+    distributed_buffer_bytes: int = 4 * 1024 * 1024  # C_DB, array-wide
+    bytes_per_value: int = 4  # FP32
+
+    def __post_init__(self) -> None:
+        if self.grid_rows < 1 or self.grid_cols < 1:
+            raise ValueError("grid dimensions must be >= 1")
+        if self.frequency_hz <= 0:
+            raise ValueError("frequency must be positive")
+
+    @property
+    def total_tiles(self) -> int:
+        """Tiles in the array."""
+        return self.grid_rows * self.grid_cols
+
+    @property
+    def total_pes(self) -> int:
+        """PEs across the whole array."""
+        return self.total_tiles * self.tile.num_pes
+
+    @property
+    def total_multipliers(self) -> int:
+        """Multipliers across the whole array (the normalization unit)."""
+        return self.total_pes * self.tile.pe.macs_per_cycle
+
+    @property
+    def peak_macs_per_cycle(self) -> int:
+        """Peak array MAC throughput."""
+        return self.total_multipliers
+
+    @property
+    def total_onchip_bytes(self) -> int:
+        """All on-chip storage: distributed buffers + FIFOs + local buffers."""
+        per_tile = (
+            self.tile.reuse_fifo_bytes
+            + self.tile.num_pes * self.tile.pe.local_buffer_bytes
+        )
+        return self.distributed_buffer_bytes + self.total_tiles * per_tile
+
+    # ------------------------------------------------------------------
+    # Named configurations
+    # ------------------------------------------------------------------
+    @classmethod
+    def paper(cls) -> "HardwareConfig":
+        """The full §7.1 configuration: 16x16 tiles.
+
+        §7.1 states a 4 MB distributed buffer alongside 4x4 tiles in
+        Fig. 5; we read that as 256 KB per tile and scale the array-wide
+        capacity with the tile count.
+        """
+        return cls(
+            grid_rows=16,
+            grid_cols=16,
+            distributed_buffer_bytes=16 * 16 * 256 * 1024,
+        )
+
+    @classmethod
+    def small(cls) -> "HardwareConfig":
+        """A 4x4 array (the Fig. 5/6 illustration scale) for fast tests."""
+        return cls(grid_rows=4, grid_cols=4)
+
+    def normalized(self, topology: str) -> "HardwareConfig":
+        """A configuration with identical multipliers, storage, frequency,
+        and bandwidth, differing only in interconnect (§7.1).  Re-Link
+        bypasses exist only on the DiTile topology."""
+        return replace(
+            self,
+            noc=replace(
+                self.noc,
+                topology=topology,
+                relink_enabled=(topology == "ditile"),
+            ),
+        )

@@ -1,0 +1,140 @@
+"""Energy model (paper §7.1: Horowitz 45 nm energy table + CACTI buffers).
+
+The paper estimates energy from counted on/off-chip communications and
+computations "according to the analytical model proposed in [19]"
+(Horowitz, ISSCC 2014).  We embed the published 45 nm numbers directly:
+
+* FP32 multiply: 3.7 pJ; FP32 add: 0.9 pJ (one MAC = 4.6 pJ);
+* SRAM access: ~10 pJ per 32-bit word for an 8 KB array, scaling roughly
+  with the square root of capacity (the CACTI trend);
+* DRAM access: ~640 pJ per 32-bit word;
+* NoC traversal: link + router energy per byte per hop.
+
+Energies are reported in joules, split into the four §7.6 categories:
+computation, on-chip communication, off-chip communication, and
+control/configuration.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+import math
+
+__all__ = ["EnergyParams", "EnergyBreakdown", "EnergyModel"]
+
+_PJ = 1e-12
+
+
+@dataclass(frozen=True)
+class EnergyParams:
+    """Per-event energy constants (picojoules)."""
+
+    fp32_mult_pj: float = 3.7
+    fp32_add_pj: float = 0.9
+    sram_8kb_word_pj: float = 10.0  # per 32-bit word, 8 KB array
+    dram_word_pj: float = 1600.0  # per 32-bit word, incl. I/O + controller
+    noc_hop_pj_per_byte: float = 8.0  # link + router, per byte per hop (1 pJ/bit)
+    config_pj_per_event: float = 2_000.0  # one tile's NoC reconfiguration
+    # Instruction dispatch / sequencing overhead as a fraction of dynamic
+    # (compute + communication) energy — the per-op control slice of
+    # Fig. 12.
+    control_overhead_fraction: float = 0.015
+
+    @property
+    def mac_pj(self) -> float:
+        """One multiply-accumulate."""
+        return self.fp32_mult_pj + self.fp32_add_pj
+
+    def sram_word_pj(self, capacity_bytes: float) -> float:
+        """Per-word SRAM access energy, sqrt-capacity scaling from 8 KB."""
+        if capacity_bytes <= 0:
+            raise ValueError("capacity_bytes must be positive")
+        return self.sram_8kb_word_pj * math.sqrt(capacity_bytes / (8 * 1024))
+
+
+@dataclass
+class EnergyBreakdown:
+    """Joules per §7.6 category."""
+
+    computation: float = 0.0
+    on_chip: float = 0.0
+    off_chip: float = 0.0
+    control: float = 0.0
+
+    @property
+    def total(self) -> float:
+        """Total energy in joules."""
+        return self.computation + self.on_chip + self.off_chip + self.control
+
+    def control_fraction(self) -> float:
+        """Control/configuration share of total (paper: <7% for DiTile)."""
+        total = self.total
+        return self.control / total if total > 0 else 0.0
+
+    def __add__(self, other: "EnergyBreakdown") -> "EnergyBreakdown":
+        return EnergyBreakdown(
+            self.computation + other.computation,
+            self.on_chip + other.on_chip,
+            self.off_chip + other.off_chip,
+            self.control + other.control,
+        )
+
+    def as_dict(self) -> dict:
+        """Category -> joules mapping (for reports)."""
+        return {
+            "computation": self.computation,
+            "on_chip": self.on_chip,
+            "off_chip": self.off_chip,
+            "control": self.control,
+        }
+
+
+@dataclass
+class EnergyModel:
+    """Accumulates event counts into an :class:`EnergyBreakdown`."""
+
+    params: EnergyParams = field(default_factory=EnergyParams)
+
+    def compute_energy(self, macs: float, sram_bytes: float,
+                       sram_capacity_bytes: float) -> float:
+        """Joules for ``macs`` MACs plus their operand SRAM traffic."""
+        mac_j = macs * self.params.mac_pj * _PJ
+        words = sram_bytes / 4.0
+        sram_j = words * self.params.sram_word_pj(sram_capacity_bytes) * _PJ
+        return mac_j + sram_j
+
+    def noc_energy(self, byte_hops: float) -> float:
+        """Joules for on-chip traffic measured in byte-hops."""
+        return byte_hops * self.params.noc_hop_pj_per_byte * _PJ
+
+    def dram_energy(self, bytes_moved: float) -> float:
+        """Joules for off-chip traffic."""
+        return (bytes_moved / 4.0) * self.params.dram_word_pj * _PJ
+
+    def control_energy(self, config_events: float, dynamic_joules: float = 0.0) -> float:
+        """Joules for control: reconfiguration events plus the instruction
+        dispatch overhead proportional to dynamic energy."""
+        events = config_events * self.params.config_pj_per_event * _PJ
+        dispatch = dynamic_joules * self.params.control_overhead_fraction
+        return events + dispatch
+
+    def breakdown(
+        self,
+        macs: float,
+        sram_bytes: float,
+        sram_capacity_bytes: float,
+        noc_byte_hops: float,
+        dram_bytes: float,
+        config_events: float,
+    ) -> EnergyBreakdown:
+        """Full breakdown from aggregate event counts."""
+        computation = self.compute_energy(macs, sram_bytes, sram_capacity_bytes)
+        on_chip = self.noc_energy(noc_byte_hops)
+        off_chip = self.dram_energy(dram_bytes)
+        dynamic = computation + on_chip + off_chip
+        return EnergyBreakdown(
+            computation=computation,
+            on_chip=on_chip,
+            off_chip=off_chip,
+            control=self.control_energy(config_events, dynamic),
+        )

@@ -1,0 +1,143 @@
+"""Cost and result records exchanged between algorithm models and the simulator.
+
+The paper's simulator "monitors the number of arithmetic operations and the
+number of accesses across the memory hierarchy" (§7.1); those monitored
+counts are what :class:`SnapshotCosts` carries, one record per snapshot.
+The algorithm models in :mod:`repro.baselines.algorithms` fill them in; the
+simulator converts them to cycles and energy and returns a
+:class:`SimulationResult`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from .dram import DRAMTraffic
+from .energy import EnergyBreakdown
+from .noc import NoCTraffic
+
+__all__ = ["SnapshotCosts", "CostSummary", "CycleBreakdown", "SimulationResult"]
+
+
+@dataclass
+class SnapshotCosts:
+    """Monitored event counts for one snapshot's execution."""
+
+    timestamp: int
+    gnn_aggregation_macs: float = 0.0
+    gnn_combination_macs: float = 0.0
+    rnn_macs: float = 0.0
+    dram: DRAMTraffic = field(default_factory=DRAMTraffic)
+    noc: NoCTraffic = field(default_factory=NoCTraffic)
+    config_events: float = 0.0
+    sync_events: float = 0.0
+
+    @property
+    def gnn_macs(self) -> float:
+        """GNN MACs (aggregation + combination)."""
+        return self.gnn_aggregation_macs + self.gnn_combination_macs
+
+    @property
+    def total_macs(self) -> float:
+        """All arithmetic MACs this snapshot."""
+        return self.gnn_macs + self.rnn_macs
+
+
+@dataclass
+class CostSummary:
+    """Event counts for one full DGNN execution under one algorithm."""
+
+    algorithm: str
+    snapshots: List[SnapshotCosts]
+    load_utilization: float = 1.0  # mean/max per-tile load (Algorithm 2 output)
+
+    @property
+    def total_macs(self) -> float:
+        """Arithmetic operations across all snapshots (Fig. 7 metric)."""
+        return sum(s.total_macs for s in self.snapshots)
+
+    @property
+    def gnn_macs(self) -> float:
+        """GNN-kernel MACs across all snapshots."""
+        return sum(s.gnn_macs for s in self.snapshots)
+
+    @property
+    def rnn_macs(self) -> float:
+        """RNN-kernel MACs across all snapshots."""
+        return sum(s.rnn_macs for s in self.snapshots)
+
+    @property
+    def dram_bytes(self) -> float:
+        """Off-chip bytes across all snapshots (Fig. 8 metric)."""
+        return sum(s.dram.total_bytes for s in self.snapshots)
+
+    @property
+    def noc_bytes(self) -> float:
+        """On-chip bytes across all snapshots (Fig. 10b metric)."""
+        return sum(s.noc.total_bytes for s in self.snapshots)
+
+
+@dataclass
+class CycleBreakdown:
+    """Where execution cycles went, before overlap and after."""
+
+    compute: float = 0.0
+    on_chip: float = 0.0
+    off_chip: float = 0.0
+    overhead: float = 0.0
+    total: float = 0.0
+
+    def as_dict(self) -> Dict[str, float]:
+        """Component -> cycles mapping (for reports)."""
+        return {
+            "compute": self.compute,
+            "on_chip": self.on_chip,
+            "off_chip": self.off_chip,
+            "overhead": self.overhead,
+            "total": self.total,
+        }
+
+
+@dataclass
+class SimulationResult:
+    """Outcome of simulating one algorithm/accelerator on one workload."""
+
+    accelerator: str
+    algorithm: str
+    cycles: CycleBreakdown
+    energy: EnergyBreakdown
+    total_macs: float
+    dram_bytes: float
+    noc_bytes: float
+    noc_byte_hops: float
+    pe_utilization: float
+    frequency_hz: float
+    per_snapshot_cycles: Optional[List[float]] = None
+
+    @property
+    def execution_cycles(self) -> float:
+        """Total execution cycles (the Fig. 9 metric)."""
+        return self.cycles.total
+
+    @property
+    def execution_seconds(self) -> float:
+        """Wall-clock execution time at the configured frequency."""
+        return self.cycles.total / self.frequency_hz
+
+    @property
+    def energy_joules(self) -> float:
+        """Total energy (the Fig. 12 metric)."""
+        return self.energy.total
+
+    def speedup_over(self, other: "SimulationResult") -> float:
+        """``other.cycles / self.cycles`` — how much faster self is."""
+        if self.execution_cycles == 0:
+            return float("inf")
+        return other.execution_cycles / self.execution_cycles
+
+    def energy_ratio_over(self, other: "SimulationResult") -> float:
+        """``other.energy / self.energy`` — energy advantage of self."""
+        if self.energy_joules == 0:
+            return float("inf")
+        return other.energy_joules / self.energy_joules

@@ -1,0 +1,193 @@
+"""Network-on-chip models (paper §6.1, Fig. 5b / Fig. 6).
+
+DiTile's interconnect is dual-layer: **horizontal rings** carry the regular
+traffic classes (temporal RNN dependencies and reuse transfers between
+snapshot groups, which flow between horizontally-adjacent tiles under the
+Fig. 6 mapping), while **vertical rings augmented with Re-Link bypasses**
+carry the irregular spatial aggregation traffic, shortening multi-hop
+routes to near-constant distance.
+
+Baselines use a conventional mesh (ReaDy, MEGA's tile fabric) or a crossbar
+(RACE's engine interconnect).  The transfer-time model is a bandwidth
+bottleneck analysis: serialization over the parallel links available to a
+traffic class plus the average routing latency.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict
+
+from .config import HardwareConfig, NoCConfig
+
+__all__ = ["TrafficClass", "NoCTraffic", "NoCModel", "ring_hops", "mesh_hops"]
+
+
+def ring_hops(size: int, src: int, dst: int) -> int:
+    """Shortest-path hop count on a bidirectional ring of ``size`` nodes."""
+    if size <= 0:
+        raise ValueError("ring size must be positive")
+    distance = abs(src - dst) % size
+    return min(distance, size - distance)
+
+
+def mesh_hops(rows: int, cols: int, src: int, dst: int) -> int:
+    """Manhattan hop count on a ``rows x cols`` mesh (XY routing)."""
+    src_r, src_c = divmod(src, cols)
+    dst_r, dst_c = divmod(dst, cols)
+    return abs(src_r - dst_r) + abs(src_c - dst_c)
+
+
+@dataclass(frozen=True)
+class TrafficClass:
+    """One of the three §4.2 traffic classes, as bytes plus locality."""
+
+    name: str
+    bytes: float
+    regular: bool  # regular (temporal/reuse) vs irregular (spatial)
+
+
+@dataclass
+class NoCTraffic:
+    """Per-class on-chip traffic of one simulation phase."""
+
+    temporal_bytes: float = 0.0
+    spatial_bytes: float = 0.0
+    reuse_bytes: float = 0.0
+
+    @property
+    def total_bytes(self) -> float:
+        """All on-chip bytes."""
+        return self.temporal_bytes + self.spatial_bytes + self.reuse_bytes
+
+    def classes(self) -> list:
+        """The three traffic classes with their regularity flags."""
+        return [
+            TrafficClass("temporal", self.temporal_bytes, regular=True),
+            TrafficClass("reuse", self.reuse_bytes, regular=True),
+            TrafficClass("spatial", self.spatial_bytes, regular=False),
+        ]
+
+    def add(self, other: "NoCTraffic") -> None:
+        """Accumulate another record in place."""
+        self.temporal_bytes += other.temporal_bytes
+        self.spatial_bytes += other.spatial_bytes
+        self.reuse_bytes += other.reuse_bytes
+
+
+class NoCModel:
+    """Transfer-time and byte-hop estimation for one topology.
+
+    The per-class average hop counts and parallel-path counts below encode
+    each topology's structural properties:
+
+    * ``ditile`` — regular traffic rides one-hop neighbour transfers on the
+      per-row rings (``grid_rows`` independent paths); irregular traffic
+      uses the vertical rings whose Re-Link bypasses cut the average route
+      to ~2 hops (``grid_cols`` parallel columns).  Without Re-Link
+      (``relink_enabled=False``) vertical routes average a quarter of the
+      ring circumference.
+    * ``mesh`` — all classes share the mesh; average route is a third of
+      the array span, and the bisection (``2 * min(rows, cols)`` links)
+      bounds throughput.
+    * ``crossbar`` — single hop for everything, but one shared exchange
+      whose aggregate throughput equals the port bandwidth; arbitration
+      adds latency with port count.
+    """
+
+    def __init__(self, config: HardwareConfig):
+        self.hw = config
+        self.noc: NoCConfig = config.noc
+
+    # ------------------------------------------------------------------
+    # Structural parameters per traffic class
+    # ------------------------------------------------------------------
+    def avg_hops(self, regular: bool) -> float:
+        """Average route length for a traffic class on this topology."""
+        rows, cols = self.hw.grid_rows, self.hw.grid_cols
+        topology = self.noc.topology
+        if topology == "ditile":
+            if regular:
+                return 1.0  # neighbour transfers on the horizontal rings
+            if self.noc.relink_enabled:
+                return 2.0  # Re-Link bypass: near-constant vertical route
+            return max(rows / 4.0, 1.0)  # plain vertical ring average
+        if topology == "ring":
+            n = rows * cols
+            return max(n / 4.0, 1.0)
+        if topology == "mesh":
+            return max((rows + cols) / 3.0, 1.0)
+        if topology == "crossbar":
+            return 1.0
+        raise ValueError(f"unknown topology {self.noc.topology!r}")
+
+    def parallel_paths(self, regular: bool) -> float:
+        """Independent links a traffic class can spread across."""
+        rows, cols = self.hw.grid_rows, self.hw.grid_cols
+        topology = self.noc.topology
+        if topology == "ditile":
+            # Bidirectional rings: one ring per row (regular) / column
+            # (irregular), two directions each.
+            return float(2 * rows) if regular else float(2 * cols)
+        if topology == "ring":
+            return 2.0  # both ring directions
+        if topology == "mesh":
+            return float(2 * min(rows, cols))  # bisection links, both directions
+        if topology == "crossbar":
+            # An n x n crossbar sustains one transfer per output port.
+            return float(self.hw.total_tiles)
+        raise ValueError(f"unknown topology {self.noc.topology!r}")
+
+    def router_latency(self) -> float:
+        """Per-hop routing latency; crossbar arbitration grows with radix."""
+        base = float(self.noc.router_latency_cycles)
+        if self.noc.topology == "crossbar":
+            import math
+
+            return base + math.log2(max(self.hw.total_tiles, 2))
+        return base
+
+    # ------------------------------------------------------------------
+    # Aggregate estimates
+    # ------------------------------------------------------------------
+    def transfer_cycles(self, traffic: NoCTraffic) -> float:
+        """Cycles to drain ``traffic``.
+
+        Regular and irregular classes occupy disjoint link sets on the
+        DiTile topology (they proceed concurrently); on shared topologies
+        all classes serialize over the same links.
+        """
+        link_bw = self.noc.link_bytes_per_cycle
+        per_class = {}
+        for cls in traffic.classes():
+            if cls.bytes == 0:
+                per_class[cls.name] = 0.0
+                continue
+            serialization = cls.bytes * self.avg_hops(cls.regular) / (
+                link_bw * self.parallel_paths(cls.regular)
+            )
+            per_class[cls.name] = serialization + self.router_latency() * self.avg_hops(
+                cls.regular
+            )
+        if self.noc.topology == "ditile":
+            regular = per_class["temporal"] + per_class["reuse"]
+            irregular = per_class["spatial"]
+            return max(regular, irregular)
+        return sum(per_class.values())
+
+    def byte_hops(self, traffic: NoCTraffic) -> float:
+        """Total byte-hops (the NoC energy integrand)."""
+        total = 0.0
+        for cls in traffic.classes():
+            total += cls.bytes * self.avg_hops(cls.regular)
+        return total
+
+    def describe(self) -> Dict[str, float]:
+        """Structural summary for reports."""
+        return {
+            "regular_hops": self.avg_hops(True),
+            "irregular_hops": self.avg_hops(False),
+            "regular_paths": self.parallel_paths(True),
+            "irregular_paths": self.parallel_paths(False),
+            "router_latency": self.router_latency(),
+        }

@@ -1,0 +1,171 @@
+"""Phase-level accelerator simulator (paper §7.1).
+
+Timing follows the paper's composition rule: "the overall execution time is
+determined by overlapping the off-chip communication time with the on-chip
+execution time, while accounting for system configuration overheads and
+control signal delays.  The on-chip execution time is further refined by
+overlapping the on-chip communication latency with the computation
+latency."
+
+Per snapshot the simulator therefore computes
+
+``on_chip = max(compute, noc_transfer)``
+``snapshot = max(on_chip, dram_transfer) + overheads``
+
+where ``compute`` is the balanced per-tile MAC time divided by the measured
+load utilization (an imbalanced mapping waits for its slowest tile), and
+the overheads cover synchronization and reconfiguration events.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from .config import HardwareConfig
+from .dram import DRAMModel
+from .energy import EnergyBreakdown, EnergyModel, EnergyParams
+from .metrics import CostSummary, CycleBreakdown, SimulationResult, SnapshotCosts
+from .noc import NoCModel
+from .pe import KernelEfficiency
+from .tile import TileModel, TileWork
+
+__all__ = ["SimulatorParams", "AcceleratorSimulator"]
+
+
+@dataclass(frozen=True)
+class SimulatorParams:
+    """Secondary timing/energy constants."""
+
+    efficiency: KernelEfficiency = KernelEfficiency()
+    pipeline_overlap: float = 0.85
+    sync_latency_cycles: float = 60.0  # one inter-tile barrier
+    config_latency_cycles: float = 50.0  # one NoC/tile reconfiguration
+    # Fraction of the shorter phase that fails to hide behind the longer
+    # one when overlapping communication with computation (dependency
+    # stalls, buffer turnaround).
+    overlap_residual: float = 0.2
+    sram_bytes_per_mac: float = 0.25  # post-reuse operand traffic
+    # Operand bytes hauled through the interconnect per MAC: zero for
+    # designs whose PEs read from local buffers (DiTile, ReaDy, MEGA),
+    # positive for crossbar-fed PEs (RACE) that stream operands through
+    # the exchange.
+    operand_noc_bytes_per_mac: float = 0.0
+
+
+class AcceleratorSimulator:
+    """Executes a :class:`CostSummary` on a :class:`HardwareConfig`."""
+
+    def __init__(
+        self,
+        hardware: HardwareConfig,
+        params: SimulatorParams = SimulatorParams(),
+        name: Optional[str] = None,
+        energy_params: Optional[EnergyParams] = None,
+    ):
+        self.hardware = hardware
+        self.params = params
+        self.name = name or f"accel-{hardware.noc.topology}"
+        self.tile_model = TileModel(
+            hardware.tile, params.efficiency, params.pipeline_overlap
+        )
+        self.noc_model = NoCModel(hardware)
+        self.dram_model = DRAMModel(hardware.dram)
+        self.energy_model = EnergyModel(
+            energy_params if energy_params is not None else EnergyParams()
+        )
+
+    # ------------------------------------------------------------------
+    # Timing
+    # ------------------------------------------------------------------
+    def _compute_cycles(self, snapshot: SnapshotCosts, utilization: float) -> float:
+        """Balanced per-tile compute time, stretched by load imbalance."""
+        tiles = self.hardware.total_tiles
+        work = TileWork(
+            gnn_aggregation_macs=snapshot.gnn_aggregation_macs / tiles,
+            gnn_combination_macs=snapshot.gnn_combination_macs / tiles,
+            rnn_macs=snapshot.rnn_macs / tiles,
+        )
+        ideal = self.tile_model.total_cycles(work)
+        return ideal / max(utilization, 1e-9)
+
+    def _snapshot_cycles(
+        self, snapshot: SnapshotCosts, utilization: float
+    ) -> CycleBreakdown:
+        compute = self._compute_cycles(snapshot, utilization)
+        on_chip_comm = self.noc_model.transfer_cycles(snapshot.noc)
+        off_chip = self.dram_model.transfer_cycles(snapshot.dram)
+        overhead = (
+            snapshot.sync_events * self.params.sync_latency_cycles
+            + snapshot.config_events * self.params.config_latency_cycles
+        )
+        residual = self.params.overlap_residual
+        on_chip_exec = max(compute, on_chip_comm) + residual * min(
+            compute, on_chip_comm
+        )
+        total = (
+            max(on_chip_exec, off_chip)
+            + residual * min(on_chip_exec, off_chip)
+            + overhead
+        )
+        return CycleBreakdown(
+            compute=compute,
+            on_chip=on_chip_comm,
+            off_chip=off_chip,
+            overhead=overhead,
+            total=total,
+        )
+
+    # ------------------------------------------------------------------
+    # Entry point
+    # ------------------------------------------------------------------
+    def run(self, costs: CostSummary) -> SimulationResult:
+        """Simulate one full DGNN execution."""
+        total = CycleBreakdown()
+        per_snapshot = []
+        noc_byte_hops = 0.0
+        config_events = 0.0
+        for snapshot in costs.snapshots:
+            breakdown = self._snapshot_cycles(snapshot, costs.load_utilization)
+            per_snapshot.append(breakdown.total)
+            total.compute += breakdown.compute
+            total.on_chip += breakdown.on_chip
+            total.off_chip += breakdown.off_chip
+            total.overhead += breakdown.overhead
+            total.total += breakdown.total
+            noc_byte_hops += self.noc_model.byte_hops(snapshot.noc)
+            config_events += snapshot.config_events
+
+        energy = self._energy(costs, noc_byte_hops, config_events)
+        # PE utilization (Fig. 11a): fraction of execution time the PE
+        # arrays spend on perfectly-balanced useful compute — imbalance,
+        # synchronization, and communication stalls all erode it.
+        ideal_compute = total.compute * costs.load_utilization
+        utilization = ideal_compute / total.total if total.total > 0 else 0.0
+        return SimulationResult(
+            accelerator=self.name,
+            algorithm=costs.algorithm,
+            cycles=total,
+            energy=energy,
+            total_macs=costs.total_macs,
+            dram_bytes=costs.dram_bytes,
+            noc_bytes=costs.noc_bytes,
+            noc_byte_hops=noc_byte_hops,
+            pe_utilization=utilization,
+            frequency_hz=self.hardware.frequency_hz,
+            per_snapshot_cycles=per_snapshot,
+        )
+
+    def _energy(
+        self, costs: CostSummary, noc_byte_hops: float, config_events: float
+    ) -> EnergyBreakdown:
+        local_buffer = self.hardware.tile.pe.local_buffer_bytes
+        operand_hops = costs.total_macs * self.params.operand_noc_bytes_per_mac
+        return self.energy_model.breakdown(
+            macs=costs.total_macs,
+            sram_bytes=costs.total_macs * self.params.sram_bytes_per_mac,
+            sram_capacity_bytes=local_buffer,
+            noc_byte_hops=noc_byte_hops + operand_hops,
+            dram_bytes=costs.dram_bytes,
+            config_events=config_events,
+        )

@@ -1,0 +1,29 @@
+"""Baseline accelerator models: ReaDy, DGNN-Booster, RACE, MEGA."""
+
+from .algorithms import (
+    ALGORITHMS,
+    AlgorithmParams,
+    Placement,
+    SnapshotQuantities,
+    build_costs,
+    measure_quantities,
+)
+from .base import AcceleratorModel
+from .ready import ReaDyAccelerator
+from .booster import DGNNBoosterAccelerator
+from .race import RACEAccelerator
+from .mega import MEGAAccelerator
+
+__all__ = [
+    "ALGORITHMS",
+    "AlgorithmParams",
+    "Placement",
+    "SnapshotQuantities",
+    "build_costs",
+    "measure_quantities",
+    "AcceleratorModel",
+    "ReaDyAccelerator",
+    "DGNNBoosterAccelerator",
+    "RACEAccelerator",
+    "MEGAAccelerator",
+]

@@ -1,0 +1,131 @@
+"""Common accelerator-model machinery for DiTile-DGNN and the baselines.
+
+Per the paper's protocol (§7.1), every baseline "is scaled to be equipped
+with the same number of multipliers and off-chip/on-chip bandwidth" and
+"the same on-chip storage capacity and frequency" — so a model differs from
+the others only in its execution algorithm, its workload placement, its
+interconnect topology, and its secondary timing parameters.
+"""
+
+from __future__ import annotations
+
+import abc
+from typing import Optional
+
+from ..accel.config import HardwareConfig
+from ..accel.energy import EnergyParams
+from ..accel.metrics import CostSummary, SimulationResult
+from ..accel.simulator import AcceleratorSimulator, SimulatorParams
+from ..core.balance import natural_workload
+from ..core.comm_model import ParallelFactors
+from ..core.plan import DGNNSpec
+from ..graphs.dynamic import DynamicGraph
+from .algorithms import AlgorithmParams, Placement, build_costs
+
+__all__ = ["AcceleratorModel"]
+
+
+class AcceleratorModel(abc.ABC):
+    """One accelerator design point: algorithm + placement + interconnect."""
+
+    #: display name (subclasses override)
+    name: str = "accelerator"
+    #: execution algorithm key from :data:`repro.baselines.algorithms.ALGORITHMS`
+    algorithm: str = "re"
+    #: interconnect topology key understood by :class:`repro.accel.noc.NoCModel`
+    topology: str = "mesh"
+    #: achieved DRAM efficiency on scattered gathers; designs that batch
+    #: or coalesce their irregular accesses override this upward
+    dram_random_efficiency: Optional[float] = None
+
+    def __init__(
+        self,
+        hardware: Optional[HardwareConfig] = None,
+        params: Optional[AlgorithmParams] = None,
+    ):
+        from dataclasses import replace
+
+        base = hardware if hardware is not None else HardwareConfig.small()
+        self.hardware = base.normalized(self.topology)
+        if self.dram_random_efficiency is not None:
+            self.hardware = replace(
+                self.hardware,
+                dram=replace(
+                    self.hardware.dram,
+                    random_efficiency=self.dram_random_efficiency,
+                ),
+            )
+        # Graph state resides in the distributed buffer (C_DB): the same
+        # capacity Algorithm 1's tiling search is constrained by, so every
+        # design tiles against identical storage (the §7.1 normalization).
+        self.params = params if params is not None else AlgorithmParams(
+            onchip_bytes=float(base.distributed_buffer_bytes)
+        )
+
+    # ------------------------------------------------------------------
+    # Subclass hooks
+    # ------------------------------------------------------------------
+    @abc.abstractmethod
+    def placement(self, graph: DynamicGraph, spec: DGNNSpec) -> Placement:
+        """The design's workload-to-tile mapping for this workload."""
+
+    def tiling_alpha(self, graph: DynamicGraph, spec: DGNNSpec) -> int:
+        """Subgraph tiling factor; baselines tile naively (capacity-only)."""
+        return 1
+
+    def simulator_params(self) -> SimulatorParams:
+        """Secondary timing constants (subclasses may specialize)."""
+        return SimulatorParams()
+
+    def energy_params(self) -> EnergyParams:
+        """Per-event energies; subclasses adjust for their technology
+        (ReRAM PIM arrays, FPGA fabric, crossbar operand delivery)."""
+        return EnergyParams()
+
+    # ------------------------------------------------------------------
+    # Shared helpers
+    # ------------------------------------------------------------------
+    def _utilization(
+        self, graph: DynamicGraph, spec: DGNNSpec, snapshot_groups: int,
+        vertex_groups: int,
+    ) -> float:
+        """Load balance of an unoptimized (natural-order) placement, folded
+        with the array-occupancy penalty when the mapping cannot fill the
+        tile array."""
+        factors = ParallelFactors.from_groups(
+            graph.num_snapshots, graph.stats().avg_vertices,
+            snapshot_groups, vertex_groups,
+        )
+        balance = natural_workload(graph, spec.num_gnn_layers, factors)
+        occupancy = factors.tiles_used / self.hardware.total_tiles
+        return max(min(balance.utilization * occupancy, 1.0), 1e-6)
+
+    # ------------------------------------------------------------------
+    # Entry points
+    # ------------------------------------------------------------------
+    def build_costs(self, graph: DynamicGraph, spec: DGNNSpec) -> CostSummary:
+        """Monitored event counts for this design on ``graph``."""
+        return build_costs(
+            graph,
+            spec,
+            self.algorithm,
+            self.placement(graph, spec),
+            self.params,
+            tiling_alpha=self.tiling_alpha(graph, spec),
+        )
+
+    def simulate(self, graph: DynamicGraph, spec: DGNNSpec) -> SimulationResult:
+        """Full timing/energy simulation of this design on ``graph``."""
+        simulator = AcceleratorSimulator(
+            self.hardware,
+            self.simulator_params(),
+            name=self.name,
+            energy_params=self.energy_params(),
+        )
+        return simulator.run(self.build_costs(graph, spec))
+
+    def __repr__(self) -> str:
+        return (
+            f"{type(self).__name__}(algorithm={self.algorithm!r}, "
+            f"topology={self.topology!r}, tiles={self.hardware.total_tiles})"
+        )

@@ -1,0 +1,46 @@
+"""MEGA baseline (Gao et al., MICRO 2023) — paper §7.1.
+
+MEGA "partitions all the snapshots among computing tiles to avoid the
+synchronization issue during the RNN phase" (spatial parallelism, §3.1.2)
+and runs Mega-Alg: the deletion-to-addition transform over the mutually
+inclusive graph core, but without intermediate-feature reuse.  The
+distributed graph components incur irregular aggregation communication at
+the GNN phase, carried here by a conventional mesh.
+"""
+
+from __future__ import annotations
+
+from dataclasses import replace
+
+from ..accel.simulator import SimulatorParams
+from ..core.plan import DGNNSpec
+from ..graphs.dynamic import DynamicGraph
+from .algorithms import Placement
+from .base import AcceleratorModel
+
+__all__ = ["MEGAAccelerator"]
+
+
+class MEGAAccelerator(AcceleratorModel):
+    """Mesh-based, Mega-Alg, spatial parallelism."""
+
+    name = "MEGA"
+    algorithm = "mega"
+    topology = "mesh"
+    # MEGA's evolve-batch engine scans vertex partitions sequentially, so
+    # its gathers coalesce nearly as well as DiTile's batched reservoir.
+    dram_random_efficiency = 0.45
+
+    def placement(self, graph: DynamicGraph, spec: DGNNSpec) -> Placement:
+        tiles = self.hardware.total_tiles
+        return Placement(
+            snapshot_groups=1,
+            vertex_groups=tiles,
+            load_utilization=self._utilization(graph, spec, 1, tiles),
+            reuse_capable=False,
+        )
+
+    def simulator_params(self) -> SimulatorParams:
+        # No reuse FIFO: intermediate features shuttle over the mesh
+        # between aggregation and combination engines.
+        return replace(SimulatorParams(), operand_noc_bytes_per_mac=1.5)

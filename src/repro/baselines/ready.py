@@ -1,0 +1,46 @@
+"""ReaDy baseline (Huang et al., TCAD 2022) — paper §7.1.
+
+"ReaDy uses a hierarchical architecture consisting of a mesh-based PE array
+for both the GNN kernel and RNN kernel and its computation resources are
+partitioned according to the workloads of the kernels."  ReaDy employs the
+recomputation algorithm (Re-Alg) that fully recomputes all graph data
+whenever edges or vertices change, and follows the conventional temporal
+parallelization of §3.1.1: each snapshot goes to its own tile group.
+"""
+
+from __future__ import annotations
+
+from dataclasses import replace
+
+from ..accel.energy import EnergyParams
+from ..core.plan import DGNNSpec
+from ..graphs.dynamic import DynamicGraph
+from .algorithms import Placement
+from .base import AcceleratorModel
+
+__all__ = ["ReaDyAccelerator"]
+
+
+class ReaDyAccelerator(AcceleratorModel):
+    """Mesh-based, Re-Alg, temporal parallelism."""
+
+    name = "ReaDy"
+    algorithm = "re"
+    topology = "mesh"
+
+    def placement(self, graph: DynamicGraph, spec: DGNNSpec) -> Placement:
+        tiles = self.hardware.total_tiles
+        snapshot_groups = min(graph.num_snapshots, tiles)
+        vertex_groups = max(tiles // snapshot_groups, 1)
+        return Placement(
+            snapshot_groups=snapshot_groups,
+            vertex_groups=vertex_groups,
+            load_utilization=self._utilization(
+                graph, spec, snapshot_groups, vertex_groups
+            ),
+        )
+
+    def energy_params(self) -> EnergyParams:
+        # ReaDy is a ReRAM processing-in-memory design: array accesses
+        # (especially writes of recomputed state) cost far more than SRAM.
+        return replace(EnergyParams(), sram_8kb_word_pj=120.0)

@@ -1,0 +1,177 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands
+--------
+``datasets``
+    Print the Table 1 dataset registry.
+``plan DATASET``
+    Run the DiTile scheduler on a dataset and print its decisions.
+``compare DATASET``
+    Simulate DiTile plus all four baselines and print the comparison.
+``reproduce [FIGURE ...]``
+    Regenerate evaluation artifacts (default: all of Table 1 / Figs 7-14).
+``area``
+    Print the Fig. 14 area breakdown.
+"""
+
+from __future__ import annotations
+
+import argparse
+from typing import List, Optional
+
+from .accel.config import HardwareConfig
+from .experiments.figures import ALL_FIGURES, figure14
+from .experiments.report import format_table
+from .experiments.runner import BASELINE_ORDER, ExperimentConfig, ExperimentRunner
+from .graphs.datasets import TABLE1_DATASETS
+
+__all__ = ["main", "build_parser"]
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """The top-level argument parser."""
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="DiTile-DGNN (ISCA 2025) reproduction toolkit",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("datasets", help="list the Table 1 dataset registry")
+
+    plan = sub.add_parser("plan", help="show the DiTile scheduler's plan")
+    _add_workload_args(plan)
+    plan.add_argument(
+        "--explain", action="store_true",
+        help="print the full decision trace (every grid shape's cost)",
+    )
+
+    compare = sub.add_parser("compare", help="simulate all five accelerators")
+    _add_workload_args(compare)
+
+    reproduce = sub.add_parser(
+        "reproduce", help="regenerate evaluation tables/figures"
+    )
+    reproduce.add_argument(
+        "figures",
+        nargs="*",
+        choices=[[], *ALL_FIGURES.keys()],
+        help="artifacts to regenerate (default: all)",
+    )
+    reproduce.add_argument("--scale", type=float, default=0.0625)
+    reproduce.add_argument("--snapshots", type=int, default=None)
+    reproduce.add_argument("--seed", type=int, default=7)
+    reproduce.add_argument(
+        "--out", default=None, metavar="DIR",
+        help="also export results to DIR (CSV per figure + REPORT.md)",
+    )
+
+    sub.add_parser("area", help="print the Fig. 14 area breakdown")
+    return parser
+
+
+def _add_workload_args(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("dataset", help="Table 1 name or abbreviation")
+    parser.add_argument("--scale", type=float, default=0.0625)
+    parser.add_argument("--snapshots", type=int, default=None)
+    parser.add_argument("--seed", type=int, default=7)
+
+
+def _runner(args: argparse.Namespace) -> ExperimentRunner:
+    config = ExperimentConfig(
+        scale=args.scale, seed=args.seed, snapshots=args.snapshots
+    )
+    return ExperimentRunner(config)
+
+
+def _cmd_datasets() -> None:
+    rows = [
+        [p.name, p.abbrev, p.vertices, p.edges, p.feature_dim, p.description]
+        for p in TABLE1_DATASETS
+    ]
+    print(format_table(
+        ["dataset", "abbrev", "vertices", "edges", "features", "kind"], rows
+    ))
+
+
+def _cmd_plan(args: argparse.Namespace) -> None:
+    runner = _runner(args)
+    graph = runner.graph(args.dataset)
+    spec = runner.spec(args.dataset)
+    model = runner.ditile()
+    plan = model.plan(graph, spec)
+    print(f"workload: {graph.stats().summary()}")
+    print(plan.summary())
+    print(
+        f"tiling: alpha={plan.tiling.alpha}, working set "
+        f"{plan.tiling.data_volume_bytes / 1024:.0f} KiB of "
+        f"{plan.tiling.buffer_bytes / 1024:.0f} KiB"
+    )
+    print(
+        f"balance: utilization={plan.workload.utilization:.3f}, "
+        f"imbalance={plan.workload.imbalance:.3f}"
+    )
+    if args.explain:
+        print()
+        print(model.scheduler.explain(graph, spec))
+
+
+def _cmd_compare(args: argparse.Namespace) -> None:
+    runner = _runner(args)
+    results = runner.compare(args.dataset)
+    ditile = results["DiTile-DGNN"]
+    rows = []
+    for name in [*BASELINE_ORDER, "DiTile-DGNN"]:
+        r = results[name]
+        rows.append(
+            [
+                name,
+                f"{r.execution_cycles:.3e}",
+                f"{1e3 * r.energy_joules:.3f}",
+                f"{r.dram_bytes / 2**20:.2f}",
+                f"{r.execution_cycles / ditile.execution_cycles:.2f}x",
+            ]
+        )
+    print(format_table(
+        ["accelerator", "cycles", "energy_mJ", "dram_MB", "vs_DiTile"], rows
+    ))
+
+
+def _cmd_reproduce(args: argparse.Namespace) -> None:
+    config = ExperimentConfig(
+        scale=args.scale, seed=args.seed, snapshots=args.snapshots
+    )
+    names = args.figures or list(ALL_FIGURES)
+    results = []
+    for name in names:
+        figure_fn = ALL_FIGURES[name]
+        result = figure_fn(config) if name != "figure14" else figure_fn()
+        results.append(result)
+        print(result.to_text())
+        print()
+    if args.out:
+        from .experiments.export import export_results
+
+        written = export_results(results, args.out)
+        print(f"exported {len(written) - 1} figures to {args.out}")
+
+
+def _cmd_area() -> None:
+    print(figure14(HardwareConfig.small()).to_text())
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    """CLI entry point; returns a process exit code."""
+    args = build_parser().parse_args(argv)
+    if args.command == "datasets":
+        _cmd_datasets()
+    elif args.command == "plan":
+        _cmd_plan(args)
+    elif args.command == "compare":
+        _cmd_compare(args)
+    elif args.command == "reproduce":
+        _cmd_reproduce(args)
+    elif args.command == "area":
+        _cmd_area()
+    else:  # pragma: no cover - argparse enforces choices
+        return 2
+    return 0

@@ -1,0 +1,50 @@
+"""DiTile-DGNN core algorithms: tiling, parallelism, balance, scheduling."""
+
+from .tiling import TilingResult, dram_access, subgraph_data_volume, subgraph_tiling
+from .comm_model import (
+    CommBreakdown,
+    CommunicationModel,
+    ParallelFactors,
+    WorkloadProfile,
+)
+from .parallelism import (
+    ParallelismOptimizer,
+    StrategyEvaluation,
+    spatial_factors,
+    temporal_factors,
+)
+from .balance import BalancedWorkload, balance_workload, natural_workload
+from .redundancy import RedundancyAnalysis, TransitionRedundancy
+from .plan import DGNNSpec, ExecutionPlan
+from .overhead import FrontEndEstimate, FrontEndModel, FrontEndParams
+from .training import TrainingParams, training_costs
+from .scheduler import DiTileScheduler, SchedulerOptions
+
+__all__ = [
+    "TilingResult",
+    "dram_access",
+    "subgraph_data_volume",
+    "subgraph_tiling",
+    "WorkloadProfile",
+    "ParallelFactors",
+    "CommBreakdown",
+    "CommunicationModel",
+    "ParallelismOptimizer",
+    "StrategyEvaluation",
+    "temporal_factors",
+    "spatial_factors",
+    "BalancedWorkload",
+    "balance_workload",
+    "natural_workload",
+    "RedundancyAnalysis",
+    "TransitionRedundancy",
+    "DGNNSpec",
+    "ExecutionPlan",
+    "FrontEndParams",
+    "FrontEndEstimate",
+    "FrontEndModel",
+    "TrainingParams",
+    "training_costs",
+    "DiTileScheduler",
+    "SchedulerOptions",
+]

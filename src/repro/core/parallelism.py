@@ -1,0 +1,160 @@
+"""Parallelism optimization (paper §4.2, Algorithm 1 lines 10-15).
+
+Given the tile budget, the optimizer enumerates logical grid shapes
+``snapshot_groups x vertex_groups`` — snapshot parallelism along one array
+dimension, vertex parallelism along the other (the Fig. 6 mapping) — and
+picks the shape minimizing the total inter-tile communication of Eq. 7.
+
+The degenerate corners of the search space are exactly the strategies of
+§3.1: all-snapshot-groups/one-vertex-group is *temporal parallelism*
+(ReaDy/RACE style), one-snapshot-group/all-vertex-groups is *spatial
+parallelism* (MEGA/AliGraph style).  The optimizer's output is the paper's
+*dynamic* strategy: whichever mixture wins for this workload.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Tuple
+
+from .comm_model import (
+    CommBreakdown,
+    CommunicationModel,
+    ParallelFactors,
+    WorkloadProfile,
+)
+
+__all__ = [
+    "StrategyEvaluation",
+    "ParallelismOptimizer",
+    "temporal_factors",
+    "spatial_factors",
+]
+
+
+@dataclass(frozen=True)
+class StrategyEvaluation:
+    """One candidate mapping with its modelled communication cost."""
+
+    factors: ParallelFactors
+    breakdown: CommBreakdown
+
+    @property
+    def total_comm(self) -> float:
+        """Eq. 7 objective value."""
+        return self.breakdown.total
+
+
+def _grid_factor_pairs(total_tiles: int) -> List[Tuple[int, int]]:
+    """All ``(snapshot_groups, vertex_groups)`` with product ``total_tiles``."""
+    pairs = []
+    for ns in range(1, total_tiles + 1):
+        if total_tiles % ns == 0:
+            pairs.append((ns, total_tiles // ns))
+    return pairs
+
+
+def temporal_factors(profile: WorkloadProfile, total_tiles: int) -> ParallelFactors:
+    """Pure temporal parallelism: one snapshot group per tile (Fig. 2a/b)."""
+    return ParallelFactors.from_groups(
+        profile.num_snapshots, profile.avg_subgraph_vertices, total_tiles, 1
+    )
+
+
+def spatial_factors(profile: WorkloadProfile, total_tiles: int) -> ParallelFactors:
+    """Pure spatial parallelism: one vertex partition per tile (Fig. 2c/d)."""
+    return ParallelFactors.from_groups(
+        profile.num_snapshots, profile.avg_subgraph_vertices, 1, total_tiles
+    )
+
+
+class ParallelismOptimizer:
+    """Algorithm 1, *Parallelization Optimization*.
+
+    Parameters
+    ----------
+    profile:
+        Workload features (``L``, ``T``, ``AvgSV``, ``AvgSE``, ``Dis``,
+        ``alpha``).
+    total_tiles:
+        Hardware tile budget (``TotalTiles``).
+    require_full_grid:
+        When true (default, matching the Fig. 6 dataflow) only grid shapes
+        using every tile are considered; when false, under-filled grids are
+        allowed too (useful for ablations on tiny workloads).
+    """
+
+    def __init__(
+        self,
+        profile: WorkloadProfile,
+        total_tiles: int,
+        require_full_grid: bool = True,
+    ):
+        if total_tiles < 1:
+            raise ValueError("total_tiles must be >= 1")
+        self.profile = profile
+        self.total_tiles = total_tiles
+        self.require_full_grid = require_full_grid
+        self.model = CommunicationModel(profile)
+
+    def candidates(self) -> List[StrategyEvaluation]:
+        """Evaluate every admissible grid shape."""
+        profile = self.profile
+        shapes: List[Tuple[int, int]] = []
+        if self.require_full_grid:
+            shapes = _grid_factor_pairs(self.total_tiles)
+        else:
+            for ns in range(1, self.total_tiles + 1):
+                for nv in range(1, self.total_tiles // ns + 1):
+                    shapes.append((ns, nv))
+        evaluations = []
+        seen = set()
+        for ns, nv in shapes:
+            factors = ParallelFactors.from_groups(
+                profile.num_snapshots, profile.avg_subgraph_vertices, ns, nv
+            )
+            key = (factors.snapshot_groups, factors.vertex_groups)
+            if key in seen:
+                continue
+            seen.add(key)
+            evaluations.append(
+                StrategyEvaluation(factors, self.model.breakdown(factors))
+            )
+        return evaluations
+
+    def optimize(self) -> StrategyEvaluation:
+        """The minimal-``TotalComm`` mapping (Algorithm 1 line 14).
+
+        Ties break toward the squarer grid: balanced dimensions shorten the
+        worst-case on-chip route on the physical array.
+        """
+        candidates = self.candidates()
+        if not candidates:
+            raise RuntimeError("no admissible grid shapes")
+        return min(
+            candidates,
+            key=lambda ev: (
+                ev.total_comm,
+                abs(ev.factors.snapshot_groups - ev.factors.vertex_groups),
+            ),
+        )
+
+    def evaluate(self, snapshot_groups: int, vertex_groups: int) -> StrategyEvaluation:
+        """Evaluate one explicit grid shape (used by baselines/ablations)."""
+        factors = ParallelFactors.from_groups(
+            self.profile.num_snapshots,
+            self.profile.avg_subgraph_vertices,
+            snapshot_groups,
+            vertex_groups,
+        )
+        return StrategyEvaluation(factors, self.model.breakdown(factors))
+
+    def compare_static_strategies(self) -> dict:
+        """Temporal vs spatial vs optimized (the §3.1 motivation numbers)."""
+        temporal = temporal_factors(self.profile, self.total_tiles)
+        spatial = spatial_factors(self.profile, self.total_tiles)
+        return {
+            "temporal": StrategyEvaluation(temporal, self.model.breakdown(temporal)),
+            "spatial": StrategyEvaluation(spatial, self.model.breakdown(spatial)),
+            "dynamic": self.optimize(),
+        }

@@ -1,0 +1,109 @@
+"""Execution-plan data structures shared by the scheduler and the simulator."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional, Tuple
+
+from ..graphs.dynamic import DynamicGraph
+from .balance import BalancedWorkload
+from .comm_model import CommBreakdown, ParallelFactors, WorkloadProfile
+from .redundancy import RedundancyAnalysis
+from .tiling import TilingResult
+
+__all__ = ["DGNNSpec", "ExecutionPlan"]
+
+
+@dataclass(frozen=True)
+class DGNNSpec:
+    """Model-shape parameters of the DGNN being executed.
+
+    ``gcn_dims`` includes the input width: ``(F, d_1, ..., d_L)``.
+    ``rnn_matmuls`` is 8 for LSTM (Eq. 4) and 6 for GRU.
+    """
+
+    gcn_dims: Tuple[int, ...]
+    rnn_hidden_dim: int
+    rnn_kind: str = "lstm"
+
+    def __post_init__(self) -> None:
+        if len(self.gcn_dims) < 2:
+            raise ValueError("gcn_dims needs input plus at least one layer width")
+        if any(d <= 0 for d in self.gcn_dims) or self.rnn_hidden_dim <= 0:
+            raise ValueError("all model dims must be positive")
+        if self.rnn_kind not in ("lstm", "gru"):
+            raise ValueError(f"unknown rnn_kind {self.rnn_kind!r}")
+
+    @classmethod
+    def classic(cls, feature_dim: int, hidden_dim: int = 64) -> "DGNNSpec":
+        """The paper's evaluated model: 2-layer GCN + LSTM (§7.1)."""
+        return cls(
+            gcn_dims=(feature_dim, hidden_dim, hidden_dim),
+            rnn_hidden_dim=hidden_dim,
+            rnn_kind="lstm",
+        )
+
+    @property
+    def feature_dim(self) -> int:
+        """Input feature width ``F``."""
+        return self.gcn_dims[0]
+
+    @property
+    def num_gnn_layers(self) -> int:
+        """``L``."""
+        return len(self.gcn_dims) - 1
+
+    @property
+    def embedding_dim(self) -> int:
+        """GNN output width ``|z|``."""
+        return self.gcn_dims[-1]
+
+    @property
+    def rnn_matmuls(self) -> int:
+        """Matrix products per recurrent step (8 LSTM / 6 GRU)."""
+        return 8 if self.rnn_kind == "lstm" else 6
+
+    @property
+    def avg_gnn_width(self) -> float:
+        """Mean per-layer input width, used by row-granular traffic models."""
+        return sum(self.gcn_dims[:-1]) / self.num_gnn_layers
+
+
+@dataclass
+class ExecutionPlan:
+    """Everything the simulator needs to execute a DGNN on the tile array.
+
+    Produced by :class:`repro.core.scheduler.DiTileScheduler` (or by the
+    baseline planners, which fill the same fields with their own choices).
+    """
+
+    graph: DynamicGraph
+    spec: DGNNSpec
+    profile: WorkloadProfile
+    tiling: TilingResult
+    factors: ParallelFactors
+    comm: CommBreakdown
+    workload: BalancedWorkload
+    redundancy: Optional[RedundancyAnalysis] = None
+    reuse_enabled: bool = True
+    balance_enabled: bool = True
+    notes: dict = field(default_factory=dict)
+
+    @property
+    def total_tiles_used(self) -> int:
+        """Logical tiles the mapping occupies."""
+        return self.factors.tiles_used
+
+    def summary(self) -> str:
+        """Human-readable one-paragraph plan description."""
+        f = self.factors
+        return (
+            f"plan[{self.graph.name}]: alpha={self.tiling.alpha}, "
+            f"grid={f.snapshot_groups}x{f.vertex_groups} "
+            f"(Ps={f.snapshots_per_tile:.1f}, Pv={f.vertices_per_tile:.1f}), "
+            f"comm={self.comm.total:.0f} rows "
+            f"(T={self.comm.temporal:.0f}, S={self.comm.rf_spatial:.0f}, "
+            f"R={self.comm.reuse:.0f}), "
+            f"imbalance={self.workload.imbalance:.3f}, "
+            f"reuse={'on' if self.reuse_enabled else 'off'}"
+        )

@@ -1,0 +1,70 @@
+"""Experiment harness: sweep runner, figure reproductions, ablations."""
+
+from .runner import BASELINE_ORDER, ExperimentConfig, ExperimentRunner
+from .report import FigureResult, format_table
+from .ablation import ABLATION_VARIANTS, ablation_variant, run_ablation
+from .sweeps import (
+    bandwidth_scaling_sweep,
+    buffer_scaling_sweep,
+    gnn_depth_sweep,
+    snapshot_count_sweep,
+    tile_scaling_sweep,
+)
+from .variance import seed_variance
+from .export import export_results, figure_to_csv
+from .pareto import design_points, pareto_frontier
+from .supplementary import (
+    frontend_overhead,
+    link_load_analysis,
+    pipeline_utilization,
+    roofline_classification,
+)
+from .figures import (
+    ALL_FIGURES,
+    figure7,
+    figure8,
+    figure9,
+    figure10,
+    figure11a,
+    figure11b,
+    figure12,
+    figure13,
+    figure14,
+    table1,
+)
+
+__all__ = [
+    "ExperimentConfig",
+    "ExperimentRunner",
+    "BASELINE_ORDER",
+    "FigureResult",
+    "format_table",
+    "ABLATION_VARIANTS",
+    "ablation_variant",
+    "run_ablation",
+    "ALL_FIGURES",
+    "table1",
+    "figure7",
+    "figure8",
+    "figure9",
+    "figure10",
+    "figure11a",
+    "figure11b",
+    "figure12",
+    "figure13",
+    "figure14",
+    "pipeline_utilization",
+    "roofline_classification",
+    "link_load_analysis",
+    "frontend_overhead",
+    "tile_scaling_sweep",
+    "buffer_scaling_sweep",
+    "bandwidth_scaling_sweep",
+    "snapshot_count_sweep",
+    "gnn_depth_sweep",
+    "seed_variance",
+    "export_results",
+    "figure_to_csv",
+    "pareto_frontier",
+    "design_points",
+]

@@ -1,0 +1,91 @@
+"""Fig. 11(b) ablation variants of DiTile-DGNN.
+
+The paper isolates the three contributions by removing or keeping exactly
+one of: the parallelism strategy (Ps — tiling + the ``Ps``/``Pv`` search),
+the workload optimization strategy (Wos — Algorithm 2), and the
+reconfigurable architecture (Ra — the dual-layer ring/Re-Link NoC):
+
+======== ============ ======== ==============
+variant  parallelism  balance  reconfigurable
+======== ============ ======== ==============
+DiTile   yes          yes      yes
+NoPs     no           yes      yes
+NoWos    yes          no       yes
+NoRa     yes          yes      no
+OnlyPs   yes          no       no
+OnlyWos  no           yes      no
+OnlyRa   no           no       yes
+======== ============ ======== ==============
+
+Variants without the parallelism strategy fall back to the conventional
+temporal mapping with ``alpha = 1`` (§3.1.1); variants without workload
+optimization use the natural-order contiguous split; variants without the
+reconfigurable architecture run on a static mesh.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+from ..accel.config import HardwareConfig
+from ..accel.metrics import SimulationResult
+from ..core.plan import DGNNSpec
+from ..core.scheduler import SchedulerOptions
+from ..ditile import DiTileAccelerator
+from ..graphs.dynamic import DynamicGraph
+
+__all__ = ["ABLATION_VARIANTS", "ablation_variant", "run_ablation"]
+
+ABLATION_VARIANTS = (
+    "DiTile-DGNN",
+    "NoPs",
+    "NoWos",
+    "NoRa",
+    "OnlyPs",
+    "OnlyWos",
+    "OnlyRa",
+)
+
+_FLAGS = {
+    # variant: (parallelism, balance, reconfigurable)
+    "DiTile-DGNN": (True, True, True),
+    "NoPs": (False, True, True),
+    "NoWos": (True, False, True),
+    "NoRa": (True, True, False),
+    "OnlyPs": (True, False, False),
+    "OnlyWos": (False, True, False),
+    "OnlyRa": (False, False, True),
+}
+
+
+def ablation_variant(
+    name: str, hardware: Optional[HardwareConfig] = None
+) -> DiTileAccelerator:
+    """Construct one Fig. 11(b) variant by name."""
+    if name not in _FLAGS:
+        raise KeyError(f"unknown ablation variant {name!r}; known: {ABLATION_VARIANTS}")
+    parallelism, balance, reconfigurable = _FLAGS[name]
+    options = SchedulerOptions(
+        enable_tiling=parallelism,
+        enable_parallelism=parallelism,
+        enable_balance=balance,
+        enable_reuse=True,  # redundancy elimination stays on in every variant
+    )
+    model = ablation = DiTileAccelerator(
+        hardware, options=options, reconfigurable_noc=reconfigurable
+    )
+    model.name = name if name == "DiTile-DGNN" else f"DiTile-{name}"
+    return ablation
+
+
+def run_ablation(
+    graph: DynamicGraph,
+    spec: DGNNSpec,
+    hardware: Optional[HardwareConfig] = None,
+    variants: List[str] = list(ABLATION_VARIANTS),
+) -> Dict[str, SimulationResult]:
+    """Simulate every requested variant on one workload."""
+    return {
+        name: ablation_variant(name, hardware).simulate(graph, spec)
+        for name in variants
+    }

@@ -1,0 +1,60 @@
+"""Result export: write figure reproductions to disk (Markdown + CSV).
+
+``export_results`` materializes a set of :class:`FigureResult` objects into
+a directory: one CSV per figure (machine-readable rows) plus a combined
+``REPORT.md`` (the text tables with provenance notes) — the artifact a
+reproduction run leaves behind.
+"""
+
+from __future__ import annotations
+
+import csv
+from pathlib import Path
+from typing import Dict, Iterable, Union
+
+from .report import FigureResult
+
+__all__ = ["export_results", "figure_to_csv"]
+
+PathLike = Union[str, Path]
+
+
+def _slug(figure_id: str) -> str:
+    return figure_id.lower().replace(" ", "_").replace(":", "")
+
+
+def figure_to_csv(result: FigureResult, path: PathLike) -> None:
+    """Write one figure's rows as CSV (headers included)."""
+    with open(path, "w", newline="") as handle:
+        writer = csv.writer(handle)
+        writer.writerow(result.headers)
+        writer.writerows(result.rows)
+
+
+def export_results(
+    results: Iterable[FigureResult],
+    out_dir: PathLike,
+    title: str = "DiTile-DGNN reproduction results",
+) -> Dict[str, Path]:
+    """Write every result to ``out_dir``; returns the written paths.
+
+    Produces ``<figure>.csv`` per result and a combined ``REPORT.md``.
+    """
+    out = Path(out_dir)
+    out.mkdir(parents=True, exist_ok=True)
+    written: Dict[str, Path] = {}
+    report_lines = [f"# {title}", ""]
+    for result in results:
+        csv_path = out / f"{_slug(result.figure_id)}.csv"
+        figure_to_csv(result, csv_path)
+        written[result.figure_id] = csv_path
+        report_lines.append(f"## {result.figure_id}: {result.title}")
+        report_lines.append("")
+        report_lines.append("```")
+        report_lines.append(result.to_text())
+        report_lines.append("```")
+        report_lines.append("")
+    report_path = out / "REPORT.md"
+    report_path.write_text("\n".join(report_lines))
+    written["report"] = report_path
+    return written

@@ -1,0 +1,503 @@
+"""Reproduction of every table and figure in the paper's evaluation (§7).
+
+Each ``figureN`` function runs the corresponding experiment and returns a
+:class:`~repro.experiments.report.FigureResult` whose rows mirror what the
+paper plots.  EXPERIMENTS.md records the paper-vs-measured comparison.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+import numpy as np
+
+from ..accel.area import AreaModel
+from ..accel.config import HardwareConfig
+from ..baselines.algorithms import (
+    AlgorithmParams,
+    SnapshotQuantities,
+    build_costs,
+    measure_quantities,
+)
+from ..baselines.algorithms import Placement
+from ..graphs.datasets import TABLE1_DATASETS
+from .ablation import ABLATION_VARIANTS, run_ablation
+from .report import FigureResult
+from .runner import BASELINE_ORDER, ExperimentConfig, ExperimentRunner
+
+__all__ = [
+    "table1",
+    "figure7",
+    "figure8",
+    "figure9",
+    "figure10",
+    "figure11a",
+    "figure11b",
+    "figure12",
+    "figure13",
+    "figure14",
+    "ALL_FIGURES",
+]
+
+# Algorithm display names used in Figs. 7-8 (algorithm-level comparison).
+_ALG_LABELS = [("re", "Re-Alg"), ("race", "Race-Alg"), ("mega", "Mega-Alg"),
+               ("ditile", "DiTile-Alg")]
+
+
+def _neutral_placement() -> Placement:
+    """Placement-independent costs for the algorithm-level Figs. 7-8."""
+    return Placement(snapshot_groups=1, vertex_groups=1, load_utilization=1.0)
+
+
+def _abbrev(dataset: str) -> str:
+    return {p.name: p.abbrev for p in TABLE1_DATASETS}[dataset]
+
+
+# ---------------------------------------------------------------------------
+# Table 1
+# ---------------------------------------------------------------------------
+def table1(config: ExperimentConfig = ExperimentConfig()) -> FigureResult:
+    """Table 1: the six evaluation datasets."""
+    runner = ExperimentRunner(config)
+    rows = []
+    for profile in TABLE1_DATASETS:
+        scale = config.dataset_scale(profile.name)
+        graph = runner.graph(profile.name)
+        stats = graph.stats()
+        rows.append(
+            [
+                profile.name,
+                profile.vertices,
+                profile.edges,
+                profile.feature_dim,
+                profile.description,
+                scale,
+                int(stats.avg_vertices),
+                int(stats.avg_edges),
+                round(stats.avg_dissimilarity, 3),
+            ]
+        )
+    return FigureResult(
+        figure_id="Table 1",
+        title="Datasets used for evaluation (published vs synthesized)",
+        headers=[
+            "dataset", "V(paper)", "E(paper)", "F", "kind",
+            "scale", "V(synth)", "E(synth)", "Dis(synth)",
+        ],
+        rows=rows,
+        notes=[
+            "graphs are synthesized power-law dynamic graphs matching the "
+            "published V/E/F at the stated scale (DESIGN.md §2)",
+        ],
+    )
+
+
+# ---------------------------------------------------------------------------
+# Figure 7 — arithmetic operations
+# ---------------------------------------------------------------------------
+def figure7(config: ExperimentConfig = ExperimentConfig()) -> FigureResult:
+    """Fig. 7: arithmetic operations per algorithm per dataset."""
+    runner = ExperimentRunner(config)
+    placement = _neutral_placement()
+    rows = []
+    reductions: Dict[str, List[float]] = {label: [] for _, label in _ALG_LABELS[:-1]}
+    for dataset in runner.datasets():
+        graph = runner.graph(dataset)
+        spec = runner.spec(dataset)
+        quantities = measure_quantities(graph)
+        ops = {}
+        for key, label in _ALG_LABELS:
+            costs = build_costs(
+                graph, spec, key, placement, AlgorithmParams(), quantities=quantities
+            )
+            ops[label] = costs.total_macs
+        row = [_abbrev(dataset)] + [ops[label] for _, label in _ALG_LABELS]
+        rows.append(row)
+        for _, label in _ALG_LABELS[:-1]:
+            reductions[label].append(1.0 - ops["DiTile-Alg"] / ops[label])
+    avg = ["AVG"] + [
+        float(np.mean([row[i + 1] for row in rows])) for i in range(len(_ALG_LABELS))
+    ]
+    rows.append(avg)
+    return FigureResult(
+        figure_id="Figure 7",
+        title="Arithmetic operations (MACs) per algorithm",
+        headers=["dataset"] + [label for _, label in _ALG_LABELS],
+        rows=rows,
+        notes=[
+            "DiTile-Alg average reduction vs "
+            + ", ".join(
+                f"{label}: {100 * float(np.mean(vals)):.1f}%"
+                for label, vals in reductions.items()
+            )
+        ],
+        paper_values={"vs Re-Alg": "65.7%", "vs Race-Alg": "33.9%",
+                      "vs Mega-Alg": "26.4%"},
+    )
+
+
+# ---------------------------------------------------------------------------
+# Figure 8 — DRAM access
+# ---------------------------------------------------------------------------
+def figure8(config: ExperimentConfig = ExperimentConfig()) -> FigureResult:
+    """Fig. 8: off-chip DRAM traffic per algorithm per dataset."""
+    runner = ExperimentRunner(config)
+    placement = _neutral_placement()
+    rows = []
+    reductions: Dict[str, List[float]] = {label: [] for _, label in _ALG_LABELS[:-1]}
+    for dataset in runner.datasets():
+        graph = runner.graph(dataset)
+        spec = runner.spec(dataset)
+        quantities = measure_quantities(graph)
+        ditile = runner.ditile()
+        alpha = ditile.tiling_alpha(graph, spec)
+        dram = {}
+        for key, label in _ALG_LABELS:
+            costs = build_costs(
+                graph,
+                spec,
+                key,
+                placement,
+                ditile.params,
+                tiling_alpha=alpha,
+                quantities=quantities,
+            )
+            dram[label] = costs.dram_bytes
+        rows.append([_abbrev(dataset)] + [dram[label] for _, label in _ALG_LABELS])
+        for _, label in _ALG_LABELS[:-1]:
+            reductions[label].append(1.0 - dram["DiTile-Alg"] / dram[label])
+    avg = ["AVG"] + [
+        float(np.mean([row[i + 1] for row in rows])) for i in range(len(_ALG_LABELS))
+    ]
+    rows.append(avg)
+    return FigureResult(
+        figure_id="Figure 8",
+        title="Off-chip DRAM access (bytes) per algorithm",
+        headers=["dataset"] + [label for _, label in _ALG_LABELS],
+        rows=rows,
+        notes=[
+            "DiTile-Alg average reduction vs "
+            + ", ".join(
+                f"{label}: {100 * float(np.mean(vals)):.1f}%"
+                for label, vals in reductions.items()
+            )
+        ],
+        paper_values={"vs Re-Alg": "58.1%", "vs Race-Alg": "26.6%",
+                      "vs Mega-Alg": "33.5%"},
+    )
+
+
+# ---------------------------------------------------------------------------
+# Figure 9 — execution time
+# ---------------------------------------------------------------------------
+def figure9(config: ExperimentConfig = ExperimentConfig()) -> FigureResult:
+    """Fig. 9: execution cycles per accelerator per dataset."""
+    runner = ExperimentRunner(config)
+    rows = []
+    reductions: Dict[str, List[float]] = {name: [] for name in BASELINE_ORDER}
+    for dataset in runner.datasets():
+        results = runner.compare(dataset)
+        ditile_cycles = results["DiTile-DGNN"].execution_cycles
+        row = [_abbrev(dataset)]
+        for name in BASELINE_ORDER:
+            cycles = results[name].execution_cycles
+            row.append(cycles)
+            reductions[name].append(1.0 - ditile_cycles / cycles)
+        row.append(ditile_cycles)
+        rows.append(row)
+    avg = ["AVG"] + [
+        float(np.mean([row[i + 1] for row in rows]))
+        for i in range(len(BASELINE_ORDER) + 1)
+    ]
+    rows.append(avg)
+    return FigureResult(
+        figure_id="Figure 9",
+        title="Execution time (cycles) per accelerator",
+        headers=["dataset", *BASELINE_ORDER, "DiTile-DGNN"],
+        rows=rows,
+        notes=[
+            "DiTile average execution-time reduction vs "
+            + ", ".join(
+                f"{name}: {100 * float(np.mean(vals)):.1f}%"
+                for name, vals in reductions.items()
+            )
+        ],
+        paper_values={"vs ReaDy": "48.4%", "vs DGNN-Booster": "56.1%",
+                      "vs RACE": "23.2%", "vs MEGA": "36.1%"},
+    )
+
+
+# ---------------------------------------------------------------------------
+# Figure 10 — model estimate vs measured
+# ---------------------------------------------------------------------------
+def _average_quantities(quantities: List[SnapshotQuantities]) -> List[SnapshotQuantities]:
+    """Replace per-snapshot variation with the averages the analytic model
+    assumes (uniform sparsity and uniform dissimilarity)."""
+    tail = quantities[1:]
+    if not tail:
+        return quantities
+    avg_v = int(np.mean([q.vertices for q in quantities]))
+    avg_e = int(np.mean([q.edges for q in quantities]))
+    avg_dis = float(np.mean([q.dissimilarity for q in tail]))
+    avg_add = int(np.mean([q.added_edges for q in tail]))
+    avg_rem = int(np.mean([q.removed_edges for q in tail]))
+    smoothed = [
+        SnapshotQuantities(0, avg_v, avg_e, 1.0, avg_e, 0)
+    ]
+    for q in tail:
+        smoothed.append(
+            SnapshotQuantities(q.timestamp, avg_v, avg_e, avg_dis, avg_add, avg_rem)
+        )
+    return smoothed
+
+
+def figure10(config: ExperimentConfig = ExperimentConfig()) -> FigureResult:
+    """Fig. 10: estimated vs actual off-chip DRAM access and on-chip transfer.
+
+    The estimate feeds the analytic models with dataset *averages* (the
+    uniform-sparsity / uniform-similarity assumption the paper names); the
+    actual numbers use the measured per-snapshot quantities.  Values are
+    actual normalized to estimated.
+    """
+    runner = ExperimentRunner(config)
+    rows = []
+    for dataset in runner.datasets():
+        graph = runner.graph(dataset)
+        spec = runner.spec(dataset)
+        ditile = runner.ditile()
+        placement = ditile.placement(graph, spec)
+        alpha = ditile.tiling_alpha(graph, spec)
+        measured = measure_quantities(graph)
+        smoothed = _average_quantities(measured)
+        # Actual: measured per-snapshot quantities at real transport
+        # granularity.  Estimate: the idealized analytic accounting
+        # (uniform snapshots, no DRAM-line or packet-header overhead).
+        from dataclasses import replace as _replace
+
+        ideal_params = _replace(
+            ditile.params,
+            dram_line_bytes=None,
+            noc_flit_bytes=None,
+            noc_header_flits=0,
+        )
+        actual = build_costs(graph, spec, "ditile", placement, ditile.params,
+                             tiling_alpha=alpha, quantities=measured)
+        estimate = build_costs(graph, spec, "ditile", placement, ideal_params,
+                               tiling_alpha=alpha, quantities=smoothed)
+        da_ratio = actual.dram_bytes / estimate.dram_bytes
+        ot_ratio = (
+            actual.noc_bytes / estimate.noc_bytes
+            if estimate.noc_bytes > 0
+            else 1.0
+        )
+        rows.append([_abbrev(dataset), round(da_ratio, 4), round(ot_ratio, 4)])
+    avg = ["AVG",
+           round(float(np.mean([r[1] for r in rows])), 4),
+           round(float(np.mean([r[2] for r in rows])), 4)]
+    rows.append(avg)
+    return FigureResult(
+        figure_id="Figure 10",
+        title="Actual / estimated DRAM access (DA) and on-chip transfer (OT)",
+        headers=["dataset", "Actual-DA / Alg-DA", "Actual-OT / Alg-OT"],
+        rows=rows,
+        paper_values={"DA excess": "+5% avg", "OT excess": "+9% avg"},
+        notes=[
+            "estimates assume uniform per-snapshot sparsity and similarity; "
+            "deviation comes from measured per-snapshot variation",
+        ],
+    )
+
+
+# ---------------------------------------------------------------------------
+# Figure 11a — PE utilization
+# ---------------------------------------------------------------------------
+def figure11a(
+    config: ExperimentConfig = ExperimentConfig(), dataset: str = "Wikipedia"
+) -> FigureResult:
+    """Fig. 11a: PE utilization per accelerator on the WD dataset."""
+    runner = ExperimentRunner(config)
+    results = runner.compare(dataset)
+    order = [*BASELINE_ORDER, "DiTile-DGNN"]
+    rows = [
+        [name, round(results[name].pe_utilization, 4),
+         round(results[name].execution_cycles, 1)]
+        for name in order
+    ]
+    return FigureResult(
+        figure_id="Figure 11a",
+        title=f"PE utilization on {dataset}",
+        headers=["accelerator", "pe_utilization", "cycles"],
+        rows=rows,
+        paper_values={"DiTile improvement": "+23.8% avg over baselines"},
+        notes=[
+            "utilization = perfectly-balanced compute time / total time; "
+            "redundant work counts as busy, which flatters full-recompute "
+            "baselines (see EXPERIMENTS.md)",
+        ],
+    )
+
+
+# ---------------------------------------------------------------------------
+# Figure 11b — ablation
+# ---------------------------------------------------------------------------
+def figure11b(
+    config: ExperimentConfig = ExperimentConfig(), dataset: str = "Wikipedia"
+) -> FigureResult:
+    """Fig. 11b: execution time of the six ablation variants on WD."""
+    runner = ExperimentRunner(config)
+    graph = runner.graph(dataset)
+    spec = runner.spec(dataset)
+    results = run_ablation(graph, spec, runner.hardware)
+    base = results["DiTile-DGNN"].execution_cycles
+    rows = []
+    for name in ABLATION_VARIANTS:
+        cycles = results[name].execution_cycles
+        rows.append([name, cycles, round(100.0 * (cycles / base - 1.0), 1)])
+    return FigureResult(
+        figure_id="Figure 11b",
+        title=f"Ablation study on {dataset} (execution cycles)",
+        headers=["variant", "cycles", "increase_vs_DiTile_%"],
+        rows=rows,
+        paper_values={
+            "NoPs": "+38.9%", "NoWos": "+18.9%", "NoRa": "+12.0%",
+            "OnlyPs": "+23.0%", "OnlyWos": "+45.9%", "OnlyRa": "+68.8%",
+        },
+    )
+
+
+# ---------------------------------------------------------------------------
+# Figure 12 — energy
+# ---------------------------------------------------------------------------
+def figure12(config: ExperimentConfig = ExperimentConfig()) -> FigureResult:
+    """Fig. 12: normalized energy with per-category breakdown."""
+    runner = ExperimentRunner(config)
+    rows = []
+    improvements: Dict[str, List[float]] = {name: [] for name in BASELINE_ORDER}
+    control_fractions = []
+    for dataset in runner.datasets():
+        results = runner.compare(dataset)
+        ditile_energy = results["DiTile-DGNN"].energy_joules
+        control_fractions.append(results["DiTile-DGNN"].energy.control_fraction())
+        for name in [*BASELINE_ORDER, "DiTile-DGNN"]:
+            r = results[name]
+            normalized = r.energy_joules / ditile_energy
+            breakdown = r.energy
+            rows.append(
+                [
+                    _abbrev(dataset),
+                    name,
+                    round(normalized, 3),
+                    round(breakdown.computation / breakdown.total, 3),
+                    round(breakdown.off_chip / breakdown.total, 3),
+                    round(breakdown.on_chip / breakdown.total, 3),
+                    round(breakdown.control / breakdown.total, 3),
+                ]
+            )
+            if name != "DiTile-DGNN":
+                improvements[name].append(1.0 - 1.0 / normalized)
+    return FigureResult(
+        figure_id="Figure 12",
+        title="Normalized energy consumption breakdown (DiTile = 1.0)",
+        headers=["dataset", "accelerator", "normalized", "comp_frac",
+                 "offchip_frac", "onchip_frac", "control_frac"],
+        rows=rows,
+        notes=[
+            "DiTile average energy improvement vs "
+            + ", ".join(
+                f"{name}: {100 * float(np.mean(vals)):.1f}%"
+                for name, vals in improvements.items()
+            ),
+            f"DiTile control+configuration fraction: "
+            f"{100 * float(np.mean(control_fractions)):.2f}% (paper: <7%)",
+        ],
+        paper_values={"vs ReaDy": "83.4%", "vs DGNN-Booster": "84.0%",
+                      "vs RACE": "75.6%", "vs MEGA": "71.4%"},
+    )
+
+
+# ---------------------------------------------------------------------------
+# Figure 13 — dissimilarity sensitivity
+# ---------------------------------------------------------------------------
+def figure13(
+    config: ExperimentConfig = ExperimentConfig(),
+    dataset: str = "Wikipedia",
+    bands: Optional[List[float]] = None,
+) -> FigureResult:
+    """Fig. 13: baseline execution time normalized to DiTile as the
+    snapshot dissimilarity grows (0-5%, 5-10%, 10-15%)."""
+    runner = ExperimentRunner(config)
+    bands = bands if bands is not None else [0.025, 0.075, 0.125]
+    labels = ["0-5%", "5-10%", "10-15%"]
+    rows = []
+    band_avgs = []
+    for label, dis in zip(labels, bands):
+        results = runner.compare(dataset, dissimilarity=dis)
+        ditile_cycles = results["DiTile-DGNN"].execution_cycles
+        normalized = {
+            name: results[name].execution_cycles / ditile_cycles
+            for name in BASELINE_ORDER
+        }
+        avg = float(np.mean(list(normalized.values())))
+        band_avgs.append(avg)
+        rows.append(
+            [label]
+            + [round(normalized[name], 3) for name in BASELINE_ORDER]
+            + [round(avg, 3)]
+        )
+    return FigureResult(
+        figure_id="Figure 13",
+        title=f"Sensitivity to snapshot dissimilarity on {dataset} "
+              "(execution time normalized to DiTile)",
+        headers=["dissimilarity", *BASELINE_ORDER, "average"],
+        rows=rows,
+        paper_values={"0-5%": "x2.92 avg", "5-10%": "x1.72 avg",
+                      "10-15%": "x1.51 avg"},
+        notes=[
+            "DiTile's advantage shrinks as dissimilarity grows (less reuse) "
+            "but persists across the whole band",
+        ] if band_avgs[0] > band_avgs[-1] else [
+            "WARNING: expected decreasing advantage with dissimilarity"
+        ],
+    )
+
+
+# ---------------------------------------------------------------------------
+# Figure 14 — area
+# ---------------------------------------------------------------------------
+def figure14(hardware: Optional[HardwareConfig] = None) -> FigureResult:
+    """Fig. 14: area breakdown at chip, tile, and PE level."""
+    config = hardware if hardware is not None else HardwareConfig.small()
+    report = AreaModel().report(config)
+    rows = []
+    for level, breakdown, total in [
+        ("chip", report.chip_breakdown(), report.chip_mm2),
+        ("tile", report.tile_breakdown(), report.tile_mm2),
+        ("pe", report.pe_breakdown(), report.pe_mm2),
+    ]:
+        for component, pct in breakdown.items():
+            rows.append([level, component, round(pct, 1), round(total, 3)])
+    return FigureResult(
+        figure_id="Figure 14",
+        title="Area breakdown (percent of level total)",
+        headers=["level", "component", "percent", "level_total_mm2"],
+        rows=rows,
+        paper_values={
+            "chip": "tiles 77.8 / buffer 15.7 / NoC 5.6 / logic 0.9",
+            "tile": "PE 60.5 / dist-buf 28.4 / FIFO 8.1 / mesh 2.3 / ctrl 0.7",
+            "pe": "MAC 59.4 / local-buf 23.8 / ctrl 2.0",
+        },
+    )
+
+
+ALL_FIGURES = {
+    "table1": table1,
+    "figure7": figure7,
+    "figure8": figure8,
+    "figure9": figure9,
+    "figure10": figure10,
+    "figure11a": figure11a,
+    "figure11b": figure11b,
+    "figure12": figure12,
+    "figure13": figure13,
+    "figure14": lambda config=None: figure14(),
+}

@@ -1,0 +1,67 @@
+"""Energy/performance Pareto analysis across design points.
+
+Plots (as data) every accelerator and DiTile ablation variant in the
+(execution time, energy) plane and reports which points are
+Pareto-optimal — the standard lens for architecture comparisons, and a
+direct check of the paper's claim that DiTile wins on *both* axes at once.
+"""
+
+from __future__ import annotations
+
+from typing import List, Tuple
+
+from .ablation import run_ablation
+from .report import FigureResult
+from .runner import ExperimentConfig, ExperimentRunner
+
+__all__ = ["pareto_frontier", "design_points"]
+
+
+def pareto_frontier(points: List[Tuple[str, float, float]]) -> List[str]:
+    """Names of the non-dominated points (minimize both coordinates)."""
+    optimal = []
+    for name, x, y in points:
+        dominated = any(
+            (ox <= x and oy <= y) and (ox < x or oy < y)
+            for other, ox, oy in points
+            if other != name
+        )
+        if not dominated:
+            optimal.append(name)
+    return optimal
+
+
+def design_points(
+    config: ExperimentConfig = ExperimentConfig(),
+    dataset: str = "Wikipedia",
+    include_ablations: bool = True,
+) -> FigureResult:
+    """All design points in the (cycles, joules) plane, Pareto-flagged."""
+    runner = ExperimentRunner(config)
+    results = dict(runner.compare(dataset))
+    if include_ablations:
+        graph = runner.graph(dataset)
+        spec = runner.spec(dataset)
+        for name, result in run_ablation(graph, spec, runner.hardware).items():
+            if name != "DiTile-DGNN":  # already present from compare()
+                results[name] = result
+    points = [
+        (name, r.execution_cycles, r.energy_joules)
+        for name, r in results.items()
+    ]
+    optimal = set(pareto_frontier(points))
+    rows = [
+        [
+            name,
+            round(cycles, 1),
+            round(1e3 * energy, 4),
+            "yes" if name in optimal else "",
+        ]
+        for name, cycles, energy in sorted(points, key=lambda p: p[1])
+    ]
+    return FigureResult(
+        figure_id="Pareto",
+        title=f"Time/energy design points on {dataset}",
+        headers=["design", "cycles", "energy_mJ", "pareto_optimal"],
+        rows=rows,
+    )

@@ -1,0 +1,62 @@
+"""Text-table reporting for figure reproductions."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional, Sequence
+
+__all__ = ["FigureResult", "format_table"]
+
+
+def format_table(headers: Sequence[str], rows: Sequence[Sequence], indent: str = "  ") -> str:
+    """Render rows as an aligned monospace table."""
+    cells = [[str(h) for h in headers]] + [[_fmt(c) for c in row] for row in rows]
+    widths = [max(len(row[i]) for row in cells) for i in range(len(headers))]
+    lines = []
+    for r, row in enumerate(cells):
+        line = indent + "  ".join(cell.ljust(widths[i]) for i, cell in enumerate(row))
+        lines.append(line.rstrip())
+        if r == 0:
+            lines.append(indent + "  ".join("-" * w for w in widths))
+    return "\n".join(lines)
+
+
+def _fmt(value) -> str:
+    if isinstance(value, float):
+        if value == 0:
+            return "0"
+        if abs(value) >= 1e5 or abs(value) < 1e-3:
+            return f"{value:.3e}"
+        return f"{value:.3f}"
+    return str(value)
+
+
+@dataclass
+class FigureResult:
+    """One reproduced table/figure: data plus provenance notes."""
+
+    figure_id: str
+    title: str
+    headers: List[str]
+    rows: List[List]
+    notes: List[str] = field(default_factory=list)
+    paper_values: Optional[dict] = None
+
+    def to_text(self) -> str:
+        """Full printable report block."""
+        lines = [f"=== {self.figure_id}: {self.title} ==="]
+        lines.append(format_table(self.headers, self.rows))
+        if self.paper_values:
+            lines.append("  paper reports: " + ", ".join(
+                f"{k}={v}" for k, v in self.paper_values.items()
+            ))
+        for note in self.notes:
+            lines.append(f"  note: {note}")
+        return "\n".join(lines)
+
+    def row_dict(self, key_column: int = 0) -> dict:
+        """Rows keyed by one column (for tests)."""
+        return {row[key_column]: row for row in self.rows}
+
+    def __str__(self) -> str:
+        return self.to_text()

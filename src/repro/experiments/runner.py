@@ -1,0 +1,139 @@
+"""Experiment runner: datasets x accelerators sweeps with caching.
+
+Every figure reproduction goes through here.  Datasets are synthesized at a
+configurable ``scale`` (default 1/16 — matching the ratio between the
+4 MB distributed buffer of the default 4x4 array and the 64 MB of the
+paper's 16x16 array, so tiling pressure per dataset matches the paper;
+see EXPERIMENTS.md).  Graphs are cached per configuration because the
+largest ones take seconds to synthesize.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional
+
+from ..accel.config import HardwareConfig
+from ..accel.metrics import SimulationResult
+from ..baselines import (
+    DGNNBoosterAccelerator,
+    MEGAAccelerator,
+    RACEAccelerator,
+    ReaDyAccelerator,
+)
+from ..baselines.base import AcceleratorModel
+from ..core.plan import DGNNSpec
+from ..ditile import DiTileAccelerator
+from ..graphs.datasets import dataset_names, dataset_profile, load_dataset
+from ..graphs.dynamic import DynamicGraph
+
+__all__ = ["ExperimentConfig", "ExperimentRunner", "BASELINE_ORDER"]
+
+BASELINE_ORDER = ["ReaDy", "DGNN-Booster", "RACE", "MEGA"]
+
+_GRAPH_CACHE: Dict[tuple, DynamicGraph] = {}
+
+
+@dataclass(frozen=True)
+class ExperimentConfig:
+    """Shared knobs of a reproduction run."""
+
+    scale: float = 0.0625
+    seed: int = 7
+    snapshots: Optional[int] = None
+    dissimilarity: Optional[float] = None
+    gnn_hidden_dim: int = 64
+    # The two largest graphs get an extra shrink so full sweeps stay
+    # laptop-friendly; EXPERIMENTS.md records the effective scales.
+    large_dataset_shrink: float = 0.2
+    large_datasets: tuple = ("Mobile", "Flicker")
+
+    def dataset_scale(self, name: str) -> float:
+        """Effective synthesis scale for ``name``."""
+        canonical = dataset_profile(name).name
+        if canonical in self.large_datasets:
+            return self.scale * self.large_dataset_shrink
+        return self.scale
+
+
+class ExperimentRunner:
+    """Builds workloads and accelerator models, runs sweeps."""
+
+    def __init__(
+        self,
+        config: ExperimentConfig = ExperimentConfig(),
+        hardware: Optional[HardwareConfig] = None,
+    ):
+        self.config = config
+        self.hardware = hardware if hardware is not None else HardwareConfig.small()
+
+    # ------------------------------------------------------------------
+    # Workloads
+    # ------------------------------------------------------------------
+    def graph(self, dataset: str, dissimilarity: Optional[float] = None) -> DynamicGraph:
+        """The (cached) synthesized dynamic graph for ``dataset``."""
+        cfg = self.config
+        dis = dissimilarity if dissimilarity is not None else cfg.dissimilarity
+        key = (
+            dataset_profile(dataset).name,
+            cfg.dataset_scale(dataset),
+            cfg.seed,
+            cfg.snapshots,
+            dis,
+        )
+        if key not in _GRAPH_CACHE:
+            _GRAPH_CACHE[key] = load_dataset(
+                dataset,
+                scale=cfg.dataset_scale(dataset),
+                snapshots=cfg.snapshots,
+                dissimilarity=dis,
+                seed=cfg.seed,
+            )
+        return _GRAPH_CACHE[key]
+
+    def spec(self, dataset: str) -> DGNNSpec:
+        """The paper's classic DGCN (2-layer GCN + LSTM) for ``dataset``."""
+        profile = dataset_profile(dataset)
+        return DGNNSpec.classic(profile.feature_dim, self.config.gnn_hidden_dim)
+
+    def datasets(self) -> List[str]:
+        """All Table 1 datasets, in order."""
+        return dataset_names()
+
+    # ------------------------------------------------------------------
+    # Accelerators
+    # ------------------------------------------------------------------
+    def baselines(self) -> List[AcceleratorModel]:
+        """Fresh baseline models on the shared hardware budget."""
+        return [
+            ReaDyAccelerator(self.hardware),
+            DGNNBoosterAccelerator(self.hardware),
+            RACEAccelerator(self.hardware),
+            MEGAAccelerator(self.hardware),
+        ]
+
+    def ditile(self, **kwargs) -> DiTileAccelerator:
+        """A fresh DiTile model (kwargs forward to the constructor)."""
+        return DiTileAccelerator(self.hardware, **kwargs)
+
+    def all_accelerators(self) -> List[AcceleratorModel]:
+        """Baselines plus DiTile, in the paper's figure order."""
+        return [*self.baselines(), self.ditile()]
+
+    # ------------------------------------------------------------------
+    # Sweeps
+    # ------------------------------------------------------------------
+    def compare(
+        self, dataset: str, dissimilarity: Optional[float] = None
+    ) -> Dict[str, SimulationResult]:
+        """Simulate every accelerator on one dataset."""
+        graph = self.graph(dataset, dissimilarity)
+        spec = self.spec(dataset)
+        return {
+            model.name: model.simulate(graph, spec)
+            for model in self.all_accelerators()
+        }
+
+    def sweep(self) -> Dict[str, Dict[str, SimulationResult]]:
+        """Simulate every accelerator on every dataset."""
+        return {name: self.compare(name) for name in self.datasets()}

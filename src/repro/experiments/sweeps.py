@@ -1,0 +1,197 @@
+"""Parameter sweeps: hardware scaling and workload sensitivity grids.
+
+The paper's headline claims concern scalability ("large-scale DGNN
+execution"); these sweeps characterize how the reproduction behaves as the
+tile budget, buffer capacity, DRAM bandwidth, snapshot count, and
+dissimilarity move — the knobs an architect would actually turn.
+"""
+
+from __future__ import annotations
+
+from dataclasses import replace
+from typing import List, Optional, Sequence
+
+from ..accel.config import HardwareConfig
+from ..core.plan import DGNNSpec
+from ..ditile import DiTileAccelerator
+from ..graphs.dynamic import DynamicGraph
+from .report import FigureResult
+
+__all__ = [
+    "tile_scaling_sweep",
+    "buffer_scaling_sweep",
+    "bandwidth_scaling_sweep",
+    "snapshot_count_sweep",
+    "gnn_depth_sweep",
+]
+
+
+def _simulate(graph: DynamicGraph, spec: DGNNSpec, hardware: HardwareConfig):
+    model = DiTileAccelerator(hardware)
+    plan = model.plan(graph, spec)
+    result = model.simulate(graph, spec)
+    return plan, result
+
+
+def tile_scaling_sweep(
+    graph: DynamicGraph,
+    spec: DGNNSpec,
+    sides: Sequence[int] = (2, 4, 8),
+) -> FigureResult:
+    """Execution vs tile-array side length (buffer scaled per tile)."""
+    rows = []
+    base_cycles: Optional[float] = None
+    for side in sides:
+        hardware = HardwareConfig(
+            grid_rows=side,
+            grid_cols=side,
+            distributed_buffer_bytes=side * side * 256 * 1024,
+        )
+        plan, result = _simulate(graph, spec, hardware)
+        if base_cycles is None:
+            base_cycles = result.execution_cycles
+        rows.append(
+            [
+                f"{side}x{side}",
+                side * side,
+                round(result.execution_cycles, 1),
+                round(base_cycles / result.execution_cycles, 3),
+                f"{plan.factors.snapshot_groups}x{plan.factors.vertex_groups}",
+                round(result.energy_joules * 1e3, 4),
+            ]
+        )
+    return FigureResult(
+        figure_id="Sweep: tiles",
+        title="Tile-array scaling",
+        headers=["grid", "tiles", "cycles", "speedup_vs_smallest",
+                 "chosen_mapping", "energy_mJ"],
+        rows=rows,
+    )
+
+
+def buffer_scaling_sweep(
+    graph: DynamicGraph,
+    spec: DGNNSpec,
+    capacities_kib: Sequence[int] = (256, 1024, 4096, 16384),
+) -> FigureResult:
+    """Tiling factor and DRAM traffic vs distributed-buffer capacity."""
+    rows = []
+    for capacity in capacities_kib:
+        hardware = replace(
+            HardwareConfig.small(), distributed_buffer_bytes=capacity * 1024
+        )
+        plan, result = _simulate(graph, spec, hardware)
+        rows.append(
+            [
+                capacity,
+                plan.tiling.alpha,
+                round(result.dram_bytes / 2**20, 3),
+                round(result.execution_cycles, 1),
+            ]
+        )
+    alphas = [row[1] for row in rows]
+    return FigureResult(
+        figure_id="Sweep: buffer",
+        title="Distributed-buffer capacity scaling",
+        headers=["buffer_KiB", "alpha", "dram_MB", "cycles"],
+        rows=rows,
+        notes=[
+            "larger buffers need less tiling (alpha non-increasing: "
+            f"{alphas})"
+        ],
+    )
+
+
+def bandwidth_scaling_sweep(
+    graph: DynamicGraph,
+    spec: DGNNSpec,
+    bandwidths: Sequence[float] = (16.0, 64.0, 256.0),
+) -> FigureResult:
+    """Execution time vs off-chip bandwidth (memory-boundedness probe)."""
+    rows = []
+    for bandwidth in bandwidths:
+        base = HardwareConfig.small()
+        hardware = replace(
+            base, dram=replace(base.dram, bandwidth_bytes_per_cycle=bandwidth)
+        )
+        _, result = _simulate(graph, spec, hardware)
+        rows.append(
+            [
+                bandwidth,
+                round(result.execution_cycles, 1),
+                round(result.cycles.off_chip / result.cycles.total, 3),
+            ]
+        )
+    return FigureResult(
+        figure_id="Sweep: bandwidth",
+        title="Off-chip bandwidth scaling",
+        headers=["bytes_per_cycle", "cycles", "offchip_share"],
+        rows=rows,
+    )
+
+
+def snapshot_count_sweep(
+    graphs: List[DynamicGraph],
+    spec: DGNNSpec,
+) -> FigureResult:
+    """Chosen mapping and cost vs snapshot count ``T``.
+
+    Pass graphs of the same scale with different ``T`` (e.g. from
+    ``load_dataset(..., snapshots=T)``).
+    """
+    rows = []
+    for graph in graphs:
+        model = DiTileAccelerator()
+        plan = model.plan(graph, spec)
+        result = model.simulate(graph, spec)
+        rows.append(
+            [
+                graph.num_snapshots,
+                f"{plan.factors.snapshot_groups}x{plan.factors.vertex_groups}",
+                round(result.execution_cycles, 1),
+                round(result.execution_cycles / graph.num_snapshots, 1),
+            ]
+        )
+    return FigureResult(
+        figure_id="Sweep: snapshots",
+        title="Snapshot-count scaling",
+        headers=["T", "chosen_mapping", "cycles", "cycles_per_snapshot"],
+        rows=rows,
+    )
+
+
+def gnn_depth_sweep(
+    graph: DynamicGraph,
+    feature_dim: int,
+    hidden_dim: int = 64,
+    depths: Sequence[int] = (1, 2, 3),
+) -> FigureResult:
+    """Cost vs GCN depth ``L``.
+
+    Deeper GNNs widen the invalidation frontier (Eq. 17's receptive
+    fields), so both the workload and the reuse opportunity shift with
+    ``L``.
+    """
+    rows = []
+    for depth in depths:
+        spec = DGNNSpec(
+            gcn_dims=(feature_dim, *([hidden_dim] * depth)),
+            rnn_hidden_dim=hidden_dim,
+        )
+        model = DiTileAccelerator()
+        plan = model.plan(graph, spec)
+        result = model.simulate(graph, spec)
+        rows.append(
+            [
+                depth,
+                round(result.total_macs, 1),
+                round(result.execution_cycles, 1),
+                f"{plan.factors.snapshot_groups}x{plan.factors.vertex_groups}",
+            ]
+        )
+    return FigureResult(
+        figure_id="Sweep: depth",
+        title="GCN depth scaling",
+        headers=["L", "macs", "cycles", "chosen_mapping"],
+        rows=rows,
+    )

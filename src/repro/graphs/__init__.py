@@ -1,0 +1,87 @@
+"""Dynamic-graph substrate: snapshots, deltas, generators, datasets."""
+
+from .snapshot import GraphSnapshot
+from .dynamic import DynamicGraph, DynamicGraphStats
+from .delta import (
+    AdditionOnlyStep,
+    SnapshotDelta,
+    addition_only_schedule,
+    common_core,
+    snapshot_delta,
+)
+from .generators import (
+    evolve_snapshot,
+    generate_dynamic_graph,
+    powerlaw_snapshot,
+    random_features,
+)
+from .datasets import (
+    DATASET_ALIASES,
+    DatasetProfile,
+    TABLE1_DATASETS,
+    dataset_names,
+    dataset_profile,
+    load_dataset,
+)
+from .continuous import ContinuousDynamicGraph, EdgeEvent
+from .io import load_dynamic_graph, load_edge_stream, save_dynamic_graph
+from .metrics import (
+    StructureMetrics,
+    hill_tail_exponent,
+    snapshot_metrics,
+    temporal_overlap,
+)
+from .validate import (
+    GraphValidationError,
+    validate_dynamic_graph,
+    validate_snapshot,
+)
+from .partition import (
+    VertexPartition,
+    bfs_partition,
+    contiguous_vertex_partition,
+    edge_cut,
+    partition_loads,
+    round_robin_partition,
+    snapshot_assignment,
+)
+
+__all__ = [
+    "GraphSnapshot",
+    "DynamicGraph",
+    "DynamicGraphStats",
+    "SnapshotDelta",
+    "AdditionOnlyStep",
+    "snapshot_delta",
+    "common_core",
+    "addition_only_schedule",
+    "powerlaw_snapshot",
+    "evolve_snapshot",
+    "generate_dynamic_graph",
+    "random_features",
+    "DatasetProfile",
+    "TABLE1_DATASETS",
+    "DATASET_ALIASES",
+    "dataset_profile",
+    "dataset_names",
+    "load_dataset",
+    "ContinuousDynamicGraph",
+    "EdgeEvent",
+    "save_dynamic_graph",
+    "load_dynamic_graph",
+    "load_edge_stream",
+    "StructureMetrics",
+    "snapshot_metrics",
+    "hill_tail_exponent",
+    "temporal_overlap",
+    "GraphValidationError",
+    "validate_snapshot",
+    "validate_dynamic_graph",
+    "VertexPartition",
+    "bfs_partition",
+    "contiguous_vertex_partition",
+    "round_robin_partition",
+    "snapshot_assignment",
+    "edge_cut",
+    "partition_loads",
+]

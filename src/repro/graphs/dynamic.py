@@ -1,0 +1,193 @@
+"""Discrete-time dynamic graph: a sequence of snapshots (paper Eq. 1).
+
+``DG = {G^1, G^2, ..., G^T}``.  On top of the raw snapshot sequence this
+module provides the similarity analysis the paper's redundancy-free machinery
+depends on: which vertices changed between consecutive snapshots, the
+dissimilarity rate ``Dis`` (paper §4.2, Eq. 14), and the L-hop *affected*
+sets that bound how far a change propagates through an L-layer GNN.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator, List, Sequence
+
+import numpy as np
+
+from .snapshot import GraphSnapshot
+
+__all__ = ["DynamicGraph", "DynamicGraphStats"]
+
+
+@dataclass(frozen=True)
+class DynamicGraphStats:
+    """Aggregate statistics of a dynamic graph, used by the analytic models."""
+
+    num_snapshots: int
+    num_vertices: List[int]
+    num_edges: List[int]
+    feature_dim: int
+    avg_vertices: float
+    avg_edges: float
+    avg_dissimilarity: float
+    dissimilarity: List[float]
+
+    def summary(self) -> str:
+        """One-line human-readable summary."""
+        return (
+            f"T={self.num_snapshots} V~{self.avg_vertices:.0f} "
+            f"E~{self.avg_edges:.0f} F={self.feature_dim} "
+            f"Dis~{self.avg_dissimilarity:.3f}"
+        )
+
+
+class DynamicGraph:
+    """A sequence of :class:`GraphSnapshot` sharing one vertex id space.
+
+    All snapshots must agree on ``feature_dim``.  Vertex counts may differ
+    between snapshots (vertices may be added over time); vertex ids are
+    stable, i.e. vertex ``v`` denotes the same entity in every snapshot that
+    contains it.
+    """
+
+    def __init__(self, snapshots: Sequence[GraphSnapshot], name: str = "dynamic-graph"):
+        snapshots = list(snapshots)
+        if not snapshots:
+            raise ValueError("a dynamic graph needs at least one snapshot")
+        feature_dims = {s.feature_dim for s in snapshots}
+        if len(feature_dims) != 1:
+            raise ValueError(f"snapshots disagree on feature_dim: {feature_dims}")
+        self.snapshots: List[GraphSnapshot] = [
+            GraphSnapshot(
+                s.num_vertices, s.indptr, s.indices, s.feature_dim, t, s.features
+            )
+            for t, s in enumerate(snapshots)
+        ]
+        self.name = name
+        self._changed_cache: dict = {}
+
+    # ------------------------------------------------------------------
+    # Basic container protocol
+    # ------------------------------------------------------------------
+    def __len__(self) -> int:
+        return len(self.snapshots)
+
+    def __getitem__(self, t: int) -> GraphSnapshot:
+        return self.snapshots[t]
+
+    def __iter__(self) -> Iterator[GraphSnapshot]:
+        return iter(self.snapshots)
+
+    @property
+    def num_snapshots(self) -> int:
+        """``T`` in the paper's notation."""
+        return len(self.snapshots)
+
+    @property
+    def feature_dim(self) -> int:
+        """Input feature width, constant across snapshots."""
+        return self.snapshots[0].feature_dim
+
+    @property
+    def max_vertices(self) -> int:
+        """Largest vertex count over all snapshots."""
+        return max(s.num_vertices for s in self.snapshots)
+
+    # ------------------------------------------------------------------
+    # Change / similarity analysis
+    # ------------------------------------------------------------------
+    def changed_vertices(self, t: int) -> np.ndarray:
+        """Vertices whose in-neighbour row differs between ``t-1`` and ``t``.
+
+        For ``t == 0`` every vertex counts as changed (everything must be
+        computed for the first snapshot).  A vertex also counts as changed
+        when it exists in only one of the two snapshots, or when its input
+        features changed (for feature-carrying graphs).
+        """
+        if t in self._changed_cache:
+            return self._changed_cache[t]
+        if t == 0:
+            result = np.arange(self.snapshots[0].num_vertices, dtype=np.int64)
+            self._changed_cache[t] = result
+            return result
+        prev, cur = self.snapshots[t - 1], self.snapshots[t]
+        common = min(prev.num_vertices, cur.num_vertices)
+        prev_keys = prev.row_keys()[:common]
+        cur_keys = cur.row_keys()[:common]
+        changed_mask = prev_keys != cur_keys
+        if prev.features is not None and cur.features is not None:
+            feature_diff = np.any(
+                prev.features[:common] != cur.features[:common], axis=1
+            )
+            changed_mask = changed_mask | feature_diff
+        changed = np.flatnonzero(changed_mask).astype(np.int64)
+        if cur.num_vertices > common:
+            changed = np.concatenate(
+                [changed, np.arange(common, cur.num_vertices, dtype=np.int64)]
+            )
+        self._changed_cache[t] = changed
+        return changed
+
+    def dissimilarity(self, t: int) -> float:
+        """Fraction of snapshot ``t`` vertices changed since ``t-1`` (``Dis_t``)."""
+        cur = self.snapshots[t]
+        if cur.num_vertices == 0:
+            return 0.0
+        if t == 0:
+            return 1.0
+        return len(self.changed_vertices(t)) / cur.num_vertices
+
+    def avg_dissimilarity(self) -> float:
+        """Average ``Dis`` over snapshot transitions (excluding the first)."""
+        if self.num_snapshots <= 1:
+            return 0.0
+        return float(
+            np.mean([self.dissimilarity(t) for t in range(1, self.num_snapshots)])
+        )
+
+    def affected_vertices(self, t: int, layers: int) -> np.ndarray:
+        """Vertices whose layer-``layers`` GNN output may change at ``t``.
+
+        A changed vertex invalidates the outputs of every vertex within
+        ``layers`` hops *downstream* of it (along out-edges), because an
+        L-layer GNN reads the L-hop in-neighbourhood.
+        """
+        seeds = self.changed_vertices(t)
+        return self.snapshots[t].k_hop_affected(seeds, layers)
+
+    def affected_fraction(self, t: int, layers: int) -> float:
+        """``len(affected_vertices) / V_t``."""
+        cur = self.snapshots[t]
+        if cur.num_vertices == 0:
+            return 0.0
+        return len(self.affected_vertices(t, layers)) / cur.num_vertices
+
+    # ------------------------------------------------------------------
+    # Stats
+    # ------------------------------------------------------------------
+    def stats(self) -> DynamicGraphStats:
+        """Aggregate statistics consumed by the analytic cost models."""
+        num_vertices = [s.num_vertices for s in self.snapshots]
+        num_edges = [s.num_edges for s in self.snapshots]
+        dis = [self.dissimilarity(t) for t in range(1, self.num_snapshots)]
+        return DynamicGraphStats(
+            num_snapshots=self.num_snapshots,
+            num_vertices=num_vertices,
+            num_edges=num_edges,
+            feature_dim=self.feature_dim,
+            avg_vertices=float(np.mean(num_vertices)),
+            avg_edges=float(np.mean(num_edges)),
+            avg_dissimilarity=float(np.mean(dis)) if dis else 0.0,
+            dissimilarity=dis,
+        )
+
+    def subrange(self, start: int, stop: int) -> "DynamicGraph":
+        """A new dynamic graph over snapshots ``start..stop-1``."""
+        if not (0 <= start < stop <= self.num_snapshots):
+            raise ValueError(f"invalid snapshot range [{start}, {stop})")
+        return DynamicGraph(
+            self.snapshots[start:stop], name=f"{self.name}[{start}:{stop}]"
+        )
+
+    def __repr__(self) -> str:
+        return f"DynamicGraph({self.name!r}, T={self.num_snapshots})"

@@ -1,0 +1,92 @@
+"""Graph-structure metrics used to characterize synthesized workloads.
+
+The analytic models depend on structural properties — degree skew,
+density, temporal overlap — so these estimators let tests and experiments
+verify that synthesized graphs actually exhibit them.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from .dynamic import DynamicGraph
+from .snapshot import GraphSnapshot
+
+__all__ = ["StructureMetrics", "snapshot_metrics", "hill_tail_exponent",
+           "temporal_overlap"]
+
+
+@dataclass(frozen=True)
+class StructureMetrics:
+    """Summary structure statistics of one snapshot."""
+
+    num_vertices: int
+    num_edges: int
+    avg_in_degree: float
+    max_in_degree: int
+    degree_cv: float  # coefficient of variation (skew proxy)
+    tail_exponent: float  # Hill estimator over the top decile
+    isolated_fraction: float
+
+
+def hill_tail_exponent(degrees: np.ndarray, tail_fraction: float = 0.1) -> float:
+    """Hill estimator of the degree-distribution tail exponent.
+
+    Returns the estimated power-law alpha of the upper ``tail_fraction``
+    of the (positive) degree distribution; ``inf`` when the tail is too
+    small to estimate.
+    """
+    if not 0 < tail_fraction <= 1:
+        raise ValueError("tail_fraction must be in (0, 1]")
+    positive = np.sort(degrees[degrees > 0])[::-1]
+    k = max(int(len(positive) * tail_fraction), 2)
+    if len(positive) < k + 1:
+        return float("inf")
+    tail = positive[:k].astype(np.float64)
+    reference = float(positive[k])
+    if reference <= 0:
+        return float("inf")
+    logs = np.log(tail / reference)
+    mean_log = logs.mean()
+    if mean_log <= 0:
+        return float("inf")
+    return 1.0 + 1.0 / mean_log
+
+
+def snapshot_metrics(snapshot: GraphSnapshot) -> StructureMetrics:
+    """Structure statistics of one snapshot."""
+    degrees = snapshot.in_degree()
+    mean = degrees.mean() if snapshot.num_vertices else 0.0
+    std = degrees.std() if snapshot.num_vertices else 0.0
+    return StructureMetrics(
+        num_vertices=snapshot.num_vertices,
+        num_edges=snapshot.num_edges,
+        avg_in_degree=float(mean),
+        max_in_degree=int(degrees.max()) if len(degrees) else 0,
+        degree_cv=float(std / mean) if mean > 0 else 0.0,
+        tail_exponent=hill_tail_exponent(degrees),
+        isolated_fraction=(
+            float(np.mean((degrees == 0) & (snapshot.out_degree() == 0)))
+            if snapshot.num_vertices
+            else 0.0
+        ),
+    )
+
+
+def temporal_overlap(graph: DynamicGraph, t: int) -> float:
+    """Edge-set Jaccard overlap between snapshots ``t-1`` and ``t``.
+
+    The §3.1 temporal-similarity property: real dynamic graphs keep
+    86.7%-95.9% of vertices unchanged; at the edge level this shows up as
+    a high Jaccard index between consecutive snapshots.
+    """
+    if t <= 0 or t >= graph.num_snapshots:
+        raise ValueError("t must index a transition (1 <= t < T)")
+    previous = graph[t - 1].edge_set()
+    current = graph[t].edge_set()
+    union = previous | current
+    if not union:
+        return 1.0
+    return len(previous & current) / len(union)

@@ -1,0 +1,89 @@
+"""Structural validation of graphs and dynamic graphs.
+
+Deep invariant checks for data imported from external sources (edge
+streams, .npz archives) or produced by custom generators: CSR consistency,
+sorted duplicate-free rows, id-space bounds, feature alignment, and
+cross-snapshot sanity.  Raises :class:`GraphValidationError` with the full
+list of violations rather than stopping at the first.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+import numpy as np
+
+from .dynamic import DynamicGraph
+from .snapshot import GraphSnapshot
+
+__all__ = ["GraphValidationError", "validate_snapshot", "validate_dynamic_graph"]
+
+
+class GraphValidationError(ValueError):
+    """Raised with every violated invariant listed in ``problems``."""
+
+    def __init__(self, problems: List[str]):
+        self.problems = problems
+        super().__init__("; ".join(problems))
+
+
+def _snapshot_problems(snapshot: GraphSnapshot, label: str = "snapshot") -> List[str]:
+    problems = []
+    indptr, indices = snapshot.indptr, snapshot.indices
+    n = snapshot.num_vertices
+    if indptr.shape != (n + 1,):
+        problems.append(f"{label}: indptr shape {indptr.shape} != ({n + 1},)")
+        return problems  # everything else would be misleading
+    if indptr[0] != 0:
+        problems.append(f"{label}: indptr[0] = {indptr[0]} != 0")
+    if indptr[-1] != len(indices):
+        problems.append(
+            f"{label}: indptr[-1] = {indptr[-1]} != nnz {len(indices)}"
+        )
+    if np.any(np.diff(indptr) < 0):
+        problems.append(f"{label}: indptr not monotone")
+    if len(indices):
+        if indices.min() < 0 or indices.max() >= n:
+            problems.append(f"{label}: neighbour ids out of [0, {n})")
+        for v in range(n):
+            row = indices[indptr[v] : indptr[v + 1]]
+            if len(row) > 1 and np.any(np.diff(row) <= 0):
+                problems.append(
+                    f"{label}: row {v} not strictly sorted (duplicates?)"
+                )
+                break
+    features = snapshot.features
+    if features is not None:
+        if features.shape != (n, snapshot.feature_dim):
+            problems.append(
+                f"{label}: features shape {features.shape} != "
+                f"({n}, {snapshot.feature_dim})"
+            )
+        elif not np.all(np.isfinite(features)):
+            problems.append(f"{label}: features contain NaN/inf")
+    return problems
+
+
+def validate_snapshot(snapshot: GraphSnapshot) -> None:
+    """Check every snapshot invariant; raise on any violation."""
+    problems = _snapshot_problems(snapshot)
+    if problems:
+        raise GraphValidationError(problems)
+
+
+def validate_dynamic_graph(graph: DynamicGraph) -> None:
+    """Check every snapshot plus cross-snapshot invariants."""
+    problems = []
+    for t, snapshot in enumerate(graph):
+        problems.extend(_snapshot_problems(snapshot, label=f"snapshot {t}"))
+        if snapshot.feature_dim != graph.feature_dim:
+            problems.append(
+                f"snapshot {t}: feature_dim {snapshot.feature_dim} != "
+                f"graph feature_dim {graph.feature_dim}"
+            )
+        if snapshot.timestamp != t:
+            problems.append(
+                f"snapshot {t}: timestamp {snapshot.timestamp} != index {t}"
+            )
+    if problems:
+        raise GraphValidationError(problems)

@@ -1,0 +1,49 @@
+"""Numeric DGNN models: GCN kernel, RNN kernels, combined model, incremental engine."""
+
+from .gcn import GCNLayer, GCNModel, relu
+from .aggregate import gather_rows, mean_rows, normalized_rows, sum_rows
+from .variants import GINLayer, SAGELayer, create_gin_model, create_sage_model
+from .rnn import GRUCell, LSTMCell, RNNState, sigmoid
+from .dgnn import DGNNModel, DGNNOutputs
+from .evolvegcn import EvolveGCNModel, EvolveGCNOutputs
+from .incremental import IncrementalDGNN, IncrementalStats
+from .workload import (
+    KernelOps,
+    dynamic_vertex_workload,
+    gcn_ops,
+    gcn_ops_subset,
+    label_aggregation,
+    rnn_ops,
+    vertex_workload,
+)
+
+__all__ = [
+    "GCNLayer",
+    "GCNModel",
+    "relu",
+    "gather_rows",
+    "normalized_rows",
+    "mean_rows",
+    "sum_rows",
+    "SAGELayer",
+    "GINLayer",
+    "create_sage_model",
+    "create_gin_model",
+    "LSTMCell",
+    "GRUCell",
+    "RNNState",
+    "sigmoid",
+    "DGNNModel",
+    "DGNNOutputs",
+    "EvolveGCNModel",
+    "EvolveGCNOutputs",
+    "IncrementalDGNN",
+    "IncrementalStats",
+    "KernelOps",
+    "gcn_ops",
+    "gcn_ops_subset",
+    "rnn_ops",
+    "label_aggregation",
+    "vertex_workload",
+    "dynamic_vertex_workload",
+]

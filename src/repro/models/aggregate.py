@@ -1,0 +1,69 @@
+"""Row-subset aggregation primitives shared by the GNN layer variants.
+
+Each helper computes the aggregation phase for a *subset* of destination
+rows — the operation the redundancy-free incremental engine performs when
+only some rows are invalidated.  Passing all rows reproduces the full
+aggregation (property-tested).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..graphs.snapshot import GraphSnapshot
+
+__all__ = ["gather_rows", "normalized_rows", "mean_rows", "sum_rows"]
+
+
+def gather_rows(snapshot: GraphSnapshot, rows: np.ndarray):
+    """CSR gather for ``rows``: (concatenated neighbour ids, segment ids, lengths)."""
+    rows = np.asarray(rows, dtype=np.int64)
+    starts = snapshot.indptr[rows]
+    stops = snapshot.indptr[rows + 1]
+    lengths = stops - starts
+    if lengths.sum() == 0:
+        return np.empty(0, dtype=np.int64), np.empty(0, dtype=np.int64), lengths
+    gathered = np.concatenate(
+        [snapshot.indices[a:b] for a, b in zip(starts, stops)]
+    )
+    segments = np.repeat(np.arange(len(rows)), lengths)
+    return gathered, segments, lengths
+
+
+def normalized_rows(
+    snapshot: GraphSnapshot, x: np.ndarray, rows: np.ndarray
+) -> np.ndarray:
+    """GCN aggregation ``(D^-1/2 (A+I) D^-1/2 x)[rows]`` (paper Eq. 3)."""
+    rows = np.asarray(rows, dtype=np.int64)
+    degree = snapshot.in_degree().astype(np.float64) + 1.0  # self loops
+    inv_sqrt = 1.0 / np.sqrt(degree)
+    scaled = x * inv_sqrt[:, None]
+    out = scaled[rows].copy()  # self-loop contribution
+    gathered, segments, lengths = gather_rows(snapshot, rows)
+    if len(gathered):
+        np.add.at(out, segments, scaled[gathered])
+    return out * inv_sqrt[rows, None]
+
+
+def mean_rows(snapshot: GraphSnapshot, x: np.ndarray, rows: np.ndarray) -> np.ndarray:
+    """GraphSAGE mean aggregation over in-neighbours (self excluded).
+
+    Rows with no in-neighbours aggregate to zero.
+    """
+    rows = np.asarray(rows, dtype=np.int64)
+    out = np.zeros((len(rows), x.shape[1]))
+    gathered, segments, lengths = gather_rows(snapshot, rows)
+    if len(gathered):
+        np.add.at(out, segments, x[gathered])
+    divisor = np.maximum(lengths, 1).astype(np.float64)
+    return out / divisor[:, None]
+
+
+def sum_rows(snapshot: GraphSnapshot, x: np.ndarray, rows: np.ndarray) -> np.ndarray:
+    """GIN sum aggregation over in-neighbours (self handled by epsilon)."""
+    rows = np.asarray(rows, dtype=np.int64)
+    out = np.zeros((len(rows), x.shape[1]))
+    gathered, segments, _ = gather_rows(snapshot, rows)
+    if len(gathered):
+        np.add.at(out, segments, x[gathered])
+    return out

@@ -1,0 +1,151 @@
+"""Graph Convolutional Network kernel (paper Eq. 3).
+
+Each layer computes ``x_l = ReLU(\\hat{A} x_{l-1} W_l)`` where ``\\hat{A}``
+is the symmetric-normalized adjacency of the current snapshot.  The paper
+splits this into the *aggregation* phase (the ``\\hat{A} x`` product,
+edge-dominated) and the *combination* phase (the ``(.) W_l`` product,
+vertex-dominated) — a split the op-counting and communication models track
+separately.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Sequence
+
+import numpy as np
+
+from ..graphs.snapshot import GraphSnapshot
+
+__all__ = ["GCNLayer", "GCNModel", "relu"]
+
+
+def relu(x: np.ndarray) -> np.ndarray:
+    """Rectified linear unit."""
+    return np.maximum(x, 0.0)
+
+
+@dataclass
+class GCNLayer:
+    """One GCN layer: weight matrix plus optional bias and activation flag."""
+
+    weight: np.ndarray
+    bias: Optional[np.ndarray] = None
+    activation: bool = True
+
+    def __post_init__(self) -> None:
+        self.weight = np.asarray(self.weight, dtype=np.float64)
+        if self.weight.ndim != 2:
+            raise ValueError("weight must be a 2-D matrix")
+        if self.bias is not None:
+            self.bias = np.asarray(self.bias, dtype=np.float64)
+            if self.bias.shape != (self.weight.shape[1],):
+                raise ValueError("bias shape must match weight output dim")
+
+    @property
+    def in_dim(self) -> int:
+        """Input feature width."""
+        return self.weight.shape[0]
+
+    @property
+    def out_dim(self) -> int:
+        """Output feature width."""
+        return self.weight.shape[1]
+
+    def combine(self, aggregated: np.ndarray) -> np.ndarray:
+        """Combination phase: ``ReLU(aggregated @ W + b)``."""
+        out = aggregated @ self.weight
+        if self.bias is not None:
+            out = out + self.bias
+        return relu(out) if self.activation else out
+
+    def forward(self, snapshot: GraphSnapshot, x: np.ndarray) -> np.ndarray:
+        """Full layer: aggregation followed by combination."""
+        return self.combine(snapshot.aggregate(x))
+
+    def forward_rows(
+        self, snapshot: GraphSnapshot, x: np.ndarray, rows: np.ndarray
+    ) -> np.ndarray:
+        """Layer output for a subset of destination rows (incremental path)."""
+        from .aggregate import normalized_rows
+
+        return self.combine(normalized_rows(snapshot, x, rows))
+
+
+class GCNModel:
+    """A stack of GNN layers — the paper's GNN kernel.
+
+    The output of the last layer is ``z^t``, the per-vertex embedding fed
+    to the RNN kernel (paper Eq. 2).  Any layer implementing the protocol
+    (``in_dim``/``out_dim``/``forward``/``forward_rows``) composes here —
+    see :mod:`repro.models.variants` for GraphSAGE and GIN layers.
+    """
+
+    def __init__(self, layers: Sequence[GCNLayer]):
+        layers = list(layers)
+        if not layers:
+            raise ValueError("GCNModel needs at least one layer")
+        for prev, nxt in zip(layers, layers[1:]):
+            if prev.out_dim != nxt.in_dim:
+                raise ValueError(
+                    f"layer dims mismatch: {prev.out_dim} -> {nxt.in_dim}"
+                )
+        self.layers: List[GCNLayer] = layers
+
+    @classmethod
+    def create(
+        cls,
+        dims: Sequence[int],
+        seed: Optional[int] = None,
+        final_activation: bool = True,
+    ) -> "GCNModel":
+        """Random-initialized model with widths ``dims[0] -> ... -> dims[-1]``.
+
+        Weights use Glorot-style scaling so activations stay well-ranged in
+        the numeric tests.
+        """
+        if len(dims) < 2:
+            raise ValueError("dims needs an input and at least one output width")
+        rng = np.random.default_rng(seed)
+        layers = []
+        for i, (d_in, d_out) in enumerate(zip(dims, dims[1:])):
+            scale = np.sqrt(2.0 / (d_in + d_out))
+            weight = rng.standard_normal((d_in, d_out)) * scale
+            is_last = i == len(dims) - 2
+            layers.append(
+                GCNLayer(weight, activation=final_activation or not is_last)
+            )
+        return cls(layers)
+
+    @property
+    def num_layers(self) -> int:
+        """``L`` in the paper's notation."""
+        return len(self.layers)
+
+    @property
+    def in_dim(self) -> int:
+        """Input feature width of the first layer."""
+        return self.layers[0].in_dim
+
+    @property
+    def out_dim(self) -> int:
+        """Embedding width ``|z|`` of the last layer."""
+        return self.layers[-1].out_dim
+
+    def forward(self, snapshot: GraphSnapshot, x: np.ndarray) -> np.ndarray:
+        """Run all layers on one snapshot, returning ``z^t``."""
+        out = np.asarray(x, dtype=np.float64)
+        for layer in self.layers:
+            out = layer.forward(snapshot, out)
+        return out
+
+    def forward_all_layers(
+        self, snapshot: GraphSnapshot, x: np.ndarray
+    ) -> List[np.ndarray]:
+        """Per-layer outputs ``[x_1, ..., x_L]`` (used by the incremental engine)."""
+        outputs = []
+        out = np.asarray(x, dtype=np.float64)
+        for layer in self.layers:
+            out = layer.forward(snapshot, out)
+            outputs.append(out)
+        return outputs

@@ -1,0 +1,187 @@
+"""Recurrent kernels: LSTM (paper Eq. 4) and GRU.
+
+The RNN kernel consumes the GNN embedding ``z^t_v`` of every vertex and its
+previous hidden state ``h^{t-1}_v`` to produce ``h^t_v``.  The paper uses
+LSTM in evaluation and notes the design "can also be efficiently applied to
+other RNN variants, such as gated recurrent units (GRUs)" — both are
+implemented here behind a common interface.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+import numpy as np
+
+__all__ = ["RNNState", "LSTMCell", "GRUCell", "sigmoid"]
+
+
+def sigmoid(x: np.ndarray) -> np.ndarray:
+    """Numerically-stable logistic function."""
+    out = np.empty_like(x)
+    pos = x >= 0
+    out[pos] = 1.0 / (1.0 + np.exp(-x[pos]))
+    ex = np.exp(x[~pos])
+    out[~pos] = ex / (1.0 + ex)
+    return out
+
+
+@dataclass
+class RNNState:
+    """Per-vertex recurrent state: hidden ``h`` and (LSTM only) cell ``c``."""
+
+    hidden: np.ndarray
+    cell: Optional[np.ndarray] = None
+
+    def copy(self) -> "RNNState":
+        """Deep copy, for checkpointing in the incremental engine."""
+        return RNNState(
+            self.hidden.copy(), None if self.cell is None else self.cell.copy()
+        )
+
+
+@dataclass
+class LSTMCell:
+    """Long short-term memory cell over per-vertex rows (paper Eq. 4).
+
+    Eight weight matrices: four input projections ``W_i, W_f, W_o, W_c``
+    (applied to ``z^t``) and four hidden projections ``U_i, U_f, U_o, U_c``
+    (applied to ``h^{t-1}``).
+    """
+
+    w_input: np.ndarray  # (4, in_dim, hidden_dim): W_i, W_f, W_o, W_c
+    w_hidden: np.ndarray  # (4, hidden_dim, hidden_dim): U_i, U_f, U_o, U_c
+    bias: np.ndarray = field(default=None)  # type: ignore[assignment]
+
+    def __post_init__(self) -> None:
+        self.w_input = np.asarray(self.w_input, dtype=np.float64)
+        self.w_hidden = np.asarray(self.w_hidden, dtype=np.float64)
+        if self.w_input.ndim != 3 or self.w_input.shape[0] != 4:
+            raise ValueError("w_input must have shape (4, in_dim, hidden_dim)")
+        if self.w_hidden.shape != (4, self.hidden_dim, self.hidden_dim):
+            raise ValueError("w_hidden must have shape (4, hidden, hidden)")
+        if self.bias is None:
+            self.bias = np.zeros((4, self.hidden_dim))
+        self.bias = np.asarray(self.bias, dtype=np.float64)
+        if self.bias.shape != (4, self.hidden_dim):
+            raise ValueError("bias must have shape (4, hidden_dim)")
+
+    @classmethod
+    def create(
+        cls, in_dim: int, hidden_dim: int, seed: Optional[int] = None
+    ) -> "LSTMCell":
+        """Random-initialized cell with Glorot-style scaling."""
+        rng = np.random.default_rng(seed)
+        scale_in = np.sqrt(1.0 / (in_dim + hidden_dim))
+        scale_h = np.sqrt(1.0 / (2 * hidden_dim))
+        return cls(
+            w_input=rng.standard_normal((4, in_dim, hidden_dim)) * scale_in,
+            w_hidden=rng.standard_normal((4, hidden_dim, hidden_dim)) * scale_h,
+        )
+
+    @property
+    def in_dim(self) -> int:
+        """Input (GNN embedding) width."""
+        return self.w_input.shape[1]
+
+    @property
+    def hidden_dim(self) -> int:
+        """Hidden state width."""
+        return self.w_input.shape[2]
+
+    def initial_state(self, num_rows: int) -> RNNState:
+        """Zero hidden and cell state for ``num_rows`` vertices."""
+        return RNNState(
+            np.zeros((num_rows, self.hidden_dim)),
+            np.zeros((num_rows, self.hidden_dim)),
+        )
+
+    def step(self, z: np.ndarray, state: RNNState) -> RNNState:
+        """One timestep over all rows: ``(z^t, h^{t-1}, c^{t-1}) -> (h^t, c^t)``."""
+        z = np.asarray(z, dtype=np.float64)
+        h_prev, c_prev = state.hidden, state.cell
+        if c_prev is None:
+            raise ValueError("LSTM state requires a cell component")
+        gates = [
+            z @ self.w_input[k] + h_prev @ self.w_hidden[k] + self.bias[k]
+            for k in range(4)
+        ]
+        i_gate = sigmoid(gates[0])
+        f_gate = sigmoid(gates[1])
+        o_gate = sigmoid(gates[2])
+        c_tilde = np.tanh(gates[3])
+        c_new = f_gate * c_prev + i_gate * c_tilde
+        h_new = o_gate * np.tanh(c_new)
+        return RNNState(h_new, c_new)
+
+    def matmul_count(self) -> int:
+        """Matrix multiplications per step (eight for LSTM, per Eq. 4)."""
+        return 8
+
+
+@dataclass
+class GRUCell:
+    """Gated recurrent unit over per-vertex rows.
+
+    Six weight matrices: three input projections (update, reset, candidate)
+    and three hidden projections.
+    """
+
+    w_input: np.ndarray  # (3, in_dim, hidden_dim)
+    w_hidden: np.ndarray  # (3, hidden_dim, hidden_dim)
+    bias: np.ndarray = field(default=None)  # type: ignore[assignment]
+
+    def __post_init__(self) -> None:
+        self.w_input = np.asarray(self.w_input, dtype=np.float64)
+        self.w_hidden = np.asarray(self.w_hidden, dtype=np.float64)
+        if self.w_input.ndim != 3 or self.w_input.shape[0] != 3:
+            raise ValueError("w_input must have shape (3, in_dim, hidden_dim)")
+        if self.w_hidden.shape != (3, self.hidden_dim, self.hidden_dim):
+            raise ValueError("w_hidden must have shape (3, hidden, hidden)")
+        if self.bias is None:
+            self.bias = np.zeros((3, self.hidden_dim))
+        self.bias = np.asarray(self.bias, dtype=np.float64)
+
+    @classmethod
+    def create(
+        cls, in_dim: int, hidden_dim: int, seed: Optional[int] = None
+    ) -> "GRUCell":
+        """Random-initialized cell."""
+        rng = np.random.default_rng(seed)
+        scale_in = np.sqrt(1.0 / (in_dim + hidden_dim))
+        scale_h = np.sqrt(1.0 / (2 * hidden_dim))
+        return cls(
+            w_input=rng.standard_normal((3, in_dim, hidden_dim)) * scale_in,
+            w_hidden=rng.standard_normal((3, hidden_dim, hidden_dim)) * scale_h,
+        )
+
+    @property
+    def in_dim(self) -> int:
+        """Input (GNN embedding) width."""
+        return self.w_input.shape[1]
+
+    @property
+    def hidden_dim(self) -> int:
+        """Hidden state width."""
+        return self.w_input.shape[2]
+
+    def initial_state(self, num_rows: int) -> RNNState:
+        """Zero hidden state (GRU has no cell state)."""
+        return RNNState(np.zeros((num_rows, self.hidden_dim)), None)
+
+    def step(self, z: np.ndarray, state: RNNState) -> RNNState:
+        """One timestep over all rows."""
+        z = np.asarray(z, dtype=np.float64)
+        h_prev = state.hidden
+        update = sigmoid(z @ self.w_input[0] + h_prev @ self.w_hidden[0] + self.bias[0])
+        reset = sigmoid(z @ self.w_input[1] + h_prev @ self.w_hidden[1] + self.bias[1])
+        candidate = np.tanh(
+            z @ self.w_input[2] + (reset * h_prev) @ self.w_hidden[2] + self.bias[2]
+        )
+        h_new = (1.0 - update) * h_prev + update * candidate
+        return RNNState(h_new, None)
+
+    def matmul_count(self) -> int:
+        """Matrix multiplications per step (six for GRU)."""
+        return 6

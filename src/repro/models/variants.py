@@ -1,0 +1,154 @@
+"""GNN layer variants: GraphSAGE and GIN (paper §2.2).
+
+"While many GNN variants have been proposed such as GraphSAGE [17] and
+Graph Isomorphism Networks (GINs) [44], their key computations can be
+abstracted in the form of adjacency matrices."  Both variants implement
+the same layer protocol as :class:`~repro.models.gcn.GCNLayer`
+(``forward`` for full passes, ``forward_rows`` for the incremental
+engine), so they compose into :class:`~repro.models.gcn.GCNModel` stacks
+and :class:`~repro.models.dgnn.DGNNModel` unchanged.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Sequence
+
+import numpy as np
+
+from ..graphs.snapshot import GraphSnapshot
+from .aggregate import mean_rows, sum_rows
+from .gcn import GCNModel, relu
+
+__all__ = ["SAGELayer", "GINLayer", "create_sage_model", "create_gin_model"]
+
+
+@dataclass
+class SAGELayer:
+    """GraphSAGE layer with a mean aggregator.
+
+    ``out = ReLU(x W_self + mean(x[neighbours]) W_neigh)`` — the
+    concat-then-project formulation with the projection split into two
+    weight blocks.
+    """
+
+    w_self: np.ndarray
+    w_neigh: np.ndarray
+    activation: bool = True
+
+    def __post_init__(self) -> None:
+        self.w_self = np.asarray(self.w_self, dtype=np.float64)
+        self.w_neigh = np.asarray(self.w_neigh, dtype=np.float64)
+        if self.w_self.shape != self.w_neigh.shape:
+            raise ValueError("w_self and w_neigh must share a shape")
+        if self.w_self.ndim != 2:
+            raise ValueError("weights must be 2-D matrices")
+
+    @property
+    def in_dim(self) -> int:
+        """Input feature width."""
+        return self.w_self.shape[0]
+
+    @property
+    def out_dim(self) -> int:
+        """Output feature width."""
+        return self.w_self.shape[1]
+
+    def forward(self, snapshot: GraphSnapshot, x: np.ndarray) -> np.ndarray:
+        """Full layer pass."""
+        return self.forward_rows(snapshot, x, np.arange(snapshot.num_vertices))
+
+    def forward_rows(
+        self, snapshot: GraphSnapshot, x: np.ndarray, rows: np.ndarray
+    ) -> np.ndarray:
+        """Layer output for a subset of destination rows."""
+        aggregated = mean_rows(snapshot, x, rows)
+        out = x[rows] @ self.w_self + aggregated @ self.w_neigh
+        return relu(out) if self.activation else out
+
+
+@dataclass
+class GINLayer:
+    """Graph Isomorphism Network layer.
+
+    ``out = MLP((1 + eps) * x + sum(x[neighbours]))`` with a two-layer
+    ReLU MLP.
+    """
+
+    w1: np.ndarray
+    w2: np.ndarray
+    epsilon: float = 0.0
+    activation: bool = True
+
+    def __post_init__(self) -> None:
+        self.w1 = np.asarray(self.w1, dtype=np.float64)
+        self.w2 = np.asarray(self.w2, dtype=np.float64)
+        if self.w1.ndim != 2 or self.w2.ndim != 2:
+            raise ValueError("weights must be 2-D matrices")
+        if self.w1.shape[1] != self.w2.shape[0]:
+            raise ValueError("MLP widths must chain: w1 out == w2 in")
+
+    @property
+    def in_dim(self) -> int:
+        """Input feature width."""
+        return self.w1.shape[0]
+
+    @property
+    def out_dim(self) -> int:
+        """Output feature width."""
+        return self.w2.shape[1]
+
+    def forward(self, snapshot: GraphSnapshot, x: np.ndarray) -> np.ndarray:
+        """Full layer pass."""
+        return self.forward_rows(snapshot, x, np.arange(snapshot.num_vertices))
+
+    def forward_rows(
+        self, snapshot: GraphSnapshot, x: np.ndarray, rows: np.ndarray
+    ) -> np.ndarray:
+        """Layer output for a subset of destination rows."""
+        aggregated = sum_rows(snapshot, x, rows)
+        pre = (1.0 + self.epsilon) * x[rows] + aggregated
+        hidden = relu(pre @ self.w1)
+        out = hidden @ self.w2
+        return relu(out) if self.activation else out
+
+
+def _glorot(rng: np.random.Generator, d_in: int, d_out: int) -> np.ndarray:
+    scale = np.sqrt(2.0 / (d_in + d_out))
+    return rng.standard_normal((d_in, d_out)) * scale
+
+
+def create_sage_model(
+    dims: Sequence[int], seed: Optional[int] = None
+) -> GCNModel:
+    """A GraphSAGE stack with widths ``dims[0] -> ... -> dims[-1]``."""
+    if len(dims) < 2:
+        raise ValueError("dims needs an input and at least one output width")
+    rng = np.random.default_rng(seed)
+    layers = [
+        SAGELayer(_glorot(rng, d_in, d_out), _glorot(rng, d_in, d_out))
+        for d_in, d_out in zip(dims, dims[1:])
+    ]
+    return GCNModel(layers)
+
+
+def create_gin_model(
+    dims: Sequence[int],
+    epsilon: float = 0.1,
+    seed: Optional[int] = None,
+) -> GCNModel:
+    """A GIN stack with widths ``dims[0] -> ... -> dims[-1]``.
+
+    Each layer's internal MLP uses a hidden width equal to its output
+    width.
+    """
+    if len(dims) < 2:
+        raise ValueError("dims needs an input and at least one output width")
+    rng = np.random.default_rng(seed)
+    layers = [
+        GINLayer(
+            _glorot(rng, d_in, d_out), _glorot(rng, d_out, d_out), epsilon
+        )
+        for d_in, d_out in zip(dims, dims[1:])
+    ]
+    return GCNModel(layers)

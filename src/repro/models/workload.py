@@ -1,0 +1,160 @@
+"""Operation counting and the paper's vertex-workload model (Eq. 17).
+
+Two families of primitives live here:
+
+* **MAC/op counting** for the GNN and RNN kernels — the raw material of the
+  Fig. 7 arithmetic-operation comparison and of the simulator's compute-time
+  model.  Counts are in multiply-accumulate operations (one MAC = one
+  multiply + one add).
+
+* **Vertex workload estimation** (Eq. 17): the recursive receptive-field
+  size ``L^t_i = sum_{l=1..L} sum_{l'=1..l} N^{l'}(v)`` computed by the
+  paper's label-aggregation technique — every vertex starts with label 1,
+  labels propagate along edges and accumulate at destinations, one round per
+  GCN layer.  Label aggregation counts *walks*, exactly what the hardware
+  unit described in §5 accumulates.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+import numpy as np
+
+from ..graphs.dynamic import DynamicGraph
+from ..graphs.snapshot import GraphSnapshot
+
+__all__ = [
+    "KernelOps",
+    "gcn_ops",
+    "gcn_ops_subset",
+    "rnn_ops",
+    "label_aggregation",
+    "vertex_workload",
+    "dynamic_vertex_workload",
+]
+
+
+@dataclass(frozen=True)
+class KernelOps:
+    """MAC counts of one kernel invocation, split by phase."""
+
+    aggregation: int
+    combination: int
+
+    @property
+    def total(self) -> int:
+        """Aggregation + combination MACs."""
+        return self.aggregation + self.combination
+
+    def __add__(self, other: "KernelOps") -> "KernelOps":
+        return KernelOps(
+            self.aggregation + other.aggregation,
+            self.combination + other.combination,
+        )
+
+
+def gcn_ops(snapshot: GraphSnapshot, layer_dims: Sequence[int]) -> KernelOps:
+    """MACs of a full L-layer GCN pass over ``snapshot``.
+
+    ``layer_dims`` is ``[d_0, d_1, ..., d_L]``.  Aggregation moves
+    ``d_{l-1}``-wide rows across every edge (plus the self loop);
+    combination is a dense ``V x d_{l-1} x d_l`` product.
+    """
+    if len(layer_dims) < 2:
+        raise ValueError("layer_dims needs at least input and one output width")
+    v, e = snapshot.num_vertices, snapshot.num_edges
+    aggregation = 0
+    combination = 0
+    for d_in, d_out in zip(layer_dims, layer_dims[1:]):
+        aggregation += (e + v) * d_in  # +v for self loops
+        combination += v * d_in * d_out
+    return KernelOps(aggregation, combination)
+
+
+def gcn_ops_subset(
+    snapshot: GraphSnapshot,
+    layer_dims: Sequence[int],
+    rows_per_layer: Sequence[np.ndarray],
+) -> KernelOps:
+    """MACs of a GCN pass that recomputes only ``rows_per_layer[l]`` at layer ``l``.
+
+    This is the incremental-engine cost: aggregation touches only the
+    in-edges of recomputed rows, combination only those rows.
+    """
+    if len(rows_per_layer) != len(layer_dims) - 1:
+        raise ValueError("need one row subset per layer")
+    degrees = snapshot.in_degree()
+    aggregation = 0
+    combination = 0
+    for (d_in, d_out), rows in zip(
+        zip(layer_dims, layer_dims[1:]), rows_per_layer
+    ):
+        rows = np.asarray(rows, dtype=np.int64)
+        touched_edges = int(degrees[rows].sum()) + len(rows)  # +self loops
+        aggregation += touched_edges * d_in
+        combination += len(rows) * d_in * d_out
+    return KernelOps(aggregation, combination)
+
+
+def rnn_ops(
+    num_vertices: int, in_dim: int, hidden_dim: int, num_matmuls: int = 8
+) -> KernelOps:
+    """MACs of one recurrent step over ``num_vertices`` rows.
+
+    LSTM (Eq. 4) performs four input and four hidden matrix products
+    (``num_matmuls=8``); GRU performs six.  Element-wise gate work is folded
+    into the combination count (one MAC per element per gate).
+    """
+    input_projections = num_matmuls // 2
+    hidden_projections = num_matmuls - input_projections
+    matmul = num_vertices * (
+        input_projections * in_dim * hidden_dim
+        + hidden_projections * hidden_dim * hidden_dim
+    )
+    elementwise = num_vertices * hidden_dim * num_matmuls // 2
+    return KernelOps(aggregation=0, combination=matmul + elementwise)
+
+
+def label_aggregation(snapshot: GraphSnapshot, num_layers: int) -> np.ndarray:
+    """Per-layer propagated label counts, ``(num_layers, V)``.
+
+    Row ``l`` holds ``walks^{l+1}(v)``: the number of length-``l+1`` walks
+    terminating at ``v`` — what the paper's label-aggregation hardware
+    accumulates after ``l+1`` propagation rounds.
+    """
+    if num_layers < 1:
+        raise ValueError("num_layers must be >= 1")
+    v = snapshot.num_vertices
+    dst = np.repeat(np.arange(v), np.diff(snapshot.indptr))
+    labels = np.ones(v, dtype=np.float64)
+    rounds = np.zeros((num_layers, v), dtype=np.float64)
+    for l in range(num_layers):
+        propagated = np.zeros(v, dtype=np.float64)
+        np.add.at(propagated, dst, labels[snapshot.indices])
+        rounds[l] = propagated
+        labels = propagated
+    return rounds
+
+
+def vertex_workload(snapshot: GraphSnapshot, num_layers: int) -> np.ndarray:
+    """Eq. 17 workload ``L^t_v`` for every vertex of one snapshot.
+
+    ``L^t_v = sum_{l=1..L} sum_{l'=1..l} walks^{l'}(v)
+            = sum_{l'=1..L} (L - l' + 1) * walks^{l'}(v)``.
+    """
+    rounds = label_aggregation(snapshot, num_layers)
+    weights = np.arange(num_layers, 0, -1, dtype=np.float64)  # L, L-1, ..., 1
+    return weights @ rounds
+
+
+def dynamic_vertex_workload(graph: DynamicGraph, num_layers: int) -> np.ndarray:
+    """Eq. 17 summed over all snapshots: ``vload[v]`` of Algorithm 2.
+
+    Vertices missing from a snapshot contribute zero for that snapshot.
+    """
+    vload = np.zeros(graph.max_vertices, dtype=np.float64)
+    for snapshot in graph:
+        vload[: snapshot.num_vertices] += vertex_workload(snapshot, num_layers)
+    return vload

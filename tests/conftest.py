@@ -1,0 +1,77 @@
+"""Shared fixtures: small deterministic workloads and hardware configs."""
+
+import numpy as np
+import pytest
+
+from repro.accel.config import HardwareConfig
+from repro.core.plan import DGNNSpec
+from repro.graphs.dynamic import DynamicGraph
+from repro.graphs.generators import generate_dynamic_graph
+from repro.graphs.snapshot import GraphSnapshot
+
+
+@pytest.fixture
+def tiny_snapshot() -> GraphSnapshot:
+    """5 vertices, hand-written edges: 0->1, 0->2, 1->2, 3->2, 2->4."""
+    return GraphSnapshot.from_edges(
+        5, [(0, 1), (0, 2), (1, 2), (3, 2), (2, 4)], feature_dim=3
+    )
+
+
+@pytest.fixture
+def line_snapshot() -> GraphSnapshot:
+    """A directed line 0 -> 1 -> 2 -> 3."""
+    return GraphSnapshot.from_edges(4, [(0, 1), (1, 2), (2, 3)], feature_dim=2)
+
+
+@pytest.fixture
+def small_graph() -> DynamicGraph:
+    """A small dynamic graph with features, for numeric model tests."""
+    return generate_dynamic_graph(
+        num_vertices=40,
+        num_edges=160,
+        num_snapshots=5,
+        dissimilarity=0.15,
+        feature_dim=6,
+        seed=11,
+        with_features=True,
+        name="small",
+    )
+
+
+@pytest.fixture
+def medium_graph() -> DynamicGraph:
+    """A medium structure-only dynamic graph, for scheduler/simulator tests."""
+    return generate_dynamic_graph(
+        num_vertices=300,
+        num_edges=2400,
+        num_snapshots=6,
+        dissimilarity=0.1,
+        feature_dim=32,
+        seed=5,
+        name="medium",
+    )
+
+
+@pytest.fixture
+def small_spec() -> DGNNSpec:
+    """2-layer GCN + LSTM matching small_graph's feature width."""
+    return DGNNSpec(gcn_dims=(6, 8, 8), rnn_hidden_dim=8)
+
+
+@pytest.fixture
+def medium_spec() -> DGNNSpec:
+    """The paper's classic DGCN at medium_graph's feature width."""
+    return DGNNSpec.classic(32, hidden_dim=16)
+
+
+@pytest.fixture
+def hardware() -> HardwareConfig:
+    """Default 4x4 test array."""
+    return HardwareConfig.small()
+
+
+@pytest.fixture
+def rng() -> np.random.Generator:
+    """Deterministic RNG for test-local sampling."""
+    return np.random.default_rng(123)

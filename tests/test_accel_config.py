@@ -1,0 +1,88 @@
+"""Unit tests for repro.accel.config."""
+
+import pytest
+
+from repro.accel.config import (
+    DRAMConfig,
+    HardwareConfig,
+    NoCConfig,
+    PEConfig,
+    TileConfig,
+)
+
+
+class TestPEConfig:
+    def test_paper_defaults(self):
+        pe = PEConfig()
+        assert pe.mac_rows == pe.mac_cols == 4
+        assert pe.macs_per_cycle == 16
+        assert pe.local_buffer_bytes == 256 * 1024
+
+
+class TestTileConfig:
+    def test_paper_defaults(self):
+        tile = TileConfig()
+        assert tile.num_pes == 16
+        assert tile.macs_per_cycle == 256
+        assert tile.reuse_fifo_bytes == 512 * 1024
+
+
+class TestNoCConfig:
+    def test_valid_topologies(self):
+        for topology in ("ditile", "mesh", "crossbar", "ring"):
+            assert NoCConfig(topology=topology).topology == topology
+
+    def test_rejects_unknown_topology(self):
+        with pytest.raises(ValueError):
+            NoCConfig(topology="torus")
+
+    def test_rejects_zero_bandwidth(self):
+        with pytest.raises(ValueError):
+            NoCConfig(link_bytes_per_cycle=0)
+
+
+class TestDRAMConfig:
+    def test_rejects_bad_efficiencies(self):
+        with pytest.raises(ValueError):
+            DRAMConfig(streaming_efficiency=0.0)
+        with pytest.raises(ValueError):
+            DRAMConfig(random_efficiency=1.5)
+        with pytest.raises(ValueError):
+            DRAMConfig(bandwidth_bytes_per_cycle=-1)
+
+
+class TestHardwareConfig:
+    def test_small_totals(self):
+        hw = HardwareConfig.small()
+        assert hw.total_tiles == 16
+        assert hw.total_pes == 256
+        assert hw.total_multipliers == 4096
+        assert hw.peak_macs_per_cycle == 4096
+
+    def test_paper_scales_buffer_with_tiles(self):
+        hw = HardwareConfig.paper()
+        assert hw.total_tiles == 256
+        # 256 KB per tile, matching the 4 MB / 16-tile reading of §7.1.
+        assert hw.distributed_buffer_bytes == 256 * 256 * 1024
+
+    def test_onchip_totals(self):
+        hw = HardwareConfig.small()
+        per_tile = 512 * 1024 + 16 * 256 * 1024
+        assert hw.total_onchip_bytes == hw.distributed_buffer_bytes + 16 * per_tile
+
+    def test_normalized_changes_only_interconnect(self):
+        base = HardwareConfig.small()
+        normalized = base.normalized("crossbar")
+        assert normalized.noc.topology == "crossbar"
+        assert not normalized.noc.relink_enabled
+        assert normalized.total_multipliers == base.total_multipliers
+        assert normalized.distributed_buffer_bytes == base.distributed_buffer_bytes
+        assert normalized.frequency_hz == base.frequency_hz
+
+    def test_rejects_bad_grid(self):
+        with pytest.raises(ValueError):
+            HardwareConfig(grid_rows=0)
+
+    def test_rejects_bad_frequency(self):
+        with pytest.raises(ValueError):
+            HardwareConfig(frequency_hz=0)

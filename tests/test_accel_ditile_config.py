@@ -1,0 +1,77 @@
+"""Configuration-interaction tests for the DiTile model and hardware."""
+
+import pytest
+
+from repro.accel.config import HardwareConfig
+from repro.core.scheduler import SchedulerOptions
+from repro.ditile import DiTileAccelerator
+
+
+class TestHardwareInteractions:
+    def test_rectangular_grid(self, medium_graph, medium_spec):
+        hw = HardwareConfig(grid_rows=2, grid_cols=8)
+        model = DiTileAccelerator(hw)
+        result = model.simulate(medium_graph, medium_spec)
+        assert result.execution_cycles > 0
+        plan = model.plan(medium_graph, medium_spec)
+        assert plan.factors.tiles_used <= 16
+
+    def test_single_tile_degenerates_gracefully(self, medium_graph, medium_spec):
+        hw = HardwareConfig(grid_rows=1, grid_cols=1,
+                            distributed_buffer_bytes=256 * 1024)
+        model = DiTileAccelerator(hw)
+        plan = model.plan(medium_graph, medium_spec)
+        assert plan.factors.tiles_used == 1
+        assert plan.comm.total == pytest.approx(0.0)
+        result = model.simulate(medium_graph, medium_spec)
+        assert result.execution_cycles > 0
+
+    def test_tiny_buffer_forces_aggressive_tiling(self, medium_graph, medium_spec):
+        hw = HardwareConfig(distributed_buffer_bytes=16 * 1024)
+        model = DiTileAccelerator(hw)
+        plan = model.plan(medium_graph, medium_spec)
+        assert plan.tiling.alpha > 1
+
+    def test_all_options_off_still_runs(self, medium_graph, medium_spec):
+        model = DiTileAccelerator(
+            options=SchedulerOptions(
+                enable_tiling=False,
+                enable_parallelism=False,
+                enable_balance=False,
+                enable_reuse=False,
+            ),
+            reconfigurable_noc=False,
+        )
+        result = model.simulate(medium_graph, medium_spec)
+        full = DiTileAccelerator().simulate(medium_graph, medium_spec)
+        assert result.execution_cycles > full.execution_cycles
+
+    def test_paper_config_plans_with_more_tiles(self, medium_graph, medium_spec):
+        small = DiTileAccelerator(HardwareConfig.small())
+        large = DiTileAccelerator(HardwareConfig.paper())
+        small_plan = small.plan(medium_graph, medium_spec)
+        large_plan = large.plan(medium_graph, medium_spec)
+        assert large_plan.factors.tiles_used >= small_plan.factors.tiles_used
+
+
+class TestSpecInteractions:
+    def test_gru_spec_costs_less_rnn(self, medium_graph):
+        from repro.core.plan import DGNNSpec
+
+        lstm = DGNNSpec((32, 16, 16), 16, rnn_kind="lstm")
+        gru = DGNNSpec((32, 16, 16), 16, rnn_kind="gru")
+        model = DiTileAccelerator()
+        lstm_costs = model.build_costs(medium_graph, lstm)
+        gru_costs = model.build_costs(medium_graph, gru)
+        assert gru_costs.rnn_macs < lstm_costs.rnn_macs
+
+    def test_wider_features_cost_more(self, medium_graph):
+        from repro.core.plan import DGNNSpec
+
+        narrow = DGNNSpec((32, 16), 16)
+        wide = DGNNSpec((32, 64), 16)
+        model = DiTileAccelerator()
+        assert (
+            model.build_costs(medium_graph, wide).total_macs
+            > model.build_costs(medium_graph, narrow).total_macs
+        )

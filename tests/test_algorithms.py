@@ -1,0 +1,278 @@
+"""Unit tests for repro.baselines.algorithms (the four cost models)."""
+
+import numpy as np
+import pytest
+
+from repro.baselines.algorithms import (
+    ALGORITHMS,
+    AlgorithmParams,
+    Placement,
+    SnapshotQuantities,
+    build_costs,
+    gnn_macs_for,
+    layer_fractions,
+    measure_quantities,
+    rnn_fraction,
+)
+from repro.core.plan import DGNNSpec
+from repro.models.workload import gcn_ops, rnn_ops
+
+
+@pytest.fixture
+def params():
+    return AlgorithmParams()
+
+
+@pytest.fixture
+def quantity():
+    return SnapshotQuantities(
+        timestamp=3,
+        vertices=1000,
+        edges=8000,
+        dissimilarity=0.1,
+        added_edges=60,
+        removed_edges=40,
+    )
+
+
+@pytest.fixture
+def placement():
+    return Placement(snapshot_groups=4, vertex_groups=4, load_utilization=0.8)
+
+
+class TestQuantities:
+    def test_measure_first_snapshot(self, medium_graph):
+        quantities = measure_quantities(medium_graph)
+        assert quantities[0].dissimilarity == 1.0
+        assert quantities[0].added_edges == medium_graph[0].num_edges
+        assert quantities[0].removed_edges == 0
+
+    def test_measure_transitions(self, medium_graph):
+        quantities = measure_quantities(medium_graph)
+        for t, q in enumerate(quantities[1:], start=1):
+            assert q.timestamp == t
+            assert 0 <= q.dissimilarity <= 1
+            assert q.delta_edges == q.added_edges + q.removed_edges
+
+    def test_deletion_share(self, quantity):
+        assert quantity.deletion_share == pytest.approx(0.4)
+
+    def test_deletion_share_no_changes(self):
+        q = SnapshotQuantities(1, 10, 20, 0.0, 0, 0)
+        assert q.deletion_share == 0.0
+
+
+class TestLayerFractions:
+    def test_cold_start_is_full(self, quantity, params):
+        cold = SnapshotQuantities(0, 1000, 8000, 1.0, 8000, 0)
+        for algorithm in ALGORITHMS:
+            assert layer_fractions(algorithm, cold, 2, params) == [1.0, 1.0]
+
+    def test_re_alg_always_full(self, quantity, params):
+        assert layer_fractions("re", quantity, 2, params) == [1.0, 1.0]
+
+    def test_ditile_expands_per_layer(self, quantity, params):
+        fractions = layer_fractions("ditile", quantity, 2, params)
+        rate = params.expansion_rate
+        assert fractions[0] == pytest.approx(0.1 * rate)
+        assert fractions[1] == pytest.approx(0.1 * rate**2)
+
+    def test_race_pays_deletion_penalty(self, quantity, params):
+        race = layer_fractions("race", quantity, 2, params)
+        ditile = layer_fractions("ditile", quantity, 2, params)
+        expected = 1.0 + params.race_deletion_penalty * quantity.deletion_share
+        for r, d in zip(race, ditile):
+            assert r == pytest.approx(d * expected)
+
+    def test_race_without_deletions_matches_ditile(self, params):
+        q = SnapshotQuantities(2, 1000, 8000, 0.1, 100, 0)
+        assert layer_fractions("race", q, 2, params) == layer_fractions(
+            "ditile", q, 2, params
+        )
+
+    def test_mega_recomputes_whole_chain(self, quantity, params):
+        mega = layer_fractions("mega", quantity, 2, params)
+        ditile = layer_fractions("ditile", quantity, 2, params)
+        assert mega[0] == mega[1]  # no per-layer containment
+        assert mega[1] == pytest.approx(
+            min(ditile[1] * params.mega_chain_factor, 1.0)
+        )
+
+    def test_fractions_capped_at_one(self, params):
+        volatile = SnapshotQuantities(2, 100, 800, 0.9, 400, 400)
+        for algorithm in ALGORITHMS:
+            for fraction in layer_fractions(algorithm, volatile, 3, params):
+                assert fraction <= 1.0
+
+    def test_dis_floor_applies(self, params):
+        frozen = SnapshotQuantities(2, 1000, 8000, 0.0, 0, 0)
+        fractions = layer_fractions("ditile", frozen, 2, params)
+        assert fractions[0] >= params.dis_floor
+
+    def test_unknown_algorithm(self, quantity, params):
+        with pytest.raises(ValueError):
+            layer_fractions("bogus", quantity, 2, params)
+
+
+class TestKernelCosts:
+    def test_rnn_fraction_is_last_layer(self, quantity, params):
+        for algorithm in ("ditile", "race", "mega"):
+            assert rnn_fraction(algorithm, quantity, 2, params) == pytest.approx(
+                layer_fractions(algorithm, quantity, 2, params)[-1]
+            )
+        assert rnn_fraction("re", quantity, 2, params) == 1.0
+
+    def test_gnn_macs_scale_with_mean_fraction(self, quantity, params):
+        agg, comb = gnn_macs_for("ditile", quantity, 1000.0, 2000.0, 2, params)
+        fractions = layer_fractions("ditile", quantity, 2, params)
+        mean = sum(fractions) / 2
+        assert agg == pytest.approx(1000.0 * mean)
+        assert comb == pytest.approx(2000.0 * mean)
+
+
+class TestBuildCosts:
+    def test_algorithm_op_ordering(self, medium_graph, medium_spec, placement):
+        totals = {
+            algorithm: build_costs(
+                medium_graph, medium_spec, algorithm, placement
+            ).total_macs
+            for algorithm in ALGORITHMS
+        }
+        assert totals["re"] > totals["race"] > totals["ditile"]
+        assert totals["re"] > totals["mega"] > totals["ditile"]
+
+    def test_re_alg_matches_closed_form(self, medium_graph, medium_spec, placement):
+        costs = build_costs(medium_graph, medium_spec, "re", placement)
+        expected = 0.0
+        for snapshot in medium_graph:
+            expected += gcn_ops(snapshot, medium_spec.gcn_dims).total
+            expected += rnn_ops(
+                snapshot.num_vertices,
+                medium_spec.embedding_dim,
+                medium_spec.rnn_hidden_dim,
+                medium_spec.rnn_matmuls,
+            ).total
+        assert costs.total_macs == pytest.approx(expected)
+
+    def test_dram_ordering(self, medium_graph, medium_spec, placement):
+        dram = {
+            algorithm: build_costs(
+                medium_graph, medium_spec, algorithm, placement
+            ).dram_bytes
+            for algorithm in ALGORITHMS
+        }
+        assert dram["re"] > dram["ditile"]
+        assert dram["race"] > dram["ditile"]
+        assert dram["mega"] > dram["ditile"]
+
+    def test_temporal_traffic_only_at_boundaries(
+        self, medium_graph, medium_spec
+    ):
+        placement = Placement(snapshot_groups=3, vertex_groups=1)
+        costs = build_costs(medium_graph, medium_spec, "re", placement)
+        temporal = [s.noc.temporal_bytes for s in costs.snapshots]
+        assert temporal[0] == 0.0  # no boundary before the first snapshot
+        assert sum(1 for t in temporal if t > 0) == 2  # T=6, 3 groups
+
+    def test_single_group_has_no_temporal_traffic(
+        self, medium_graph, medium_spec
+    ):
+        placement = Placement(snapshot_groups=1, vertex_groups=4)
+        costs = build_costs(medium_graph, medium_spec, "ditile", placement)
+        assert all(s.noc.temporal_bytes == 0 for s in costs.snapshots)
+
+    def test_reuse_traffic_requires_capability(self, medium_graph, medium_spec):
+        capable = Placement(snapshot_groups=3, vertex_groups=1, reuse_capable=True)
+        incapable = Placement(snapshot_groups=3, vertex_groups=1)
+        with_reuse = build_costs(medium_graph, medium_spec, "ditile", capable)
+        without = build_costs(medium_graph, medium_spec, "ditile", incapable)
+        assert sum(s.noc.reuse_bytes for s in with_reuse.snapshots) > 0
+        assert sum(s.noc.reuse_bytes for s in without.snapshots) == 0
+
+    def test_engine_split_penalizes_utilization(self, medium_graph, medium_spec):
+        split = Placement(
+            snapshot_groups=4, vertex_groups=4, load_utilization=0.8,
+            engine_split=True,
+        )
+        plain = Placement(
+            snapshot_groups=4, vertex_groups=4, load_utilization=0.8
+        )
+        split_costs = build_costs(medium_graph, medium_spec, "race", split)
+        plain_costs = build_costs(medium_graph, medium_spec, "race", plain)
+        assert split_costs.load_utilization < plain_costs.load_utilization
+
+    def test_reconfigurable_placement_pays_config_events(
+        self, medium_graph, medium_spec
+    ):
+        reconfigurable = Placement(
+            snapshot_groups=2, vertex_groups=8, reconfigurable=True
+        )
+        static = Placement(snapshot_groups=2, vertex_groups=8)
+        with_events = build_costs(
+            medium_graph, medium_spec, "ditile", reconfigurable
+        )
+        without = build_costs(medium_graph, medium_spec, "ditile", static)
+        assert sum(s.config_events for s in with_events.snapshots) > 0
+        assert sum(s.config_events for s in without.snapshots) == 0
+
+    def test_rejects_unknown_algorithm(self, medium_graph, medium_spec, placement):
+        with pytest.raises(ValueError):
+            build_costs(medium_graph, medium_spec, "bogus", placement)
+
+    def test_quantization_increases_traffic(self, medium_graph, medium_spec, placement):
+        from dataclasses import replace
+
+        quantized = build_costs(medium_graph, medium_spec, "ditile", placement)
+        ideal = build_costs(
+            medium_graph,
+            medium_spec,
+            "ditile",
+            placement,
+            params=replace(
+                AlgorithmParams(),
+                dram_line_bytes=None,
+                noc_flit_bytes=None,
+                noc_header_flits=0,
+            ),
+        )
+        assert quantized.dram_bytes >= ideal.dram_bytes
+        assert quantized.noc_bytes >= ideal.noc_bytes
+
+
+class TestPlacementValidation:
+    def test_rejects_bad_groups(self):
+        with pytest.raises(ValueError):
+            Placement(snapshot_groups=0, vertex_groups=1)
+
+    def test_rejects_bad_utilization(self):
+        with pytest.raises(ValueError):
+            Placement(snapshot_groups=1, vertex_groups=1, load_utilization=0.0)
+
+
+class TestWarmStart:
+    def test_warm_start_cuts_cold_cost(self, medium_graph, medium_spec, placement):
+        cold = build_costs(medium_graph, medium_spec, "ditile", placement)
+        warm = build_costs(
+            medium_graph, medium_spec, "ditile", placement, warm_start=True
+        )
+        assert warm.total_macs < cold.total_macs
+        assert warm.dram_bytes < cold.dram_bytes
+
+    def test_warm_start_does_not_help_re_alg(
+        self, medium_graph, medium_spec, placement
+    ):
+        cold = build_costs(medium_graph, medium_spec, "re", placement)
+        warm = build_costs(
+            medium_graph, medium_spec, "re", placement, warm_start=True
+        )
+        assert warm.total_macs == pytest.approx(cold.total_macs)
+
+    def test_warm_start_single_snapshot_noop(self, medium_spec, placement):
+        # A single-snapshot graph cannot infer steady-state dissimilarity.
+        from repro.graphs.generators import generate_dynamic_graph
+
+        one = generate_dynamic_graph(50, 200, 1, feature_dim=32, seed=1)
+        cold = build_costs(one, medium_spec, "ditile", placement)
+        warm = build_costs(one, medium_spec, "ditile", placement,
+                           warm_start=True)
+        assert warm.total_macs == pytest.approx(cold.total_macs)

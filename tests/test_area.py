@@ -1,0 +1,80 @@
+"""Unit tests for repro.accel.area — must reproduce Fig. 14 breakdowns."""
+
+import pytest
+
+from repro.accel.area import AreaModel
+from repro.accel.config import HardwareConfig
+
+
+@pytest.fixture
+def report():
+    return AreaModel().report(HardwareConfig.small())
+
+
+class TestFig14Chip:
+    def test_chip_breakdown_matches_paper(self, report):
+        breakdown = report.chip_breakdown()
+        assert breakdown["tiles"] == pytest.approx(77.8, abs=0.5)
+        assert breakdown["on_chip_buffer"] == pytest.approx(15.7, abs=0.5)
+        assert breakdown["reconfigurable_noc"] == pytest.approx(5.6, abs=0.5)
+        assert breakdown["logic"] == pytest.approx(0.9, abs=0.3)
+
+    def test_percentages_sum_to_100(self, report):
+        for breakdown in (
+            report.chip_breakdown(),
+            report.tile_breakdown(),
+            report.pe_breakdown(),
+        ):
+            assert sum(breakdown.values()) == pytest.approx(100.0)
+
+
+class TestFig14Tile:
+    def test_tile_breakdown_matches_paper(self, report):
+        breakdown = report.tile_breakdown()
+        assert breakdown["pe_array"] == pytest.approx(60.5, abs=0.5)
+        assert breakdown["distributed_buffer"] == pytest.approx(28.4, abs=0.5)
+        assert breakdown["reuse_fifo"] == pytest.approx(8.1, abs=0.5)
+        assert breakdown["mesh"] == pytest.approx(2.3, abs=0.3)
+        assert breakdown["control"] == pytest.approx(0.7, abs=0.3)
+
+
+class TestFig14PE:
+    def test_pe_breakdown_matches_paper(self, report):
+        breakdown = report.pe_breakdown()
+        assert breakdown["mac_array"] == pytest.approx(59.4, abs=0.5)
+        assert breakdown["local_buffer"] == pytest.approx(23.8, abs=0.5)
+        assert breakdown["control"] == pytest.approx(2.0, abs=0.3)
+
+
+class TestScaling:
+    def test_breakdown_stable_across_grid_sizes(self):
+        model = AreaModel()
+        small = model.report(HardwareConfig.small()).chip_breakdown()
+        paper = model.report(HardwareConfig.paper()).chip_breakdown()
+        for key in small:
+            assert small[key] == pytest.approx(paper[key], abs=0.2)
+
+    def test_chip_area_grows_with_tiles(self):
+        model = AreaModel()
+        small = model.report(HardwareConfig.small()).chip_mm2
+        paper = model.report(HardwareConfig.paper()).chip_mm2
+        assert paper == pytest.approx(16 * small, rel=0.01)
+
+    def test_bigger_mac_array_shifts_pe_breakdown(self):
+        from dataclasses import replace
+
+        hw = HardwareConfig.small()
+        big_pe = replace(
+            hw, tile=replace(hw.tile, pe=replace(hw.tile.pe, mac_rows=8))
+        )
+        breakdown = AreaModel().report(big_pe).pe_breakdown()
+        assert breakdown["mac_array"] > 59.4
+
+    def test_component_totals_consistent(self):
+        report = AreaModel().report(HardwareConfig.small())
+        assert report.tile_components["pe_array"] == pytest.approx(
+            16 * report.pe_mm2
+        )
+        assert report.chip_components["tiles"] == pytest.approx(
+            16 * report.tile_mm2
+        )

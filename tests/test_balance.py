@@ -1,0 +1,88 @@
+"""Unit tests for repro.core.balance (Algorithm 2)."""
+
+import numpy as np
+import pytest
+
+from repro.core.balance import balance_workload, natural_workload
+from repro.core.comm_model import ParallelFactors
+from repro.models.workload import dynamic_vertex_workload
+
+
+def _factors(graph, ns, nv):
+    return ParallelFactors.from_groups(
+        graph.num_snapshots, graph.stats().avg_vertices, ns, nv
+    )
+
+
+class TestBalanceWorkload:
+    def test_balanced_beats_natural(self, medium_graph):
+        factors = _factors(medium_graph, 2, 8)
+        balanced = balance_workload(medium_graph, 2, factors)
+        natural = natural_workload(medium_graph, 2, factors)
+        assert balanced.imbalance <= natural.imbalance + 1e-9
+        assert balanced.utilization >= natural.utilization - 1e-9
+
+    def test_vload_matches_eq17(self, medium_graph):
+        factors = _factors(medium_graph, 1, 4)
+        balanced = balance_workload(medium_graph, 2, factors)
+        np.testing.assert_allclose(
+            balanced.vload, dynamic_vertex_workload(medium_graph, 2)
+        )
+
+    def test_group_loads_sum_to_total(self, medium_graph):
+        factors = _factors(medium_graph, 1, 4)
+        balanced = balance_workload(medium_graph, 2, factors)
+        assert balanced.group_loads.sum() == pytest.approx(balanced.vload.sum())
+
+    def test_partition_covers_all_vertices(self, medium_graph):
+        factors = _factors(medium_graph, 2, 8)
+        balanced = balance_workload(medium_graph, 2, factors)
+        assert balanced.partition.sizes().sum() == 300
+
+    def test_utilization_bounds(self, medium_graph):
+        factors = _factors(medium_graph, 2, 8)
+        for result in (
+            balance_workload(medium_graph, 2, factors),
+            natural_workload(medium_graph, 2, factors),
+        ):
+            assert 0.0 < result.utilization <= 1.0
+            assert result.imbalance >= 1.0
+
+    def test_single_group_is_perfectly_balanced(self, medium_graph):
+        factors = _factors(medium_graph, 1, 1)
+        balanced = balance_workload(medium_graph, 2, factors)
+        assert balanced.imbalance == pytest.approx(1.0)
+        assert balanced.utilization == pytest.approx(1.0)
+
+    def test_snapshot_groups_partition_timeline(self, medium_graph):
+        factors = _factors(medium_graph, 3, 2)
+        balanced = balance_workload(medium_graph, 2, factors)
+        combined = np.concatenate(balanced.snapshot_groups)
+        np.testing.assert_array_equal(combined, np.arange(6))
+
+    def test_bdw_groups_enumerate_grid(self, medium_graph):
+        factors = _factors(medium_graph, 2, 4)
+        balanced = balance_workload(medium_graph, 2, factors)
+        groups = balanced.bdw_groups()
+        assert len(groups) == 8  # 2 snapshot columns x 4 vertex rows
+        coords = {(g["snapshot_group"], g["vertex_group"]) for g in groups}
+        assert len(coords) == 8
+        # Every group's vertices come from its row's partition.
+        for g in groups:
+            np.testing.assert_array_equal(
+                g["vertices"], balanced.partition.members(g["vertex_group"])
+            )
+
+
+class TestNaturalWorkload:
+    def test_contiguous_ranges(self, medium_graph):
+        factors = _factors(medium_graph, 1, 4)
+        natural = natural_workload(medium_graph, 2, factors)
+        members = natural.partition.members(0)
+        np.testing.assert_array_equal(members, np.arange(len(members)))
+
+    def test_same_vload_as_balanced(self, medium_graph):
+        factors = _factors(medium_graph, 1, 4)
+        natural = natural_workload(medium_graph, 2, factors)
+        balanced = balance_workload(medium_graph, 2, factors)
+        np.testing.assert_allclose(natural.vload, balanced.vload)

@@ -1,0 +1,119 @@
+"""Unit tests for the four baseline accelerator models."""
+
+import pytest
+
+from repro.accel.config import HardwareConfig
+from repro.baselines import (
+    DGNNBoosterAccelerator,
+    MEGAAccelerator,
+    RACEAccelerator,
+    ReaDyAccelerator,
+)
+
+ALL_BASELINES = [
+    ReaDyAccelerator,
+    DGNNBoosterAccelerator,
+    RACEAccelerator,
+    MEGAAccelerator,
+]
+
+
+class TestConfiguration:
+    @pytest.mark.parametrize("cls", ALL_BASELINES)
+    def test_normalization_protocol(self, cls):
+        # §7.1: same multipliers, storage, frequency as DiTile.
+        model = cls()
+        reference = HardwareConfig.small()
+        assert model.hardware.total_multipliers == reference.total_multipliers
+        assert (
+            model.hardware.distributed_buffer_bytes
+            == reference.distributed_buffer_bytes
+        )
+        assert model.hardware.frequency_hz == reference.frequency_hz
+
+    def test_topologies(self):
+        assert ReaDyAccelerator().hardware.noc.topology == "mesh"
+        assert DGNNBoosterAccelerator().hardware.noc.topology == "ring"
+        assert RACEAccelerator().hardware.noc.topology == "crossbar"
+        assert MEGAAccelerator().hardware.noc.topology == "mesh"
+
+    def test_algorithms(self):
+        assert ReaDyAccelerator().algorithm == "re"
+        assert DGNNBoosterAccelerator().algorithm == "re"
+        assert RACEAccelerator().algorithm == "race"
+        assert MEGAAccelerator().algorithm == "mega"
+
+    @pytest.mark.parametrize("cls", ALL_BASELINES)
+    def test_relink_disabled(self, cls):
+        assert not cls().hardware.noc.relink_enabled
+
+    def test_repr(self):
+        assert "mesh" in repr(ReaDyAccelerator())
+
+
+class TestPlacements:
+    def test_ready_is_temporal(self, medium_graph, medium_spec):
+        placement = ReaDyAccelerator().placement(medium_graph, medium_spec)
+        assert placement.snapshot_groups == medium_graph.num_snapshots
+        assert placement.snapshot_groups * placement.vertex_groups <= 16
+
+    def test_booster_never_splits_vertices(self, medium_graph, medium_spec):
+        placement = DGNNBoosterAccelerator().placement(medium_graph, medium_spec)
+        assert placement.vertex_groups == 1
+
+    def test_race_is_reuse_capable_engine_split(self, medium_graph, medium_spec):
+        placement = RACEAccelerator().placement(medium_graph, medium_spec)
+        assert placement.reuse_capable
+        assert placement.engine_split
+
+    def test_mega_is_spatial(self, medium_graph, medium_spec):
+        placement = MEGAAccelerator().placement(medium_graph, medium_spec)
+        assert placement.snapshot_groups == 1
+        assert placement.vertex_groups == 16
+
+    @pytest.mark.parametrize("cls", ALL_BASELINES)
+    def test_utilization_in_range(self, cls, medium_graph, medium_spec):
+        placement = cls().placement(medium_graph, medium_spec)
+        assert 0.0 < placement.load_utilization <= 1.0
+
+
+class TestSimulation:
+    @pytest.mark.parametrize("cls", ALL_BASELINES)
+    def test_simulate_produces_result(self, cls, medium_graph, medium_spec):
+        result = cls().simulate(medium_graph, medium_spec)
+        assert result.execution_cycles > 0
+        assert result.energy_joules > 0
+        assert result.accelerator == cls.name
+
+    def test_ready_and_booster_share_op_counts(self, medium_graph, medium_spec):
+        ready = ReaDyAccelerator().build_costs(medium_graph, medium_spec)
+        booster = DGNNBoosterAccelerator().build_costs(medium_graph, medium_spec)
+        assert ready.total_macs == pytest.approx(booster.total_macs)
+
+    def test_incremental_baselines_do_less_work(self, medium_graph, medium_spec):
+        re_macs = ReaDyAccelerator().build_costs(medium_graph, medium_spec).total_macs
+        race_macs = RACEAccelerator().build_costs(medium_graph, medium_spec).total_macs
+        mega_macs = MEGAAccelerator().build_costs(medium_graph, medium_spec).total_macs
+        assert race_macs < re_macs
+        assert mega_macs < re_macs
+
+    def test_custom_hardware_budget(self, medium_graph, medium_spec):
+        small = ReaDyAccelerator(
+            HardwareConfig(grid_rows=2, grid_cols=2,
+                           distributed_buffer_bytes=2**20)
+        )
+        large = ReaDyAccelerator()
+        small_result = small.simulate(medium_graph, medium_spec)
+        large_result = large.simulate(medium_graph, medium_spec)
+        # The medium workload is memory-bound, so total cycles barely move;
+        # the compute component must reflect the 4x tile deficit (partly
+        # offset by the small grid's better occupancy).
+        assert small_result.cycles.compute > 2 * large_result.cycles.compute
+
+    def test_ready_energy_params_reflect_reram(self):
+        params = ReaDyAccelerator().energy_params()
+        assert params.sram_8kb_word_pj > 10.0
+
+    def test_booster_energy_params_reflect_fpga(self):
+        params = DGNNBoosterAccelerator().energy_params()
+        assert params.fp32_mult_pj > 3.7

@@ -1,0 +1,54 @@
+"""Unit tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_unknown_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["frobnicate"])
+
+
+class TestCommands:
+    def test_datasets(self, capsys):
+        assert main(["datasets"]) == 0
+        out = capsys.readouterr().out
+        assert "PubMed" in out and "Flicker" in out
+        assert "2302925" in out  # published Flickr vertex count
+
+    def test_plan(self, capsys):
+        assert main(["plan", "TW", "--scale", "0.02", "--snapshots", "3"]) == 0
+        out = capsys.readouterr().out
+        assert "alpha=" in out
+        assert "balance:" in out
+
+    def test_compare(self, capsys):
+        assert main(
+            ["compare", "TW", "--scale", "0.02", "--snapshots", "3"]
+        ) == 0
+        out = capsys.readouterr().out
+        for name in ("ReaDy", "DGNN-Booster", "RACE", "MEGA", "DiTile-DGNN"):
+            assert name in out
+        assert "1.00x" in out  # DiTile normalized to itself
+
+    def test_area(self, capsys):
+        assert main(["area"]) == 0
+        out = capsys.readouterr().out
+        assert "77.8" in out
+
+    def test_reproduce_single_figure(self, capsys):
+        assert main(
+            ["reproduce", "figure14", "--scale", "0.02"]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "Figure 14" in out
+
+    def test_reproduce_rejects_unknown_figure(self):
+        with pytest.raises(SystemExit):
+            main(["reproduce", "figure99"])

@@ -1,0 +1,180 @@
+"""Unit tests for repro.core.comm_model (Eqs. 7-16), with hand-computed cases."""
+
+import math
+
+import pytest
+
+from repro.core.comm_model import (
+    CommunicationModel,
+    ParallelFactors,
+    WorkloadProfile,
+)
+
+
+@pytest.fixture
+def profile():
+    """L=2, T=8, AvgSV=100, AvgSE=400, Dis=0.1, alpha=2."""
+    return WorkloadProfile(
+        gnn_layers=2,
+        num_snapshots=8,
+        avg_subgraph_vertices=100.0,
+        avg_subgraph_edges=400.0,
+        dissimilarity=0.1,
+        alpha=2,
+    )
+
+
+@pytest.fixture
+def model(profile):
+    return CommunicationModel(profile)
+
+
+def _factors(profile, ns, nv):
+    return ParallelFactors.from_groups(
+        profile.num_snapshots, profile.avg_subgraph_vertices, ns, nv
+    )
+
+
+class TestWorkloadProfile:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            WorkloadProfile(0, 8, 10, 20, 0.1)
+        with pytest.raises(ValueError):
+            WorkloadProfile(2, 0, 10, 20, 0.1)
+        with pytest.raises(ValueError):
+            WorkloadProfile(2, 8, 10, 20, 1.5)
+        with pytest.raises(ValueError):
+            WorkloadProfile(2, 8, 10, 20, 0.1, alpha=0)
+
+    def test_from_graph(self, medium_graph):
+        profile = WorkloadProfile.from_graph(medium_graph, 2, alpha=3)
+        stats = medium_graph.stats()
+        assert profile.avg_subgraph_vertices == pytest.approx(stats.avg_vertices / 3)
+        assert profile.avg_subgraph_edges == pytest.approx(stats.avg_edges / 3)
+        assert profile.dissimilarity == pytest.approx(stats.avg_dissimilarity)
+
+    def test_avg_degree(self, profile):
+        assert profile.avg_degree == 4.0
+
+
+class TestParallelFactors:
+    def test_from_groups(self, profile):
+        factors = _factors(profile, 4, 2)
+        assert factors.snapshots_per_tile == 2.0
+        assert factors.vertices_per_tile == 50.0
+        assert factors.tiles_used == 8
+
+    def test_clamps_to_workload(self, profile):
+        factors = ParallelFactors.from_groups(8, 100.0, 20, 500)
+        assert factors.snapshot_groups == 8
+        assert factors.vertex_groups == 100
+
+    def test_rejects_bad_groups(self):
+        with pytest.raises(ValueError):
+            ParallelFactors.from_groups(8, 100.0, 0, 1)
+
+
+class TestTemporalComm:
+    def test_eq8_by_hand(self, model, profile):
+        # Tcomm = alpha * AvgSV * (ceil(T/Ps) - 1) = 2 * 100 * (4 - 1).
+        factors = _factors(profile, 4, 2)
+        assert model.temporal_comm(factors) == pytest.approx(600.0)
+
+    def test_single_group_has_no_temporal(self, model, profile):
+        assert model.temporal_comm(_factors(profile, 1, 8)) == 0.0
+
+
+class TestSpatialComm:
+    def test_eq11_by_hand(self, model):
+        # TotalScomm = alpha * L * T * AvgSE = 2 * 2 * 8 * 400.
+        assert model.total_spatial_comm() == pytest.approx(12_800.0)
+
+    def test_eq12_even_split(self, model, profile):
+        # Pv = 25 divides AvgSV=100: intra fraction = Pv/AvgSV = 1/4.
+        factors = _factors(profile, 1, 4)
+        assert model.intra_tile_spatial_comm(factors) == pytest.approx(
+            model.total_spatial_comm() / 4
+        )
+
+    def test_eq12_with_remainder(self, model, profile):
+        # Pv = 100/3: floor(AvgSV/Pv)=3 full tiles, remainder 0.
+        factors = _factors(profile, 1, 3)
+        value = model.intra_tile_spatial_comm(factors)
+        assert value == pytest.approx(model.total_spatial_comm() / 3, rel=0.05)
+
+    def test_eq10_scomm(self, model, profile):
+        factors = _factors(profile, 1, 4)
+        assert model.spatial_comm(factors) == pytest.approx(
+            model.total_spatial_comm() * 3 / 4
+        )
+
+    def test_single_tile_no_inter_comm(self, model, profile):
+        factors = _factors(profile, 1, 1)
+        assert model.spatial_comm(factors) == pytest.approx(0.0)
+
+
+class TestRedundancy:
+    def test_eq15_by_hand(self, model):
+        # VScomm = sum_{l=1..2} sum_{l'=1..l} d^l' with d=4: (4) + (4+16).
+        assert model.vertex_spatial_comm() == pytest.approx(24.0)
+
+    def test_eq14_clamped(self, model):
+        # Raw Eq. 14: 2*8*100*0.9*24 = 34,560 exceeds (1-Dis)*TotalScomm,
+        # so the clamp binds at 0.9 * 12,800.
+        assert model.total_redundant_spatial_comm() == pytest.approx(11_520.0)
+
+    def test_eq14_unclamped_when_sparse(self):
+        sparse = WorkloadProfile(1, 4, 100.0, 50.0, 0.2, alpha=1)
+        model = CommunicationModel(sparse)
+        # VScomm = 0.5; raw = 1*4*100*0.8*0.5 = 160 < 0.8 * (1*1*4*50) = 160.
+        assert model.total_redundant_spatial_comm() == pytest.approx(160.0)
+
+    def test_eq13_eq9_relationship(self, model, profile):
+        factors = _factors(profile, 1, 4)
+        scomm = model.spatial_comm(factors)
+        rscomm = model.redundant_spatial_comm(factors)
+        assert rscomm == pytest.approx(
+            model.total_redundant_spatial_comm() * scomm / model.total_spatial_comm()
+        )
+        assert model.rf_spatial_comm(factors) == pytest.approx(scomm - rscomm)
+
+    def test_rf_spatial_nonnegative(self, model, profile):
+        for ns, nv in [(1, 8), (2, 4), (4, 2), (8, 1)]:
+            assert model.rf_spatial_comm(_factors(profile, ns, nv)) >= 0.0
+
+
+class TestReuseComm:
+    def test_eq16_by_hand(self, model, profile):
+        # boundaries = 3, per-vertex reuse capped at L*deg = 8 (< VScomm=24):
+        # ReComm = 2 * 3 * 100 * 0.9 * 8.
+        factors = _factors(profile, 4, 2)
+        assert model.reuse_comm(factors) == pytest.approx(4_320.0)
+
+    def test_no_boundaries_no_reuse(self, model, profile):
+        assert model.reuse_comm(_factors(profile, 1, 8)) == 0.0
+
+    def test_full_dissimilarity_kills_reuse(self):
+        profile = WorkloadProfile(2, 8, 100.0, 400.0, 1.0, alpha=1)
+        model = CommunicationModel(profile)
+        factors = ParallelFactors.from_groups(8, 100.0, 4, 2)
+        assert model.reuse_comm(factors) == 0.0
+
+
+class TestTotalComm:
+    def test_eq7_sum(self, model, profile):
+        factors = _factors(profile, 4, 2)
+        breakdown = model.breakdown(factors)
+        assert breakdown.total == pytest.approx(
+            breakdown.temporal + breakdown.rf_spatial + breakdown.reuse
+        )
+        assert model.total_comm(factors) == pytest.approx(breakdown.total)
+
+    def test_dissimilarity_monotonicity(self, profile):
+        # More dissimilarity -> less redundancy discount -> more spatial
+        # traffic at a spatial mapping.
+        totals = []
+        for dis in (0.05, 0.3, 0.8):
+            p = WorkloadProfile(2, 8, 100.0, 400.0, dis, alpha=2)
+            m = CommunicationModel(p)
+            totals.append(m.total_comm(_factors(p, 1, 8)))
+        assert totals == sorted(totals)

@@ -1,0 +1,118 @@
+"""Unit tests for continuous-time dynamic graphs and discretization."""
+
+import numpy as np
+import pytest
+
+from repro.graphs.continuous import ContinuousDynamicGraph, EdgeEvent
+from repro.graphs.snapshot import GraphSnapshot
+
+
+def _ctdg(events, n=4, name="ct"):
+    return ContinuousDynamicGraph(GraphSnapshot.empty(n), events, name=name)
+
+
+class TestEdgeEvent:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            EdgeEvent(0.0, 0, 1, kind="toggle")
+        with pytest.raises(ValueError):
+            EdgeEvent(0.0, -1, 1)
+
+    def test_ordering_by_time(self):
+        early = EdgeEvent(1.0, 3, 2)
+        late = EdgeEvent(2.0, 0, 1)
+        assert sorted([late, early])[0] is early
+
+
+class TestContinuousGraph:
+    def test_events_sorted_on_construction(self):
+        graph = _ctdg([EdgeEvent(2.0, 0, 1), EdgeEvent(1.0, 1, 2)])
+        assert [e.time for e in graph.events] == [1.0, 2.0]
+
+    def test_vertex_space_inferred(self):
+        graph = _ctdg([EdgeEvent(1.0, 0, 9)], n=4)
+        assert graph.num_vertices == 10
+
+    def test_time_span(self):
+        graph = _ctdg([EdgeEvent(1.0, 0, 1), EdgeEvent(5.0, 1, 2)])
+        assert graph.time_span == (1.0, 5.0)
+        assert _ctdg([]).time_span == (0.0, 0.0)
+
+    def test_edges_at_applies_prefix(self):
+        graph = _ctdg(
+            [
+                EdgeEvent(1.0, 0, 1),
+                EdgeEvent(2.0, 1, 2),
+                EdgeEvent(3.0, 0, 1, kind="remove"),
+            ]
+        )
+        assert graph.edges_at(0.5) == set()
+        assert graph.edges_at(1.5) == {(0, 1)}
+        assert graph.edges_at(2.5) == {(0, 1), (1, 2)}
+        assert graph.edges_at(3.5) == {(1, 2)}
+
+    def test_initial_graph_preserved(self):
+        initial = GraphSnapshot.from_edges(4, [(2, 3)])
+        graph = ContinuousDynamicGraph(initial, [EdgeEvent(1.0, 0, 1)])
+        assert graph.edges_at(0.0) == {(2, 3)}
+        assert graph.edges_at(1.0) == {(2, 3), (0, 1)}
+
+    def test_remove_of_absent_edge_is_noop(self):
+        graph = _ctdg([EdgeEvent(1.0, 0, 1, kind="remove")])
+        assert graph.edges_at(2.0) == set()
+
+    def test_snapshot_at(self):
+        graph = _ctdg([EdgeEvent(1.0, 0, 1)])
+        snapshot = graph.snapshot_at(1.0, feature_dim=7)
+        assert snapshot.has_edge(0, 1)
+        assert snapshot.feature_dim == 7
+
+    def test_from_event_arrays(self):
+        graph = ContinuousDynamicGraph.from_event_arrays(
+            4, np.array([1.0, 2.0]), np.array([0, 1]), np.array([1, 2])
+        )
+        assert graph.num_events == 2
+        with pytest.raises(ValueError):
+            ContinuousDynamicGraph.from_event_arrays(
+                4, np.array([1.0]), np.array([0, 1]), np.array([1])
+            )
+
+
+class TestDiscretize:
+    def test_rejects_bad_count(self):
+        with pytest.raises(ValueError):
+            _ctdg([]).discretize(0)
+
+    def test_last_snapshot_includes_all_events(self):
+        graph = _ctdg(
+            [EdgeEvent(float(t), t % 3, (t + 1) % 3) for t in range(1, 7)],
+            n=3,
+        )
+        discrete = graph.discretize(3)
+        assert discrete.num_snapshots == 3
+        assert discrete[2].edge_set() == graph.edges_at(6.0)
+
+    def test_snapshots_grow_under_pure_additions(self):
+        events = [EdgeEvent(float(t), t, t + 1) for t in range(1, 9)]
+        discrete = _ctdg(events, n=10).discretize(4)
+        counts = [s.num_edges for s in discrete]
+        assert counts == sorted(counts)
+        assert counts[-1] == 8
+
+    def test_empty_stream_repeats_initial(self):
+        initial = GraphSnapshot.from_edges(3, [(0, 1)])
+        discrete = ContinuousDynamicGraph(initial, []).discretize(3)
+        for snapshot in discrete:
+            assert snapshot.edge_set() == {(0, 1)}
+
+    def test_discretized_feeds_dgnn_pipeline(self):
+        from repro.core import DGNNSpec
+        from repro.ditile import DiTileAccelerator
+
+        events = [
+            EdgeEvent(float(t), t % 20, (t * 7 + 1) % 20) for t in range(1, 200)
+        ]
+        discrete = _ctdg(events, n=20).discretize(4)
+        spec = DGNNSpec(gcn_dims=(8, 8), rnn_hidden_dim=8)
+        result = DiTileAccelerator().simulate(discrete, spec)
+        assert result.execution_cycles > 0

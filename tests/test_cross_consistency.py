@@ -1,0 +1,136 @@
+"""Cross-model consistency checks.
+
+The library models the same physics at several fidelities (closed-form
+comm model vs routed traffic matrices; aggregate simulator vs round-level
+pipeline; Eq. 6 vs measured refetch).  These tests pin the models to each
+other: coarse and fine estimates must agree in trend and within bounded
+factors, or one of them is wrong.
+"""
+
+import numpy as np
+import pytest
+
+from repro.accel.config import HardwareConfig
+from repro.accel.noc import NoCModel, NoCTraffic
+from repro.accel.pipeline import PipelineSimulator
+from repro.accel.routing import TrafficMatrixRouter
+from repro.core.comm_model import CommunicationModel, WorkloadProfile
+from repro.core.parallelism import ParallelismOptimizer
+from repro.ditile import DiTileAccelerator
+from repro.graphs.generators import generate_dynamic_graph
+from repro.graphs.partition import contiguous_vertex_partition, edge_cut
+
+
+class TestNoCConsistency:
+    """Aggregate hop model vs explicit routing."""
+
+    @pytest.mark.parametrize("topology", ["ditile", "mesh", "crossbar"])
+    def test_avg_hops_within_factor_of_routed(self, topology, rng):
+        hardware = HardwareConfig.small().normalized(topology)
+        router = TrafficMatrixRouter(hardware)
+        model = NoCModel(hardware)
+        tiles = hardware.total_tiles
+        traffic = np.zeros((tiles, tiles))
+        # Uniform irregular traffic restricted to columns for ditile
+        # (its spatial class never leaves a column under the Fig. 6 map).
+        for src in range(tiles):
+            for dst in range(tiles):
+                if src == dst:
+                    continue
+                same_column = src % 4 == dst % 4
+                if topology != "ditile" or same_column:
+                    traffic[src, dst] = 1.0
+        routed = router.route_matrix(traffic, regular=False)
+        modeled = model.avg_hops(regular=False)
+        assert routed.avg_hops == pytest.approx(modeled, rel=0.5)
+
+    def test_routed_hops_never_below_one(self):
+        hardware = HardwareConfig.small()
+        router = TrafficMatrixRouter(hardware)
+        traffic = np.zeros((16, 16))
+        traffic[2, 10] = 64.0
+        report = router.route_matrix(traffic, regular=False)
+        assert report.avg_hops >= 1.0
+
+
+class TestCommModelVsMeasuredCut:
+    def test_spatial_model_tracks_measured_edge_cut(self):
+        """Eq. 10's cross-partition share must match the measured cut of a
+        random (contiguous-over-shuffled-ids) partition within a few
+        percent."""
+        graph = generate_dynamic_graph(400, 4000, 2, seed=3)
+        snapshot = graph[0]
+        for parts in (2, 4, 8):
+            partition = contiguous_vertex_partition(snapshot.num_vertices, parts)
+            measured_fraction = edge_cut(snapshot, partition) / snapshot.num_edges
+            modeled_fraction = 1.0 - 1.0 / parts
+            assert measured_fraction == pytest.approx(modeled_fraction, abs=0.05)
+
+
+class TestSimulatorVsPipeline:
+    def test_agreement_within_order_of_magnitude(self):
+        graph = generate_dynamic_graph(
+            250, 2000, 5, dissimilarity=0.1, feature_dim=48, seed=4
+        )
+        from repro.core.plan import DGNNSpec
+
+        spec = DGNNSpec.classic(48, hidden_dim=16)
+        model = DiTileAccelerator()
+        aggregate = model.simulate(graph, spec)
+        pipeline = PipelineSimulator(model.hardware).run(model.plan(graph, spec))
+        # The pipeline model has no DRAM term, so compare its makespan to
+        # the aggregate's on-chip portion.
+        on_chip = max(aggregate.cycles.compute, aggregate.cycles.on_chip)
+        ratio = pipeline.makespan_cycles / max(on_chip, 1.0)
+        assert 0.2 <= ratio <= 8.0
+
+    def test_both_rank_balanced_above_natural(self):
+        from repro.core.plan import DGNNSpec
+        from repro.core.scheduler import DiTileScheduler, SchedulerOptions
+
+        graph = generate_dynamic_graph(
+            250, 2000, 5, dissimilarity=0.1, feature_dim=48, seed=5
+        )
+        spec = DGNNSpec.classic(48, hidden_dim=16)
+        hw = HardwareConfig.small()
+        simulator = PipelineSimulator(hw)
+        results = {}
+        for name, options in [
+            ("balanced", SchedulerOptions()),
+            ("natural", SchedulerOptions(enable_balance=False)),
+        ]:
+            plan = DiTileScheduler(
+                hw.total_tiles, float(hw.distributed_buffer_bytes), options
+            ).plan(graph, spec)
+            results[name] = simulator.run(plan).makespan_cycles
+        assert results["balanced"] <= results["natural"] * 1.001
+
+
+class TestOptimizerVsSimulatedChoice:
+    def test_chosen_mapping_not_dominated(self):
+        """The Algorithm 1 choice must not lose badly to either static
+        strategy when actually simulated (the comm model is a proxy, but
+        it should not pick a disastrous mapping)."""
+        from repro.core.plan import DGNNSpec
+
+        graph = generate_dynamic_graph(
+            300, 2400, 8, dissimilarity=0.1, feature_dim=32, seed=6
+        )
+        spec = DGNNSpec.classic(32, hidden_dim=16)
+        profile = WorkloadProfile.from_graph(graph, spec.num_gnn_layers)
+        optimizer = ParallelismOptimizer(profile, 16)
+        chosen = optimizer.optimize().total_comm
+        strategies = optimizer.compare_static_strategies()
+        worst = max(
+            strategies["temporal"].total_comm, strategies["spatial"].total_comm
+        )
+        assert chosen <= worst
+
+
+class TestEnergyTimingConsistency:
+    def test_noc_energy_tracks_byte_hops(self):
+        hardware = HardwareConfig.small()
+        model = NoCModel(hardware)
+        small = model.byte_hops(NoCTraffic(spatial_bytes=1000))
+        large = model.byte_hops(NoCTraffic(spatial_bytes=4000))
+        assert large == pytest.approx(4 * small)

@@ -1,0 +1,35 @@
+"""Cross-dataset matrix: the headline claim must hold on every Table 1
+dataset at test scale."""
+
+import pytest
+
+from repro.baselines import ReaDyAccelerator
+from repro.ditile import DiTileAccelerator
+from repro.experiments.runner import ExperimentConfig, ExperimentRunner
+from repro.graphs.datasets import dataset_names
+
+TINY = ExperimentConfig(scale=0.015, snapshots=3, large_dataset_shrink=0.1)
+
+
+@pytest.mark.parametrize("dataset", dataset_names())
+class TestEveryDataset:
+    def test_ditile_beats_ready(self, dataset):
+        runner = ExperimentRunner(TINY)
+        graph = runner.graph(dataset)
+        spec = runner.spec(dataset)
+        ditile = DiTileAccelerator(runner.hardware).simulate(graph, spec)
+        ready = ReaDyAccelerator(runner.hardware).simulate(graph, spec)
+        assert ditile.execution_cycles < ready.execution_cycles
+        assert ditile.energy_joules < ready.energy_joules
+        assert ditile.total_macs < ready.total_macs
+        assert ditile.dram_bytes < ready.dram_bytes
+
+    def test_plan_is_feasible(self, dataset):
+        runner = ExperimentRunner(TINY)
+        graph = runner.graph(dataset)
+        spec = runner.spec(dataset)
+        model = DiTileAccelerator(runner.hardware)
+        plan = model.plan(graph, spec)
+        assert plan.factors.tiles_used <= runner.hardware.total_tiles
+        assert plan.tiling.alpha >= 1
+        assert plan.workload.partition.sizes().sum() == graph.max_vertices

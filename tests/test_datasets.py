@@ -1,0 +1,92 @@
+"""Unit tests for repro.graphs.datasets (Table 1 registry)."""
+
+import pytest
+
+from repro.graphs.datasets import (
+    TABLE1_DATASETS,
+    dataset_names,
+    dataset_profile,
+    load_dataset,
+)
+
+
+class TestRegistry:
+    def test_six_datasets(self):
+        assert len(TABLE1_DATASETS) == 6
+        assert dataset_names() == [
+            "PubMed", "Reddit", "Mobile", "Twitter", "Wikipedia", "Flicker",
+        ]
+
+    def test_table1_published_counts(self):
+        wd = dataset_profile("Wikipedia")
+        assert (wd.vertices, wd.edges, wd.feature_dim) == (9_227, 157_474, 172)
+        rd = dataset_profile("Reddit")
+        assert (rd.vertices, rd.edges, rd.feature_dim) == (55_863, 858_490, 602)
+        fk = dataset_profile("Flicker")
+        assert (fk.vertices, fk.edges, fk.feature_dim) == (2_302_925, 33_140_017, 800)
+
+    def test_lookup_by_abbreviation(self):
+        assert dataset_profile("WD").name == "Wikipedia"
+        assert dataset_profile("pm").name == "PubMed"
+        assert dataset_profile("flickr").name == "Flicker"
+
+    def test_unknown_dataset(self):
+        with pytest.raises(KeyError):
+            dataset_profile("nope")
+
+    def test_dissimilarity_in_paper_band(self):
+        # §7.7: real dynamic graphs vary from 4.1% to 13.3%.
+        for profile in TABLE1_DATASETS:
+            assert 0.041 <= profile.dissimilarity <= 0.133
+
+
+class TestScaling:
+    def test_scaled_preserves_ratio(self):
+        profile = dataset_profile("Reddit")
+        scaled = profile.scaled(0.1)
+        original_ratio = profile.vertex_to_edge_ratio
+        assert scaled.vertex_to_edge_ratio == pytest.approx(
+            original_ratio, rel=0.05
+        )
+
+    def test_scale_one_is_identity(self):
+        profile = dataset_profile("Twitter")
+        assert profile.scaled(1.0) is profile
+
+    def test_scale_floor(self):
+        scaled = dataset_profile("PubMed").scaled(0.001)
+        assert scaled.vertices >= 64
+        assert scaled.edges >= 2 * scaled.vertices
+
+    def test_rejects_bad_scale(self):
+        with pytest.raises(ValueError):
+            dataset_profile("PubMed").scaled(0.0)
+        with pytest.raises(ValueError):
+            dataset_profile("PubMed").scaled(2.0)
+
+
+class TestLoadDataset:
+    def test_load_matches_profile(self):
+        graph = load_dataset("Wikipedia", scale=0.05, seed=1)
+        profile = dataset_profile("Wikipedia").scaled(0.05)
+        stats = graph.stats()
+        assert stats.num_snapshots == profile.snapshots
+        assert stats.feature_dim == profile.feature_dim
+        assert stats.avg_vertices == pytest.approx(profile.vertices, rel=0.01)
+        assert stats.avg_edges == pytest.approx(profile.edges, rel=0.1)
+
+    def test_load_overrides(self):
+        graph = load_dataset(
+            "TW", scale=0.05, snapshots=3, dissimilarity=0.25, seed=2
+        )
+        assert graph.num_snapshots == 3
+        assert graph.avg_dissimilarity() == pytest.approx(0.25, abs=0.1)
+
+    def test_load_with_features(self):
+        graph = load_dataset("WD", scale=0.02, seed=3, with_features=True)
+        assert graph[0].features is not None
+
+    def test_load_deterministic(self):
+        a = load_dataset("TW", scale=0.03, seed=4)
+        b = load_dataset("TW", scale=0.03, seed=4)
+        assert a[1] == b[1]

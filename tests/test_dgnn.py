@@ -1,0 +1,116 @@
+"""Unit tests for repro.models.dgnn (the combined model, Eq. 2)."""
+
+import numpy as np
+import pytest
+
+from repro.graphs.dynamic import DynamicGraph
+from repro.graphs.generators import generate_dynamic_graph, random_features
+from repro.graphs.snapshot import GraphSnapshot
+from repro.models.dgnn import DGNNModel
+from repro.models.gcn import GCNModel
+from repro.models.rnn import GRUCell, LSTMCell
+
+
+class TestConstruction:
+    def test_create_lstm(self):
+        model = DGNNModel.create(6, [8, 4], 5, seed=0)
+        assert model.num_gnn_layers == 2
+        assert isinstance(model.rnn, LSTMCell)
+        assert model.rnn.in_dim == 4
+
+    def test_create_gru(self):
+        model = DGNNModel.create(6, [8], 5, rnn_kind="gru", seed=0)
+        assert isinstance(model.rnn, GRUCell)
+
+    def test_rejects_unknown_rnn(self):
+        with pytest.raises(ValueError):
+            DGNNModel.create(6, [8], 5, rnn_kind="transformer")
+
+    def test_rejects_dim_mismatch(self):
+        gnn = GCNModel.create([6, 8], seed=0)
+        rnn = LSTMCell.create(5, 4, seed=0)
+        with pytest.raises(ValueError):
+            DGNNModel(gnn, rnn)
+
+
+class TestRun:
+    def test_output_shapes(self, small_graph):
+        model = DGNNModel.create(6, [8, 4], 5, seed=1)
+        outputs = model.run(small_graph)
+        assert outputs.num_snapshots == 5
+        assert outputs.embeddings[0].shape == (40, 4)
+        assert outputs.hidden[0].shape == (40, 5)
+        assert outputs.final_hidden() is outputs.hidden[-1]
+
+    def test_hidden_state_carries_over(self, small_graph):
+        # Running the same snapshot twice gives different hidden states,
+        # because h^t depends on h^{t-1} (Eq. 2).
+        model = DGNNModel.create(6, [8], 5, seed=2)
+        same = DynamicGraph([small_graph[0], small_graph[0]])
+        outputs = model.run(same)
+        assert not np.allclose(outputs.hidden[0], outputs.hidden[1])
+
+    def test_explicit_features_override(self, small_graph, rng):
+        model = DGNNModel.create(6, [8], 5, seed=3)
+        features = [
+            random_features(40, 6, rng=rng) for _ in range(5)
+        ]
+        outputs = model.run(small_graph, features=features)
+        baseline = model.run(small_graph)
+        assert not np.allclose(outputs.embeddings[0], baseline.embeddings[0])
+
+    def test_requires_features_somewhere(self):
+        graph = DynamicGraph([GraphSnapshot.from_edges(4, [(0, 1)], feature_dim=3)])
+        model = DGNNModel.create(3, [4], 4, seed=4)
+        with pytest.raises(ValueError):
+            model.run(graph)
+
+    def test_rejects_varying_vertex_counts(self):
+        graph = DynamicGraph(
+            [
+                GraphSnapshot.from_edges(4, [(0, 1)], feature_dim=3),
+                GraphSnapshot.from_edges(5, [(0, 1)], feature_dim=3),
+            ]
+        )
+        model = DGNNModel.create(3, [4], 4, seed=5)
+        with pytest.raises(ValueError):
+            model.run(graph)
+
+    def test_initial_state_respected(self, small_graph):
+        model = DGNNModel.create(6, [8], 5, seed=6)
+        state = model.rnn.initial_state(40)
+        state.hidden += 0.5
+        state.cell += 0.1
+        warm = model.run(small_graph, initial_state=state)
+        cold = model.run(small_graph)
+        assert not np.allclose(warm.hidden[0], cold.hidden[0])
+
+    def test_gru_variant_runs(self, small_graph):
+        model = DGNNModel.create(6, [8, 4], 5, rnn_kind="gru", seed=7)
+        outputs = model.run(small_graph)
+        assert outputs.hidden[0].shape == (40, 5)
+
+    def test_deterministic(self, small_graph):
+        a = DGNNModel.create(6, [8], 5, seed=8).run(small_graph)
+        b = DGNNModel.create(6, [8], 5, seed=8).run(small_graph)
+        np.testing.assert_array_equal(a.hidden[-1], b.hidden[-1])
+
+
+class TestEmbeddingSemantics:
+    def test_embeddings_reflect_structure_change(self):
+        graph = generate_dynamic_graph(
+            30, 120, 3, dissimilarity=0.4, feature_dim=4, seed=9,
+            with_features=True,
+        )
+        model = DGNNModel.create(4, [6], 5, seed=10)
+        outputs = model.run(graph)
+        # With 40% of rows changing, consecutive embeddings must differ.
+        assert not np.allclose(outputs.embeddings[0], outputs.embeddings[1])
+
+    def test_unchanged_graph_keeps_embeddings(self, small_graph):
+        model = DGNNModel.create(6, [8], 5, seed=11)
+        same = DynamicGraph([small_graph[0], small_graph[0]])
+        outputs = model.run(same)
+        np.testing.assert_allclose(
+            outputs.embeddings[0], outputs.embeddings[1], atol=1e-12
+        )

@@ -1,0 +1,83 @@
+"""Tests for the PE dispatcher and the scheduler decision trace."""
+
+import numpy as np
+import pytest
+
+from repro.accel.config import TileConfig
+from repro.accel.dispatch import PEDispatcher
+from repro.cli import main
+from repro.core.plan import DGNNSpec
+from repro.core.scheduler import DiTileScheduler, SchedulerOptions
+
+
+class TestPEDispatcher:
+    @pytest.fixture
+    def dispatcher(self):
+        return PEDispatcher(TileConfig(), grain_macs=1000.0)
+
+    def test_round_robin_covers_all_work(self, dispatcher, rng):
+        workloads = rng.pareto(1.5, size=100) * 500 + 10
+        result = dispatcher.round_robin(workloads)
+        assert result.pe_loads.sum() == pytest.approx(workloads.sum())
+        assert len(result.pe_loads) == 16
+
+    def test_greedy_beats_round_robin(self, dispatcher, rng):
+        workloads = rng.pareto(1.2, size=60) * 800 + 10
+        greedy = dispatcher.greedy(workloads)
+        naive = dispatcher.round_robin(workloads)
+        assert greedy.makespan_macs <= naive.makespan_macs + 1e-9
+        assert greedy.utilization >= naive.utilization - 1e-9
+
+    def test_grain_bounds_hub_imbalance(self, rng):
+        # One huge item: without splitting, one PE owns it all.
+        workloads = [100_000.0] + [10.0] * 15
+        coarse = PEDispatcher(TileConfig(), grain_macs=1e9).greedy(workloads)
+        fine = PEDispatcher(TileConfig(), grain_macs=1000.0).greedy(workloads)
+        assert fine.stretch < coarse.stretch
+
+    def test_empty_and_zero_work(self, dispatcher):
+        result = dispatcher.dispatch([])
+        assert result.makespan_macs == 0.0
+        assert result.utilization == 1.0
+        result = dispatcher.dispatch([0.0, 0.0])
+        assert result.makespan_macs == 0.0
+
+    def test_unknown_policy(self, dispatcher):
+        with pytest.raises(ValueError):
+            dispatcher.dispatch([1.0], policy="random")
+
+    def test_rejects_bad_grain(self):
+        with pytest.raises(ValueError):
+            PEDispatcher(TileConfig(), grain_macs=0.0)
+
+    def test_stretch_at_least_one(self, dispatcher, rng):
+        workloads = rng.uniform(1, 100, size=50)
+        for policy in ("greedy", "round_robin"):
+            result = dispatcher.dispatch(workloads, policy)
+            assert result.stretch >= 1.0 - 1e-9
+
+
+class TestSchedulerExplain:
+    def test_trace_contents(self, medium_graph, medium_spec):
+        scheduler = DiTileScheduler(16, 4 * 2**20)
+        trace = scheduler.explain(medium_graph, medium_spec)
+        assert "[tiling]" in trace
+        assert "[parallelism]" in trace
+        assert "<== chosen" in trace
+        assert "[balance]" in trace
+        assert "[redundancy]" in trace
+
+    def test_trace_notes_disabled_search(self, medium_graph, medium_spec):
+        scheduler = DiTileScheduler(
+            16, 4 * 2**20, SchedulerOptions(enable_parallelism=False)
+        )
+        trace = scheduler.explain(medium_graph, medium_spec)
+        assert "disabled" in trace
+        assert "<== chosen" not in trace
+
+    def test_cli_plan_explain(self, capsys):
+        assert main(
+            ["plan", "TW", "--scale", "0.02", "--snapshots", "3", "--explain"]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "[parallelism]" in out

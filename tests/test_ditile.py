@@ -1,0 +1,104 @@
+"""Unit tests for the DiTile-DGNN accelerator model."""
+
+import pytest
+
+from repro.accel.config import HardwareConfig
+from repro.baselines import (
+    DGNNBoosterAccelerator,
+    MEGAAccelerator,
+    RACEAccelerator,
+    ReaDyAccelerator,
+)
+from repro.core.scheduler import SchedulerOptions
+from repro.ditile import DiTileAccelerator
+
+
+class TestConfiguration:
+    def test_defaults(self):
+        model = DiTileAccelerator()
+        assert model.hardware.noc.topology == "ditile"
+        assert model.hardware.noc.relink_enabled
+        assert model.algorithm == "ditile"
+
+    def test_nora_falls_back_to_mesh(self):
+        model = DiTileAccelerator(reconfigurable_noc=False)
+        assert model.hardware.noc.topology == "mesh"
+
+    def test_scheduler_uses_hardware_budget(self):
+        hw = HardwareConfig(grid_rows=2, grid_cols=4)
+        model = DiTileAccelerator(hw)
+        assert model.scheduler.total_tiles == 8
+
+    def test_batched_gathers_require_tiling_and_balance(self):
+        full = DiTileAccelerator()
+        degraded = DiTileAccelerator(
+            options=SchedulerOptions(enable_tiling=False)
+        )
+        assert full.hardware.dram.random_efficiency > (
+            degraded.hardware.dram.random_efficiency
+        )
+
+
+class TestPlanning:
+    def test_plan_is_cached(self, medium_graph, medium_spec):
+        model = DiTileAccelerator()
+        assert model.plan(medium_graph, medium_spec) is model.plan(
+            medium_graph, medium_spec
+        )
+
+    def test_placement_mirrors_plan(self, medium_graph, medium_spec):
+        model = DiTileAccelerator()
+        plan = model.plan(medium_graph, medium_spec)
+        placement = model.placement(medium_graph, medium_spec)
+        assert placement.snapshot_groups == plan.factors.snapshot_groups
+        assert placement.vertex_groups == plan.factors.vertex_groups
+        assert placement.reuse_capable
+        assert placement.reconfigurable
+
+    def test_tiling_alpha_from_plan(self, medium_graph, medium_spec):
+        model = DiTileAccelerator()
+        assert model.tiling_alpha(medium_graph, medium_spec) == model.plan(
+            medium_graph, medium_spec
+        ).tiling.alpha
+
+    def test_no_reuse_option_runs_full_recompute(self, medium_graph, medium_spec):
+        with_reuse = DiTileAccelerator().build_costs(medium_graph, medium_spec)
+        without = DiTileAccelerator(
+            options=SchedulerOptions(enable_reuse=False)
+        ).build_costs(medium_graph, medium_spec)
+        assert without.total_macs > with_reuse.total_macs
+        assert without.algorithm == "ditile"  # reported under its own name
+
+
+class TestHeadlineResults:
+    """The paper's central claims, at reduced scale."""
+
+    def test_beats_every_baseline_on_time_and_energy(
+        self, medium_graph, medium_spec
+    ):
+        ditile = DiTileAccelerator().simulate(medium_graph, medium_spec)
+        for cls in (
+            ReaDyAccelerator,
+            DGNNBoosterAccelerator,
+            RACEAccelerator,
+            MEGAAccelerator,
+        ):
+            baseline = cls().simulate(medium_graph, medium_spec)
+            assert baseline.execution_cycles > ditile.execution_cycles, cls.name
+            assert baseline.energy_joules > ditile.energy_joules, cls.name
+
+    def test_fewest_operations(self, medium_graph, medium_spec):
+        ditile = DiTileAccelerator().build_costs(medium_graph, medium_spec)
+        for cls in (ReaDyAccelerator, RACEAccelerator, MEGAAccelerator):
+            baseline = cls().build_costs(medium_graph, medium_spec)
+            assert baseline.total_macs > ditile.total_macs, cls.name
+
+    def test_least_dram_traffic(self, medium_graph, medium_spec):
+        ditile = DiTileAccelerator().build_costs(medium_graph, medium_spec)
+        for cls in (ReaDyAccelerator, RACEAccelerator, MEGAAccelerator):
+            baseline = cls().build_costs(medium_graph, medium_spec)
+            assert baseline.dram_bytes > ditile.dram_bytes, cls.name
+
+    def test_control_energy_fraction_below_7pct(self, medium_graph, medium_spec):
+        result = DiTileAccelerator().simulate(medium_graph, medium_spec)
+        assert result.energy.control_fraction() < 0.07

@@ -1,0 +1,56 @@
+"""Unit tests for repro.accel.dram."""
+
+import pytest
+
+from repro.accel.config import DRAMConfig
+from repro.accel.dram import DRAMModel, DRAMTraffic
+
+
+@pytest.fixture
+def model():
+    return DRAMModel(DRAMConfig(
+        bandwidth_bytes_per_cycle=64.0,
+        base_latency_cycles=100,
+        streaming_efficiency=0.8,
+        random_efficiency=0.4,
+    ))
+
+
+class TestDRAMTraffic:
+    def test_total(self):
+        traffic = DRAMTraffic(10, 20, 30, 40)
+        assert traffic.total_bytes == 100
+
+    def test_add(self):
+        a = DRAMTraffic(streaming_read=10)
+        a.add(DRAMTraffic(random_write=5))
+        assert a.total_bytes == 15
+        assert a.random_write == 5
+
+
+class TestTransferCycles:
+    def test_zero_traffic_is_free(self, model):
+        assert model.transfer_cycles(DRAMTraffic()) == 0.0
+
+    def test_streaming_by_hand(self, model):
+        # 5120 bytes at 64 B/cyc * 0.8 = 100 cycles + 100 latency.
+        traffic = DRAMTraffic(streaming_read=5120)
+        assert model.transfer_cycles(traffic) == pytest.approx(200.0)
+
+    def test_random_is_slower_than_streaming(self, model):
+        streaming = model.transfer_cycles(DRAMTraffic(streaming_read=65536))
+        random = model.transfer_cycles(DRAMTraffic(random_read=65536))
+        assert random > streaming
+
+    def test_mixed_traffic_adds_components(self, model):
+        mixed = DRAMTraffic(streaming_read=5120, random_read=2560)
+        expected = 100 + 5120 / (64 * 0.8) + 2560 / (64 * 0.4)
+        assert model.transfer_cycles(mixed) == pytest.approx(expected)
+
+    def test_effective_bandwidth_below_peak(self, model):
+        traffic = DRAMTraffic(streaming_read=1 << 20)
+        bandwidth = model.effective_bandwidth(traffic)
+        assert 0 < bandwidth < 64.0
+
+    def test_effective_bandwidth_zero_traffic(self, model):
+        assert model.effective_bandwidth(DRAMTraffic()) == 0.0

@@ -1,0 +1,123 @@
+"""Unit tests for repro.graphs.dynamic."""
+
+import numpy as np
+import pytest
+
+from repro.graphs.dynamic import DynamicGraph
+from repro.graphs.generators import generate_dynamic_graph
+from repro.graphs.snapshot import GraphSnapshot
+
+
+def _line(edges, n=4, feature_dim=2):
+    return GraphSnapshot.from_edges(n, edges, feature_dim=feature_dim)
+
+
+class TestContainer:
+    def test_requires_snapshots(self):
+        with pytest.raises(ValueError):
+            DynamicGraph([])
+
+    def test_requires_consistent_feature_dim(self):
+        with pytest.raises(ValueError):
+            DynamicGraph([_line([(0, 1)], feature_dim=2),
+                          _line([(0, 1)], feature_dim=3)])
+
+    def test_timestamps_are_normalized(self):
+        graph = DynamicGraph([_line([(0, 1)]), _line([(1, 2)])])
+        assert [s.timestamp for s in graph] == [0, 1]
+
+    def test_len_getitem_iter(self, small_graph):
+        assert len(small_graph) == small_graph.num_snapshots == 5
+        assert small_graph[0] is small_graph.snapshots[0]
+        assert sum(1 for _ in small_graph) == 5
+
+    def test_subrange(self, small_graph):
+        sub = small_graph.subrange(1, 4)
+        assert sub.num_snapshots == 3
+        assert sub[0].num_edges == small_graph[1].num_edges
+        with pytest.raises(ValueError):
+            small_graph.subrange(3, 2)
+
+
+class TestChangeAnalysis:
+    def test_first_snapshot_fully_changed(self):
+        graph = DynamicGraph([_line([(0, 1)])])
+        np.testing.assert_array_equal(graph.changed_vertices(0), [0, 1, 2, 3])
+        assert graph.dissimilarity(0) == 1.0
+
+    def test_identical_snapshots_unchanged(self):
+        snapshot = _line([(0, 1), (1, 2)])
+        graph = DynamicGraph([snapshot, snapshot])
+        assert len(graph.changed_vertices(1)) == 0
+        assert graph.dissimilarity(1) == 0.0
+
+    def test_changed_vertices_detects_edge_insert(self):
+        graph = DynamicGraph([_line([(0, 1)]), _line([(0, 1), (0, 2)])])
+        np.testing.assert_array_equal(graph.changed_vertices(1), [2])
+
+    def test_changed_vertices_detects_edge_delete(self):
+        graph = DynamicGraph([_line([(0, 1), (0, 2)]), _line([(0, 1)])])
+        np.testing.assert_array_equal(graph.changed_vertices(1), [2])
+
+    def test_changed_vertices_detects_feature_change(self):
+        base = _line([(0, 1)]).with_features(np.zeros((4, 2)))
+        features = np.zeros((4, 2))
+        features[3, 0] = 1.0
+        changed = _line([(0, 1)]).with_features(features)
+        graph = DynamicGraph([base, changed])
+        np.testing.assert_array_equal(graph.changed_vertices(1), [3])
+
+    def test_new_vertices_count_as_changed(self):
+        graph = DynamicGraph(
+            [_line([(0, 1)], n=4), _line([(0, 1)], n=6)]
+        )
+        np.testing.assert_array_equal(graph.changed_vertices(1), [4, 5])
+
+    def test_changed_cache_is_consistent(self, small_graph):
+        first = small_graph.changed_vertices(2)
+        second = small_graph.changed_vertices(2)
+        np.testing.assert_array_equal(first, second)
+
+    def test_avg_dissimilarity_near_target(self):
+        graph = generate_dynamic_graph(
+            200, 800, 6, dissimilarity=0.2, feature_dim=4, seed=0
+        )
+        assert graph.avg_dissimilarity() == pytest.approx(0.2, abs=0.08)
+
+    def test_single_snapshot_avg_dissimilarity(self):
+        graph = DynamicGraph([_line([(0, 1)])])
+        assert graph.avg_dissimilarity() == 0.0
+
+
+class TestAffectedSets:
+    def test_affected_expands_changed(self):
+        # 2 -> 3; a new in-edge at 2 invalidates 3 after one layer.
+        before = _line([(0, 1), (2, 3)])
+        after = _line([(0, 1), (0, 2), (2, 3)])  # vertex 2's in-row changes
+        graph = DynamicGraph([before, after])
+        np.testing.assert_array_equal(graph.changed_vertices(1), [2])
+        np.testing.assert_array_equal(graph.affected_vertices(1, 1), [2, 3])
+
+    def test_affected_fraction_bounds(self, small_graph):
+        for t in range(small_graph.num_snapshots):
+            fraction = small_graph.affected_fraction(t, 2)
+            assert 0.0 <= fraction <= 1.0
+            assert fraction >= small_graph.dissimilarity(t) - 1e-12
+
+
+class TestStats:
+    def test_stats_fields(self, small_graph):
+        stats = small_graph.stats()
+        assert stats.num_snapshots == 5
+        assert stats.feature_dim == 6
+        assert len(stats.num_vertices) == 5
+        assert len(stats.dissimilarity) == 4
+        assert stats.avg_vertices == pytest.approx(np.mean(stats.num_vertices))
+        assert "T=5" in stats.summary()
+
+    def test_max_vertices(self):
+        graph = DynamicGraph([_line([(0, 1)], n=4), _line([(0, 1)], n=7)])
+        assert graph.max_vertices == 7
+
+    def test_repr(self, small_graph):
+        assert "small" in repr(small_graph)

@@ -1,0 +1,83 @@
+"""Unit tests for repro.accel.energy (Horowitz 45nm model)."""
+
+import pytest
+
+from repro.accel.energy import EnergyBreakdown, EnergyModel, EnergyParams
+
+
+class TestEnergyParams:
+    def test_mac_energy_is_mult_plus_add(self):
+        params = EnergyParams()
+        assert params.mac_pj == pytest.approx(3.7 + 0.9)
+
+    def test_sram_sqrt_scaling(self):
+        params = EnergyParams()
+        base = params.sram_word_pj(8 * 1024)
+        assert base == pytest.approx(params.sram_8kb_word_pj)
+        assert params.sram_word_pj(32 * 1024) == pytest.approx(2 * base)
+
+    def test_sram_rejects_bad_capacity(self):
+        with pytest.raises(ValueError):
+            EnergyParams().sram_word_pj(0)
+
+
+class TestEnergyBreakdown:
+    def test_total_and_control_fraction(self):
+        breakdown = EnergyBreakdown(6.0, 2.0, 1.0, 1.0)
+        assert breakdown.total == 10.0
+        assert breakdown.control_fraction() == pytest.approx(0.1)
+
+    def test_empty_control_fraction(self):
+        assert EnergyBreakdown().control_fraction() == 0.0
+
+    def test_addition(self):
+        total = EnergyBreakdown(1, 2, 3, 4) + EnergyBreakdown(1, 1, 1, 1)
+        assert total.computation == 2
+        assert total.control == 5
+
+    def test_as_dict_keys(self):
+        keys = set(EnergyBreakdown().as_dict())
+        assert keys == {"computation", "on_chip", "off_chip", "control"}
+
+
+class TestEnergyModel:
+    def test_compute_energy_by_hand(self):
+        model = EnergyModel()
+        # 1000 MACs at 4.6 pJ, no SRAM traffic.
+        assert model.compute_energy(1000, 0.0, 8 * 1024) == pytest.approx(4.6e-9)
+
+    def test_dram_energy_by_hand(self):
+        model = EnergyModel()
+        # 400 bytes = 100 words at the configured per-word energy.
+        expected = 100 * model.params.dram_word_pj * 1e-12
+        assert model.dram_energy(400) == pytest.approx(expected)
+
+    def test_noc_energy_scales_with_byte_hops(self):
+        model = EnergyModel()
+        assert model.noc_energy(2000) == pytest.approx(2 * model.noc_energy(1000))
+
+    def test_breakdown_categories(self):
+        model = EnergyModel()
+        breakdown = model.breakdown(
+            macs=1e6,
+            sram_bytes=1e6,
+            sram_capacity_bytes=256 * 1024,
+            noc_byte_hops=1e6,
+            dram_bytes=1e6,
+            config_events=10,
+        )
+        assert breakdown.computation > 0
+        assert breakdown.on_chip > 0
+        assert breakdown.off_chip > 0
+        assert breakdown.control > 0
+        assert breakdown.total == pytest.approx(
+            breakdown.computation + breakdown.on_chip + breakdown.off_chip
+            + breakdown.control
+        )
+
+    def test_custom_params(self):
+        cheap = EnergyModel(EnergyParams(fp32_mult_pj=1.0, fp32_add_pj=0.0))
+        default = EnergyModel()
+        assert cheap.compute_energy(100, 0, 8192) < default.compute_energy(
+            100, 0, 8192
+        )

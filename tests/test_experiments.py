@@ -1,0 +1,122 @@
+"""Unit tests for the experiment runner, report, and ablation harness."""
+
+import pytest
+
+from repro.experiments.ablation import (
+    ABLATION_VARIANTS,
+    ablation_variant,
+    run_ablation,
+)
+from repro.experiments.report import FigureResult, format_table
+from repro.experiments.runner import (
+    BASELINE_ORDER,
+    ExperimentConfig,
+    ExperimentRunner,
+)
+
+FAST = ExperimentConfig(scale=0.02, snapshots=4, large_dataset_shrink=0.1)
+
+
+class TestExperimentConfig:
+    def test_dataset_scale_shrinks_large(self):
+        config = ExperimentConfig(scale=0.1, large_dataset_shrink=0.2)
+        assert config.dataset_scale("Wikipedia") == pytest.approx(0.1)
+        assert config.dataset_scale("Flicker") == pytest.approx(0.02)
+        assert config.dataset_scale("MB") == pytest.approx(0.02)
+
+
+class TestRunner:
+    def test_graph_caching(self):
+        runner = ExperimentRunner(FAST)
+        assert runner.graph("Twitter") is runner.graph("Twitter")
+        assert runner.graph("Twitter") is not runner.graph(
+            "Twitter", dissimilarity=0.2
+        )
+
+    def test_graph_respects_config(self):
+        runner = ExperimentRunner(FAST)
+        graph = runner.graph("Twitter")
+        assert graph.num_snapshots == 4
+
+    def test_spec_uses_dataset_feature_dim(self):
+        runner = ExperimentRunner(FAST)
+        assert runner.spec("Wikipedia").feature_dim == 172
+        assert runner.spec("Twitter").feature_dim == 768
+
+    def test_all_accelerators_order(self):
+        runner = ExperimentRunner(FAST)
+        names = [m.name for m in runner.all_accelerators()]
+        assert names == [*BASELINE_ORDER, "DiTile-DGNN"]
+
+    def test_compare_returns_all_models(self):
+        runner = ExperimentRunner(FAST)
+        results = runner.compare("Twitter")
+        assert set(results) == {*BASELINE_ORDER, "DiTile-DGNN"}
+        for result in results.values():
+            assert result.execution_cycles > 0
+
+
+class TestReport:
+    def test_format_table_alignment(self):
+        text = format_table(["a", "bb"], [[1, 2.5], ["x", 3]])
+        lines = text.splitlines()
+        assert len(lines) == 4  # header, rule, two rows
+        assert "a" in lines[0] and "bb" in lines[0]
+
+    def test_figure_result_to_text(self):
+        result = FigureResult(
+            figure_id="Figure X",
+            title="demo",
+            headers=["k", "v"],
+            rows=[["a", 1.0]],
+            notes=["a note"],
+            paper_values={"target": "42"},
+        )
+        text = result.to_text()
+        assert "Figure X" in text
+        assert "a note" in text
+        assert "target=42" in text
+        assert str(result) == text
+
+    def test_row_dict(self):
+        result = FigureResult("f", "t", ["k", "v"], [["a", 1], ["b", 2]])
+        assert result.row_dict()["b"] == ["b", 2]
+
+
+class TestAblationHarness:
+    def test_variant_names(self):
+        assert len(ABLATION_VARIANTS) == 7
+        assert "DiTile-DGNN" in ABLATION_VARIANTS
+
+    def test_unknown_variant(self):
+        with pytest.raises(KeyError):
+            ablation_variant("NoEverything")
+
+    def test_variant_flags(self):
+        nops = ablation_variant("NoPs")
+        assert not nops.options.enable_parallelism
+        assert nops.options.enable_balance
+        assert nops.reconfigurable_noc
+
+        nora = ablation_variant("NoRa")
+        assert nora.options.enable_parallelism
+        assert not nora.reconfigurable_noc
+        assert nora.hardware.noc.topology == "mesh"
+
+        onlyra = ablation_variant("OnlyRa")
+        assert not onlyra.options.enable_parallelism
+        assert not onlyra.options.enable_balance
+        assert onlyra.reconfigurable_noc
+
+    def test_full_variant_is_fastest(self, medium_graph, medium_spec):
+        results = run_ablation(medium_graph, medium_spec)
+        base = results["DiTile-DGNN"].execution_cycles
+        for name, result in results.items():
+            if name != "DiTile-DGNN":
+                assert result.execution_cycles >= base * 0.999, name
+
+    def test_subset_of_variants(self, medium_graph, medium_spec):
+        results = run_ablation(
+            medium_graph, medium_spec, variants=["DiTile-DGNN", "NoPs"]
+        )
+        assert set(results) == {"DiTile-DGNN", "NoPs"}

@@ -1,0 +1,79 @@
+"""Tests for result export and the pipeline Gantt/CSV views."""
+
+import csv
+
+import pytest
+
+from repro.accel.pipeline import PipelineSimulator
+from repro.cli import main
+from repro.ditile import DiTileAccelerator
+from repro.experiments.export import export_results, figure_to_csv
+from repro.experiments.report import FigureResult
+
+
+@pytest.fixture
+def sample_results():
+    return [
+        FigureResult("Figure 7", "ops", ["a", "b"], [["x", 1], ["y", 2]]),
+        FigureResult("Table 1", "datasets", ["n"], [["z"]], notes=["hi"]),
+    ]
+
+
+class TestExport:
+    def test_csv_round_trip(self, sample_results, tmp_path):
+        path = tmp_path / "fig.csv"
+        figure_to_csv(sample_results[0], path)
+        with open(path) as handle:
+            rows = list(csv.reader(handle))
+        assert rows[0] == ["a", "b"]
+        assert rows[1] == ["x", "1"]
+
+    def test_export_directory(self, sample_results, tmp_path):
+        written = export_results(sample_results, tmp_path / "out")
+        assert (tmp_path / "out" / "figure_7.csv").exists()
+        assert (tmp_path / "out" / "table_1.csv").exists()
+        report = (tmp_path / "out" / "REPORT.md").read_text()
+        assert "Figure 7" in report
+        assert "note: hi" in report
+        assert written["report"].name == "REPORT.md"
+
+    def test_cli_reproduce_with_out(self, tmp_path):
+        out = tmp_path / "results"
+        assert main(
+            ["reproduce", "figure14", "--out", str(out)]
+        ) == 0
+        assert (out / "figure_14.csv").exists()
+        assert (out / "REPORT.md").exists()
+
+
+class TestGantt:
+    @pytest.fixture
+    def result(self, medium_graph, medium_spec):
+        model = DiTileAccelerator()
+        plan = model.plan(medium_graph, medium_spec)
+        return PipelineSimulator(model.hardware).run(plan)
+
+    def test_gantt_dimensions(self, result):
+        text = result.gantt_text(width=40)
+        lines = text.splitlines()
+        assert len(lines) == result.num_tiles + 1  # tiles + legend
+        for line in lines[:-1]:
+            bar = line.split("|")[1]
+            assert len(bar) == 40
+            assert set(bar) <= {"g", "r", "s", "t", "."}
+
+    def test_gantt_empty(self):
+        from repro.accel.pipeline import PipelineResult
+
+        empty = PipelineResult(0.0, {}, [])
+        assert "empty" in empty.gantt_text()
+
+    def test_to_rows_matches_segments(self, result):
+        rows = result.to_rows()
+        total_segments = sum(
+            len(t.segments) for t in result.timelines.values()
+        )
+        assert len(rows) == total_segments
+        for column, row, kind, start, end, snapshot in rows:
+            assert end > start
+            assert kind in ("gnn", "rnn", "spatial", "temporal")

@@ -1,0 +1,124 @@
+"""Shape tests for the figure reproductions (fast, reduced-scale config).
+
+Each figure is checked for the paper's qualitative claims — who wins,
+orderings, trends — not for absolute values.
+"""
+
+import pytest
+
+from repro.experiments.figures import (
+    figure7,
+    figure8,
+    figure9,
+    figure10,
+    figure11a,
+    figure11b,
+    figure13,
+    figure14,
+    table1,
+)
+from repro.experiments.runner import ExperimentConfig
+
+FAST = ExperimentConfig(scale=0.02, snapshots=4, large_dataset_shrink=0.1)
+
+
+@pytest.fixture(scope="module")
+def config():
+    return FAST
+
+
+class TestTable1:
+    def test_six_rows(self, config):
+        result = table1(config)
+        assert len(result.rows) == 6
+        names = [row[0] for row in result.rows]
+        assert names[0] == "PubMed" and names[-1] == "Flicker"
+
+    def test_synthesized_dissimilarity_in_band(self, config):
+        for row in table1(config).rows:
+            assert 0.03 <= row[8] <= 0.2
+
+
+class TestFigure7:
+    def test_ditile_needs_fewest_ops_everywhere(self, config):
+        result = figure7(config)
+        for row in result.rows:
+            re_alg, race, mega, ditile = row[1], row[2], row[3], row[4]
+            assert ditile < race < re_alg, row[0]
+            assert ditile < mega < re_alg, row[0]
+
+    def test_average_reduction_vs_re_alg_substantial(self, config):
+        avg = figure7(config).rows[-1]
+        reduction = 1.0 - avg[4] / avg[1]
+        assert 0.45 <= reduction <= 0.8  # paper: 65.7%
+
+
+class TestFigure8:
+    def test_ditile_least_dram_everywhere(self, config):
+        for row in figure8(config).rows:
+            assert row[4] == min(row[1:5]), row[0]
+
+    def test_average_reduction_vs_re_alg(self, config):
+        avg = figure8(config).rows[-1]
+        reduction = 1.0 - avg[4] / avg[1]
+        assert 0.4 <= reduction <= 0.75  # paper: 58.1%
+
+
+class TestFigure9:
+    def test_ditile_fastest_everywhere(self, config):
+        result = figure9(config)
+        for row in result.rows[:-1]:
+            baselines = row[1:5]
+            ditile = row[5]
+            assert all(ditile < b for b in baselines), row[0]
+
+    def test_ordering_of_baselines_on_average(self, config):
+        avg = figure9(config).rows[-1]
+        ready, booster, race, mega, ditile = avg[1:6]
+        # Paper Fig. 9: RACE is the closest baseline, Booster the slowest.
+        assert race == min(ready, booster, race, mega)
+        assert ditile < race
+
+
+class TestFigure10:
+    def test_actual_exceeds_estimate_on_average(self, config):
+        avg = figure10(config).rows[-1]
+        assert 1.0 <= avg[1] <= 1.2  # DA (paper: +5%)
+        assert 1.0 <= avg[2] <= 1.3  # OT (paper: +9%)
+
+
+class TestFigure11:
+    def test_utilization_in_range(self, config):
+        for row in figure11a(config).rows:
+            assert 0.0 < row[1] <= 1.0
+
+    def test_ablation_variants_all_slower(self, config):
+        result = figure11b(config)
+        rows = result.row_dict()
+        assert rows["DiTile-DGNN"][2] == 0
+        for name in ("NoPs", "NoWos", "NoRa", "OnlyPs", "OnlyWos", "OnlyRa"):
+            assert rows[name][2] >= 0, name
+
+    def test_single_contribution_worse_than_missing_one(self, config):
+        # Paper: Only* variants lose more than No* variants on average.
+        rows = figure11b(config).row_dict()
+        only_avg = (rows["OnlyPs"][2] + rows["OnlyWos"][2] + rows["OnlyRa"][2]) / 3
+        no_avg = (rows["NoPs"][2] + rows["NoWos"][2] + rows["NoRa"][2]) / 3
+        assert only_avg >= no_avg
+
+
+class TestFigure13:
+    def test_advantage_decreases_with_dissimilarity(self, config):
+        result = figure13(config)
+        averages = [row[-1] for row in result.rows]
+        assert averages[0] > averages[-1]
+        assert all(value > 1.0 for value in averages)
+
+
+class TestFigure14:
+    def test_matches_paper_percentages(self):
+        result = figure14()
+        values = {(row[0], row[1]): row[2] for row in result.rows}
+        assert values[("chip", "tiles")] == pytest.approx(77.8, abs=0.5)
+        assert values[("tile", "pe_array")] == pytest.approx(60.5, abs=0.5)
+        assert values[("pe", "mac_array")] == pytest.approx(59.4, abs=0.5)

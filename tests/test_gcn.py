@@ -1,0 +1,98 @@
+"""Unit tests for repro.models.gcn."""
+
+import numpy as np
+import pytest
+
+from repro.models.gcn import GCNLayer, GCNModel, relu
+
+
+class TestRelu:
+    def test_clamps_negatives(self):
+        np.testing.assert_array_equal(
+            relu(np.array([-1.0, 0.0, 2.0])), [0.0, 0.0, 2.0]
+        )
+
+
+class TestGCNLayer:
+    def test_dims(self):
+        layer = GCNLayer(np.zeros((4, 6)))
+        assert layer.in_dim == 4
+        assert layer.out_dim == 6
+
+    def test_rejects_non_matrix_weight(self):
+        with pytest.raises(ValueError):
+            GCNLayer(np.zeros(4))
+
+    def test_rejects_bad_bias(self):
+        with pytest.raises(ValueError):
+            GCNLayer(np.zeros((4, 6)), bias=np.zeros(4))
+
+    def test_combine_applies_activation(self):
+        layer = GCNLayer(-np.eye(3))
+        out = layer.combine(np.ones((2, 3)))
+        np.testing.assert_array_equal(out, np.zeros((2, 3)))
+
+    def test_combine_without_activation(self):
+        layer = GCNLayer(-np.eye(3), activation=False)
+        out = layer.combine(np.ones((2, 3)))
+        np.testing.assert_array_equal(out, -np.ones((2, 3)))
+
+    def test_forward_is_aggregate_then_combine(self, tiny_snapshot, rng):
+        layer = GCNLayer(rng.standard_normal((3, 4)))
+        x = rng.standard_normal((5, 3))
+        expected = layer.combine(tiny_snapshot.aggregate(x))
+        np.testing.assert_allclose(layer.forward(tiny_snapshot, x), expected)
+
+    def test_forward_matches_paper_equation(self, tiny_snapshot, rng):
+        # Eq. 3: x_l = ReLU(A_hat x_{l-1} W_l), dense reference.
+        weight = rng.standard_normal((3, 2))
+        layer = GCNLayer(weight)
+        x = rng.standard_normal((5, 3))
+        dense = relu(tiny_snapshot.normalized_adjacency() @ x @ weight)
+        np.testing.assert_allclose(layer.forward(tiny_snapshot, x), dense,
+                                   atol=1e-12)
+
+
+class TestGCNModel:
+    def test_create_checks_dims(self):
+        with pytest.raises(ValueError):
+            GCNModel.create([8])
+
+    def test_rejects_mismatched_layers(self):
+        with pytest.raises(ValueError):
+            GCNModel([GCNLayer(np.zeros((3, 4))), GCNLayer(np.zeros((5, 2)))])
+
+    def test_rejects_empty(self):
+        with pytest.raises(ValueError):
+            GCNModel([])
+
+    def test_model_dims(self):
+        model = GCNModel.create([6, 8, 4], seed=0)
+        assert model.num_layers == 2
+        assert model.in_dim == 6
+        assert model.out_dim == 4
+
+    def test_forward_shape(self, tiny_snapshot, rng):
+        model = GCNModel.create([3, 7, 5], seed=1)
+        out = model.forward(tiny_snapshot, rng.standard_normal((5, 3)))
+        assert out.shape == (5, 5)
+
+    def test_forward_all_layers_consistent(self, tiny_snapshot, rng):
+        model = GCNModel.create([3, 7, 5], seed=2)
+        x = rng.standard_normal((5, 3))
+        outputs = model.forward_all_layers(tiny_snapshot, x)
+        assert len(outputs) == 2
+        np.testing.assert_allclose(outputs[-1], model.forward(tiny_snapshot, x))
+
+    def test_deterministic_creation(self):
+        a = GCNModel.create([4, 5], seed=3)
+        b = GCNModel.create([4, 5], seed=3)
+        np.testing.assert_array_equal(a.layers[0].weight, b.layers[0].weight)
+
+    def test_isolated_vertices_keep_finite_outputs(self, rng):
+        from repro.graphs.snapshot import GraphSnapshot
+
+        snapshot = GraphSnapshot.empty(4, feature_dim=3)
+        model = GCNModel.create([3, 2], seed=4)
+        out = model.forward(snapshot, rng.standard_normal((4, 3)))
+        assert np.all(np.isfinite(out))

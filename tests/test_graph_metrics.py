@@ -1,0 +1,70 @@
+"""Tests for graph structure metrics."""
+
+import numpy as np
+import pytest
+
+from repro.graphs.generators import generate_dynamic_graph, powerlaw_snapshot
+from repro.graphs.metrics import (
+    hill_tail_exponent,
+    snapshot_metrics,
+    temporal_overlap,
+)
+from repro.graphs.snapshot import GraphSnapshot
+
+
+class TestHillEstimator:
+    def test_recovers_pareto_exponent(self, rng):
+        # Pareto(alpha) samples: the Hill estimator should land near alpha.
+        alpha = 2.5
+        samples = (rng.pareto(alpha, size=20_000) + 1.0) * 10
+        estimate = hill_tail_exponent(samples.astype(np.int64), 0.05)
+        assert estimate == pytest.approx(1 + alpha, rel=0.35)
+
+    def test_degenerate_inputs(self):
+        assert hill_tail_exponent(np.array([0, 0, 0])) == float("inf")
+        assert hill_tail_exponent(np.array([5])) == float("inf")
+
+    def test_rejects_bad_fraction(self):
+        with pytest.raises(ValueError):
+            hill_tail_exponent(np.arange(10), 0.0)
+
+
+class TestSnapshotMetrics:
+    def test_powerlaw_graph_is_skewed(self):
+        snapshot = powerlaw_snapshot(2000, 20_000, skew=1.0, seed=1)
+        metrics = snapshot_metrics(snapshot)
+        assert metrics.num_edges == 20_000
+        assert metrics.degree_cv > 1.0  # heavy tail
+        assert metrics.max_in_degree > 10 * metrics.avg_in_degree
+
+    def test_regular_graph_is_flat(self):
+        # A ring: every vertex has in-degree exactly 1.
+        edges = [(i, (i + 1) % 50) for i in range(50)]
+        metrics = snapshot_metrics(GraphSnapshot.from_edges(50, edges))
+        assert metrics.degree_cv == pytest.approx(0.0)
+        assert metrics.isolated_fraction == 0.0
+
+    def test_empty_graph(self):
+        metrics = snapshot_metrics(GraphSnapshot.empty(10))
+        assert metrics.avg_in_degree == 0.0
+        assert metrics.isolated_fraction == 1.0
+
+
+class TestTemporalOverlap:
+    def test_high_similarity_graphs_overlap(self):
+        graph = generate_dynamic_graph(300, 2400, 4, dissimilarity=0.05, seed=2)
+        overlaps = [temporal_overlap(graph, t) for t in range(1, 4)]
+        # The paper's §3.1 temporal-similarity regime.
+        assert min(overlaps) > 0.85
+
+    def test_volatile_graphs_overlap_less(self):
+        stable = generate_dynamic_graph(300, 2400, 3, dissimilarity=0.05, seed=3)
+        volatile = generate_dynamic_graph(300, 2400, 3, dissimilarity=0.6, seed=3)
+        assert temporal_overlap(volatile, 1) < temporal_overlap(stable, 1)
+
+    def test_rejects_bad_transition(self):
+        graph = generate_dynamic_graph(50, 200, 3, seed=4)
+        with pytest.raises(ValueError):
+            temporal_overlap(graph, 0)
+        with pytest.raises(ValueError):
+            temporal_overlap(graph, 3)

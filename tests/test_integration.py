@@ -1,0 +1,118 @@
+"""End-to-end integration tests across subsystem boundaries."""
+
+import numpy as np
+import pytest
+
+from repro import (
+    DGNNModel,
+    DGNNSpec,
+    DiTileAccelerator,
+    DiTileScheduler,
+    HardwareConfig,
+    IncrementalDGNN,
+    load_dataset,
+)
+from repro.baselines import ReaDyAccelerator
+from repro.experiments import ExperimentConfig, ExperimentRunner
+
+
+class TestFullPipeline:
+    """Dataset -> scheduler -> simulator, end to end."""
+
+    def test_dataset_to_simulation(self):
+        graph = load_dataset("Twitter", scale=0.03, snapshots=4, seed=1)
+        spec = DGNNSpec.classic(graph.feature_dim)
+        model = DiTileAccelerator()
+        plan = model.plan(graph, spec)
+        result = model.simulate(graph, spec)
+        assert plan.factors.tiles_used <= model.hardware.total_tiles
+        assert result.execution_cycles > 0
+        assert result.execution_seconds > 0
+        assert result.total_macs > 0
+
+    def test_scheduler_standalone_matches_accelerator(self):
+        graph = load_dataset("Twitter", scale=0.03, snapshots=4, seed=1)
+        spec = DGNNSpec.classic(graph.feature_dim)
+        hw = HardwareConfig.small()
+        standalone = DiTileScheduler(
+            hw.total_tiles, float(hw.distributed_buffer_bytes)
+        ).plan(graph, spec)
+        embedded = DiTileAccelerator(hw).plan(graph, spec)
+        assert standalone.tiling.alpha == embedded.tiling.alpha
+        assert standalone.factors == embedded.factors
+
+    def test_numeric_model_consistent_with_cost_model_reuse(self):
+        """The analytic reuse assumption must hold in the numeric engine:
+        lower dissimilarity means fewer recomputed rows AND fewer modelled
+        MACs, in the same direction."""
+        spec = DGNNSpec(gcn_dims=(8, 8, 8), rnn_hidden_dim=8)
+        macs, reuse = [], []
+        for dis in (0.05, 0.4):
+            graph = load_dataset(
+                "Twitter", scale=0.02, snapshots=4, seed=2,
+                dissimilarity=dis, with_features=False,
+            )
+            costs = DiTileAccelerator().build_costs(graph, spec)
+            macs.append(costs.total_macs)
+
+            numeric_graph = load_dataset(
+                "Twitter", scale=0.02, snapshots=4, seed=2,
+                dissimilarity=dis, with_features=True,
+            )
+            engine = IncrementalDGNN(DGNNModel.create(768, [8, 8], 8, seed=0))
+            engine.run(numeric_graph)
+            reuse.append(engine.stats.reuse_fraction())
+        assert macs[0] < macs[1]
+        assert reuse[0] > reuse[1]
+
+    def test_experiment_runner_round_trip(self):
+        config = ExperimentConfig(scale=0.02, snapshots=3,
+                                  large_dataset_shrink=0.1)
+        runner = ExperimentRunner(config)
+        results = runner.compare("PubMed")
+        ditile = results["DiTile-DGNN"]
+        ready = results["ReaDy"]
+        assert ditile.execution_cycles < ready.execution_cycles
+        assert ditile.energy_joules < ready.energy_joules
+
+    def test_paper_hardware_config_runs(self):
+        graph = load_dataset("Twitter", scale=0.03, snapshots=4, seed=3)
+        spec = DGNNSpec.classic(graph.feature_dim)
+        model = DiTileAccelerator(HardwareConfig.paper())
+        result = model.simulate(graph, spec)
+        assert result.execution_cycles > 0
+        # 256 tiles must beat 16 tiles on a compute-heavy metric.
+        small = DiTileAccelerator(HardwareConfig.small()).simulate(graph, spec)
+        assert result.cycles.compute < small.cycles.compute
+
+
+class TestCrossConsistency:
+    def test_simulated_macs_match_cost_model(self):
+        graph = load_dataset("Twitter", scale=0.03, snapshots=4, seed=4)
+        spec = DGNNSpec.classic(graph.feature_dim)
+        model = ReaDyAccelerator()
+        costs = model.build_costs(graph, spec)
+        result = model.simulate(graph, spec)
+        assert result.total_macs == pytest.approx(costs.total_macs)
+        assert result.dram_bytes == pytest.approx(costs.dram_bytes)
+
+    def test_seeded_runs_are_reproducible(self):
+        config = ExperimentConfig(scale=0.02, snapshots=3)
+        a = ExperimentRunner(config).compare("Wikipedia")
+        b = ExperimentRunner(config).compare("Wikipedia")
+        for name in a:
+            assert a[name].execution_cycles == pytest.approx(
+                b[name].execution_cycles
+            )
+
+    def test_numeric_inference_on_dataset_graph(self):
+        graph = load_dataset(
+            "Wikipedia", scale=0.01, snapshots=3, seed=5, with_features=True
+        )
+        model = DGNNModel.create(172, [16, 8], 8, seed=6)
+        full = model.run(graph)
+        incremental = IncrementalDGNN(model).run(graph)
+        for t in range(3):
+            np.testing.assert_allclose(
+                full.hidden[t], incremental.hidden[t], atol=1e-10
+            )

@@ -1,0 +1,106 @@
+"""Unit tests for graph persistence and edge-stream import."""
+
+import numpy as np
+import pytest
+
+from repro.graphs.generators import generate_dynamic_graph
+from repro.graphs.io import (
+    load_dynamic_graph,
+    load_edge_stream,
+    save_dynamic_graph,
+)
+
+
+class TestNpzRoundTrip:
+    def test_structure_round_trip(self, tmp_path):
+        graph = generate_dynamic_graph(50, 200, 4, seed=1, name="saved")
+        path = tmp_path / "graph.npz"
+        save_dynamic_graph(graph, path)
+        loaded = load_dynamic_graph(path)
+        assert loaded.name == "saved"
+        assert loaded.num_snapshots == 4
+        for original, restored in zip(graph, loaded):
+            assert original == restored
+
+    def test_features_round_trip(self, tmp_path):
+        graph = generate_dynamic_graph(
+            20, 60, 3, feature_dim=5, seed=2, with_features=True
+        )
+        path = tmp_path / "graph.npz"
+        save_dynamic_graph(graph, path)
+        loaded = load_dynamic_graph(path)
+        for original, restored in zip(graph, loaded):
+            np.testing.assert_array_equal(original.features, restored.features)
+
+    def test_structure_only_has_no_features(self, tmp_path):
+        graph = generate_dynamic_graph(20, 60, 2, seed=3)
+        path = tmp_path / "graph.npz"
+        save_dynamic_graph(graph, path)
+        assert load_dynamic_graph(path)[0].features is None
+
+
+class TestEdgeStream:
+    def test_import_with_header_and_ops(self, tmp_path):
+        path = tmp_path / "stream.csv"
+        path.write_text(
+            "src,dst,time,op\n"
+            "0,1,1.0,add\n"
+            "1,2,2.0,add\n"
+            "0,1,3.0,remove\n"
+        )
+        graph = load_edge_stream(path)
+        assert graph.num_events == 3
+        assert graph.edges_at(3.5) == {(1, 2)}
+
+    def test_import_without_header_or_ops(self, tmp_path):
+        path = tmp_path / "stream.csv"
+        path.write_text("0,1,1.0\n2,3,2.0\n")
+        graph = load_edge_stream(path, has_header=False)
+        assert graph.num_events == 2
+        assert graph.edges_at(2.0) == {(0, 1), (2, 3)}
+
+    def test_comments_and_blanks_skipped(self, tmp_path):
+        path = tmp_path / "stream.csv"
+        path.write_text("# comment\n\n0,1,1.0\n")
+        graph = load_edge_stream(path, has_header=False)
+        assert graph.num_events == 1
+
+    def test_short_row_rejected(self, tmp_path):
+        path = tmp_path / "stream.csv"
+        path.write_text("0,1\n")
+        with pytest.raises(ValueError):
+            load_edge_stream(path, has_header=False)
+
+    def test_stream_to_discrete_pipeline(self, tmp_path):
+        rows = ["src,dst,time"]
+        rng = np.random.default_rng(4)
+        for t in range(1, 120):
+            src, dst = rng.integers(0, 15, size=2)
+            if src != dst:
+                rows.append(f"{src},{dst},{t}")
+        path = tmp_path / "stream.csv"
+        path.write_text("\n".join(rows))
+        discrete = load_edge_stream(path).discretize(4)
+        assert discrete.num_snapshots == 4
+        assert discrete[3].num_edges >= discrete[0].num_edges
+
+
+class TestCorruptedArchives:
+    def test_missing_file(self, tmp_path):
+        with pytest.raises(FileNotFoundError):
+            load_dynamic_graph(tmp_path / "nope.npz")
+
+    def test_garbage_file(self, tmp_path):
+        path = tmp_path / "garbage.npz"
+        path.write_bytes(b"this is not a zip archive")
+        with pytest.raises(Exception):
+            load_dynamic_graph(path)
+
+    def test_truncated_archive(self, tmp_path):
+        graph = generate_dynamic_graph(20, 60, 2, seed=9)
+        path = tmp_path / "graph.npz"
+        save_dynamic_graph(graph, path)
+        data = path.read_bytes()
+        path.write_bytes(data[: len(data) // 2])
+        with pytest.raises(Exception):
+            load_dynamic_graph(path)

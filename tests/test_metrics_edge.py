@@ -1,0 +1,89 @@
+"""Edge-case tests for metrics, report internals, and figure helpers."""
+
+import numpy as np
+import pytest
+
+from repro.accel.dram import DRAMTraffic
+from repro.accel.energy import EnergyBreakdown
+from repro.accel.metrics import (
+    CostSummary,
+    CycleBreakdown,
+    SimulationResult,
+    SnapshotCosts,
+)
+from repro.experiments.figures import _average_quantities
+from repro.baselines.algorithms import SnapshotQuantities
+
+
+def _result(cycles=100.0, energy=1.0, macs=10.0):
+    return SimulationResult(
+        accelerator="x",
+        algorithm="y",
+        cycles=CycleBreakdown(total=cycles),
+        energy=EnergyBreakdown(computation=energy),
+        total_macs=macs,
+        dram_bytes=0.0,
+        noc_bytes=0.0,
+        noc_byte_hops=0.0,
+        pe_utilization=0.5,
+        frequency_hz=700e6,
+    )
+
+
+class TestSimulationResultEdges:
+    def test_zero_cycle_speedup_is_infinite(self):
+        zero = _result(cycles=0.0)
+        other = _result(cycles=100.0)
+        assert zero.speedup_over(other) == float("inf")
+
+    def test_zero_energy_ratio_is_infinite(self):
+        zero = _result(energy=0.0)
+        zero.energy.computation = 0.0
+        other = _result(energy=5.0)
+        assert zero.energy_ratio_over(other) == float("inf")
+
+    def test_execution_seconds(self):
+        result = _result(cycles=700e6)
+        assert result.execution_seconds == pytest.approx(1.0)
+
+
+class TestCostSummaryEdges:
+    def test_empty_summary(self):
+        costs = CostSummary("none", [])
+        assert costs.total_macs == 0
+        assert costs.dram_bytes == 0
+        assert costs.noc_bytes == 0
+
+    def test_snapshot_costs_accessors(self):
+        snap = SnapshotCosts(
+            0, gnn_aggregation_macs=3, gnn_combination_macs=4, rnn_macs=5,
+            dram=DRAMTraffic(streaming_read=7),
+        )
+        assert snap.gnn_macs == 7
+        assert snap.total_macs == 12
+        assert snap.dram.total_bytes == 7
+
+
+class TestAverageQuantities:
+    def test_smoothing_preserves_count_and_averages(self):
+        quantities = [
+            SnapshotQuantities(0, 100, 500, 1.0, 500, 0),
+            SnapshotQuantities(1, 100, 510, 0.1, 30, 20),
+            SnapshotQuantities(2, 100, 490, 0.3, 10, 30),
+        ]
+        smoothed = _average_quantities(quantities)
+        assert len(smoothed) == 3
+        assert smoothed[0].dissimilarity == 1.0  # cold start stays cold
+        assert smoothed[1].dissimilarity == pytest.approx(0.2)
+        assert smoothed[1].edges == smoothed[2].edges  # uniform assumption
+
+    def test_single_snapshot_passthrough(self):
+        quantities = [SnapshotQuantities(0, 10, 20, 1.0, 20, 0)]
+        assert _average_quantities(quantities) is quantities
+
+
+class TestEnergyBreakdownEdges:
+    def test_negative_free_total(self):
+        breakdown = EnergyBreakdown()
+        assert breakdown.total == 0.0
+        assert breakdown.control_fraction() == 0.0

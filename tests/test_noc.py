@@ -1,0 +1,117 @@
+"""Unit tests for repro.accel.noc (topologies + transfer model)."""
+
+from dataclasses import replace
+
+import pytest
+
+from repro.accel.config import HardwareConfig, NoCConfig
+from repro.accel.noc import NoCModel, NoCTraffic, mesh_hops, ring_hops
+
+
+def _hw(topology, relink=True, rows=4, cols=4):
+    hw = HardwareConfig(grid_rows=rows, grid_cols=cols)
+    return replace(hw, noc=NoCConfig(topology=topology, relink_enabled=relink))
+
+
+class TestHopHelpers:
+    def test_ring_hops_wraps(self):
+        assert ring_hops(8, 0, 1) == 1
+        assert ring_hops(8, 0, 7) == 1
+        assert ring_hops(8, 0, 4) == 4
+
+    def test_ring_rejects_bad_size(self):
+        with pytest.raises(ValueError):
+            ring_hops(0, 0, 0)
+
+    def test_mesh_hops_manhattan(self):
+        assert mesh_hops(4, 4, 0, 5) == 2  # (0,0) -> (1,1)
+        assert mesh_hops(4, 4, 0, 15) == 6  # (0,0) -> (3,3)
+
+
+class TestNoCTraffic:
+    def test_total_and_classes(self):
+        traffic = NoCTraffic(10, 20, 30)
+        assert traffic.total_bytes == 60
+        names = {c.name: c.regular for c in traffic.classes()}
+        assert names == {"temporal": True, "reuse": True, "spatial": False}
+
+    def test_add(self):
+        a = NoCTraffic(temporal_bytes=5)
+        a.add(NoCTraffic(spatial_bytes=7))
+        assert a.total_bytes == 12
+
+
+class TestTopologyStructure:
+    def test_ditile_regular_is_single_hop(self):
+        model = NoCModel(_hw("ditile"))
+        assert model.avg_hops(regular=True) == 1.0
+        assert model.avg_hops(regular=False) == 2.0  # Re-Link bypass
+
+    def test_ditile_without_relink_is_slower_vertically(self):
+        with_relink = NoCModel(_hw("ditile", relink=True))
+        without = NoCModel(_hw("ditile", relink=False, rows=16))
+        assert without.avg_hops(regular=False) > with_relink.avg_hops(
+            regular=False
+        )
+
+    def test_mesh_hops_grow_with_size(self):
+        small = NoCModel(_hw("mesh", rows=4, cols=4))
+        large = NoCModel(_hw("mesh", rows=16, cols=16))
+        assert large.avg_hops(regular=False) > small.avg_hops(regular=False)
+
+    def test_crossbar_single_hop_many_paths(self):
+        model = NoCModel(_hw("crossbar"))
+        assert model.avg_hops(regular=False) == 1.0
+        assert model.parallel_paths(regular=False) == 16.0
+
+    def test_crossbar_arbitration_latency_grows(self):
+        small = NoCModel(_hw("crossbar", rows=2, cols=2))
+        large = NoCModel(_hw("crossbar", rows=16, cols=16))
+        assert large.router_latency() > small.router_latency()
+
+    def test_describe_keys(self):
+        summary = NoCModel(_hw("ditile")).describe()
+        assert {"regular_hops", "irregular_hops", "regular_paths",
+                "irregular_paths", "router_latency"} == set(summary)
+
+
+class TestTransferCycles:
+    def test_zero_traffic_fast(self):
+        model = NoCModel(_hw("ditile"))
+        assert model.transfer_cycles(NoCTraffic()) == 0.0
+
+    def test_ditile_overlaps_regular_and_irregular(self):
+        model = NoCModel(_hw("ditile"))
+        regular_only = model.transfer_cycles(NoCTraffic(temporal_bytes=1 << 20))
+        spatial_only = model.transfer_cycles(NoCTraffic(spatial_bytes=1 << 20))
+        both = model.transfer_cycles(
+            NoCTraffic(temporal_bytes=1 << 20, spatial_bytes=1 << 20)
+        )
+        # Disjoint link sets: the combination costs the max, not the sum.
+        assert both == pytest.approx(max(regular_only, spatial_only))
+
+    def test_mesh_serializes_classes(self):
+        model = NoCModel(_hw("mesh"))
+        temporal = model.transfer_cycles(NoCTraffic(temporal_bytes=1 << 20))
+        spatial = model.transfer_cycles(NoCTraffic(spatial_bytes=1 << 20))
+        both = model.transfer_cycles(
+            NoCTraffic(temporal_bytes=1 << 20, spatial_bytes=1 << 20)
+        )
+        assert both == pytest.approx(temporal + spatial)
+
+    def test_ditile_beats_mesh_on_spatial_traffic(self):
+        traffic = NoCTraffic(spatial_bytes=1 << 22)
+        ditile = NoCModel(_hw("ditile")).transfer_cycles(traffic)
+        mesh = NoCModel(_hw("mesh")).transfer_cycles(traffic)
+        assert ditile < mesh
+
+    def test_byte_hops_weight_by_distance(self):
+        model = NoCModel(_hw("ditile"))
+        regular = model.byte_hops(NoCTraffic(temporal_bytes=1000))
+        irregular = model.byte_hops(NoCTraffic(spatial_bytes=1000))
+        assert regular == pytest.approx(1000.0)
+        assert irregular == pytest.approx(2000.0)
+
+    def test_unknown_topology_rejected_at_config(self):
+        with pytest.raises(ValueError):
+            NoCConfig(topology="bogus")

@@ -1,0 +1,127 @@
+"""Tests for the front-end overhead model, roofline analysis, and
+the BFS partitioner."""
+
+import numpy as np
+import pytest
+
+from repro.accel.analysis import analyze
+from repro.accel.config import HardwareConfig
+from repro.core.overhead import FrontEndModel
+from repro.ditile import DiTileAccelerator
+from repro.graphs.partition import (
+    bfs_partition,
+    contiguous_vertex_partition,
+    edge_cut,
+)
+
+
+class TestFrontEndModel:
+    def test_estimate_stages_positive(self, medium_graph, medium_spec):
+        model = DiTileAccelerator()
+        plan = model.plan(medium_graph, medium_spec)
+        estimate = FrontEndModel().estimate_for_plan(plan, 16)
+        assert estimate.workload_computation > 0
+        assert estimate.parallelization_search > 0
+        assert estimate.balance_generation > 0
+        assert estimate.redundancy_detection > 0
+        assert estimate.total_cycles > 0
+
+    def test_front_end_is_small_next_to_execution(
+        self, medium_graph, medium_spec
+    ):
+        """The paper's <7% control share implies a cheap front end."""
+        model = DiTileAccelerator()
+        plan = model.plan(medium_graph, medium_spec)
+        result = model.simulate(medium_graph, medium_spec)
+        estimate = FrontEndModel().estimate_for_plan(plan, 16)
+        assert estimate.total_cycles < 0.5 * result.execution_cycles
+
+    def test_energy_positive(self, medium_graph, medium_spec):
+        model = DiTileAccelerator()
+        plan = model.plan(medium_graph, medium_spec)
+        front_end = FrontEndModel()
+        estimate = front_end.estimate_for_plan(plan, 16)
+        assert front_end.energy_joules(estimate) > 0
+
+    def test_scales_with_graph_size(self, medium_graph, small_graph, medium_spec, small_spec):
+        front_end = FrontEndModel()
+        big = front_end.estimate_for_plan(
+            DiTileAccelerator().plan(medium_graph, medium_spec), 16
+        )
+        small = front_end.estimate_for_plan(
+            DiTileAccelerator().plan(small_graph, small_spec), 16
+        )
+        assert big.workload_computation > small.workload_computation
+
+
+class TestRooflineAnalysis:
+    def test_classification_fields(self, medium_graph, medium_spec):
+        model = DiTileAccelerator()
+        result = model.simulate(medium_graph, medium_spec)
+        roofline = analyze(result, model.hardware)
+        assert roofline.bound in ("compute", "memory", "interconnect", "overhead")
+        assert roofline.operational_intensity > 0
+        assert roofline.ridge_intensity > 0
+        assert 0 <= roofline.achieved_fraction_of_peak <= 1
+        assert "bound" in roofline.summary()
+
+    def test_fractions_describe_components(self, medium_graph, medium_spec):
+        model = DiTileAccelerator()
+        result = model.simulate(medium_graph, medium_spec)
+        roofline = analyze(result, model.hardware)
+        cycles = result.cycles
+        assert roofline.compute_fraction == pytest.approx(
+            cycles.compute / cycles.total
+        )
+        assert roofline.memory_fraction == pytest.approx(
+            cycles.off_chip / cycles.total
+        )
+
+    def test_memory_bound_detection(self):
+        from repro.accel.dram import DRAMTraffic
+        from repro.accel.metrics import CostSummary, SnapshotCosts
+        from repro.accel.simulator import AcceleratorSimulator
+
+        hw = HardwareConfig.small()
+        costs = CostSummary(
+            "x",
+            [SnapshotCosts(0, rnn_macs=1e3,
+                           dram=DRAMTraffic(streaming_read=1e9))],
+        )
+        result = AcceleratorSimulator(hw).run(costs)
+        roofline = analyze(result, hw)
+        assert roofline.bound == "memory"
+        assert roofline.is_below_ridge
+
+
+class TestBFSPartition:
+    def test_is_valid_partition(self, medium_graph):
+        partition = bfs_partition(medium_graph[0], 4)
+        assert partition.sizes().sum() == medium_graph[0].num_vertices
+        assert partition.num_parts == 4
+
+    def test_near_balanced_cardinality(self, medium_graph):
+        partition = bfs_partition(medium_graph[0], 4)
+        sizes = partition.sizes()
+        assert sizes.max() <= -(-medium_graph[0].num_vertices // 4) + 1
+
+    def test_cuts_fewer_edges_than_random_ids(self, medium_graph):
+        # Vertex ids are random in the generator, so contiguous ranges are
+        # effectively random groups; BFS growth must beat them on cut size.
+        snapshot = medium_graph[0]
+        bfs_cut = edge_cut(snapshot, bfs_partition(snapshot, 4))
+        natural_cut = edge_cut(
+            snapshot, contiguous_vertex_partition(snapshot.num_vertices, 4)
+        )
+        assert bfs_cut < natural_cut
+
+    def test_handles_isolated_vertices(self):
+        from repro.graphs.snapshot import GraphSnapshot
+
+        snapshot = GraphSnapshot.from_edges(10, [(0, 1)])
+        partition = bfs_partition(snapshot, 3)
+        assert partition.sizes().sum() == 10
+
+    def test_rejects_bad_parts(self, medium_graph):
+        with pytest.raises(ValueError):
+            bfs_partition(medium_graph[0], 0)

@@ -1,0 +1,95 @@
+"""Unit tests for repro.core.parallelism (Algorithm 1 search)."""
+
+import pytest
+
+from repro.core.comm_model import WorkloadProfile
+from repro.core.parallelism import (
+    ParallelismOptimizer,
+    spatial_factors,
+    temporal_factors,
+)
+
+
+def _profile(vertices=100, edges=400, snapshots=8, dis=0.1, layers=2):
+    return WorkloadProfile(layers, snapshots, float(vertices), float(edges), dis)
+
+
+class TestFactorHelpers:
+    def test_temporal_uses_all_tiles_for_snapshots(self):
+        factors = temporal_factors(_profile(snapshots=32), 16)
+        assert factors.snapshot_groups == 16
+        assert factors.vertex_groups == 1
+
+    def test_temporal_clamps_to_snapshot_count(self):
+        factors = temporal_factors(_profile(snapshots=4), 16)
+        assert factors.snapshot_groups == 4
+
+    def test_spatial_uses_all_tiles_for_vertices(self):
+        factors = spatial_factors(_profile(), 16)
+        assert factors.snapshot_groups == 1
+        assert factors.vertex_groups == 16
+
+
+class TestOptimizer:
+    def test_rejects_bad_tiles(self):
+        with pytest.raises(ValueError):
+            ParallelismOptimizer(_profile(), 0)
+
+    def test_candidates_cover_factor_pairs(self):
+        optimizer = ParallelismOptimizer(_profile(snapshots=16), 16)
+        shapes = {
+            (ev.factors.snapshot_groups, ev.factors.vertex_groups)
+            for ev in optimizer.candidates()
+        }
+        assert (1, 16) in shapes
+        assert (4, 4) in shapes
+        assert (16, 1) in shapes
+
+    def test_optimize_returns_minimum(self):
+        optimizer = ParallelismOptimizer(_profile(), 16)
+        best = optimizer.optimize()
+        for candidate in optimizer.candidates():
+            assert best.total_comm <= candidate.total_comm + 1e-9
+
+    def test_dense_stable_prefers_spatial(self):
+        # Dense graph, few snapshots, high similarity: reuse traffic makes
+        # snapshot-group boundaries expensive -> spatial mapping.
+        profile = _profile(vertices=800, edges=24_000, snapshots=8, dis=0.05)
+        best = ParallelismOptimizer(profile, 16).optimize()
+        assert best.factors.snapshot_groups == 1
+
+    def test_sparse_volatile_prefers_temporal(self):
+        # Near-tree graph, many snapshots, little similarity: spatial
+        # aggregation traffic dominates -> temporal mapping.
+        profile = _profile(vertices=800, edges=800, snapshots=64, dis=0.5)
+        best = ParallelismOptimizer(profile, 16).optimize()
+        assert best.factors.vertex_groups == 1
+
+    def test_dynamic_beats_both_static_strategies(self):
+        profile = _profile(vertices=500, edges=3_000, snapshots=16, dis=0.2)
+        strategies = ParallelismOptimizer(profile, 16).compare_static_strategies()
+        dynamic = strategies["dynamic"].total_comm
+        assert dynamic <= strategies["temporal"].total_comm + 1e-9
+        assert dynamic <= strategies["spatial"].total_comm + 1e-9
+
+    def test_evaluate_explicit_shape(self):
+        optimizer = ParallelismOptimizer(_profile(), 16)
+        evaluation = optimizer.evaluate(4, 4)
+        assert evaluation.factors.snapshot_groups == 4
+        assert evaluation.factors.vertex_groups == 4
+        assert evaluation.total_comm >= 0
+
+    def test_partial_grids_allowed_when_not_full(self):
+        optimizer = ParallelismOptimizer(
+            _profile(), 16, require_full_grid=False
+        )
+        shapes = {
+            (ev.factors.snapshot_groups, ev.factors.vertex_groups)
+            for ev in optimizer.candidates()
+        }
+        assert (2, 2) in shapes  # 4 tiles only
+
+    def test_single_tile(self):
+        best = ParallelismOptimizer(_profile(), 1).optimize()
+        assert best.factors.tiles_used == 1
+        assert best.total_comm == pytest.approx(0.0)

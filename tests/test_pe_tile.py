@@ -1,0 +1,72 @@
+"""Unit tests for repro.accel.pe and repro.accel.tile."""
+
+import pytest
+
+from repro.accel.config import PEConfig, TileConfig
+from repro.accel.pe import KernelEfficiency, PEModel
+from repro.accel.tile import TileModel, TileWork
+
+
+class TestKernelEfficiency:
+    def test_defaults_ordered(self):
+        eff = KernelEfficiency()
+        assert eff.dense > eff.elementwise > eff.sparse
+
+    def test_rejects_out_of_range(self):
+        with pytest.raises(ValueError):
+            KernelEfficiency(dense=0.0)
+        with pytest.raises(ValueError):
+            KernelEfficiency(sparse=1.5)
+
+
+class TestPEModel:
+    def test_dense_cycles_by_hand(self):
+        model = PEModel(PEConfig(), KernelEfficiency(dense=0.5))
+        # 1600 MACs / (16 MACs/cyc * 0.5) = 200 cycles.
+        assert model.dense_cycles(1600) == pytest.approx(200.0)
+
+    def test_sparse_slower_than_dense(self):
+        model = PEModel(PEConfig())
+        assert model.sparse_cycles(1000) > model.dense_cycles(1000)
+
+    def test_elementwise_cycles(self):
+        model = PEModel(PEConfig(), KernelEfficiency(elementwise=0.5))
+        assert model.elementwise_cycles(800) == pytest.approx(100.0)
+
+
+class TestTileWork:
+    def test_total(self):
+        work = TileWork(10, 20, 30)
+        assert work.total_macs == 60
+
+
+class TestTileModel:
+    def test_work_spreads_over_pes(self):
+        model = TileModel(TileConfig())
+        one_pe_work = TileWork(gnn_combination_macs=16_000)
+        # 16 PEs share the load.
+        single = PEModel(PEConfig()).dense_cycles(1000)
+        assert model.gnn_cycles(one_pe_work) == pytest.approx(single)
+
+    def test_pipeline_overlap_hides_shorter_phase(self):
+        full_overlap = TileModel(TileConfig(), pipeline_overlap=1.0)
+        no_overlap = TileModel(TileConfig(), pipeline_overlap=0.01)
+        work = TileWork(gnn_combination_macs=32_000, rnn_macs=32_000)
+        assert full_overlap.total_cycles(work) < no_overlap.total_cycles(work)
+        # Perfect overlap = the longer phase alone.
+        longer = max(full_overlap.gnn_cycles(work), full_overlap.rnn_cycles(work))
+        assert full_overlap.total_cycles(work) == pytest.approx(longer)
+
+    def test_rejects_bad_overlap(self):
+        with pytest.raises(ValueError):
+            TileModel(TileConfig(), pipeline_overlap=0.0)
+
+    def test_aggregation_runs_at_sparse_efficiency(self):
+        model = TileModel(TileConfig())
+        agg = model.gnn_cycles(TileWork(gnn_aggregation_macs=16_000))
+        comb = model.gnn_cycles(TileWork(gnn_combination_macs=16_000))
+        assert agg > comb
+
+    def test_zero_work_zero_cycles(self):
+        model = TileModel(TileConfig())
+        assert model.total_cycles(TileWork()) == 0.0

@@ -1,0 +1,121 @@
+"""Unit tests for the round-level pipeline simulator."""
+
+import pytest
+
+from repro.accel.config import HardwareConfig
+from repro.accel.pipeline import PipelineSimulator
+from repro.core.scheduler import DiTileScheduler, SchedulerOptions
+from repro.ditile import DiTileAccelerator
+
+
+@pytest.fixture
+def plan(medium_graph, medium_spec):
+    return DiTileAccelerator().plan(medium_graph, medium_spec)
+
+
+@pytest.fixture
+def simulator():
+    return PipelineSimulator(HardwareConfig.small())
+
+
+class TestPipelineResult:
+    def test_makespan_positive(self, simulator, plan):
+        result = simulator.run(plan)
+        assert result.makespan_cycles > 0
+        assert result.num_tiles == plan.factors.tiles_used
+
+    def test_utilization_bounds(self, simulator, plan):
+        result = simulator.run(plan)
+        assert 0.0 < result.utilization() <= 1.0
+        assert 0.0 < result.compute_utilization() <= result.utilization()
+        assert result.imbalance() >= 1.0
+
+    def test_snapshot_finish_monotone(self, simulator, plan):
+        result = simulator.run(plan)
+        finishes = result.snapshot_finish
+        assert all(b >= a for a, b in zip(finishes, finishes[1:]))
+        assert finishes[-1] == pytest.approx(result.makespan_cycles)
+
+    def test_segments_ordered_and_disjoint(self, simulator, plan):
+        result = simulator.run(plan)
+        for timeline in result.timelines.values():
+            for a, b in zip(timeline.segments, timeline.segments[1:]):
+                assert a.end <= b.start + 1e-9
+            for segment in timeline.segments:
+                assert segment.duration > 0
+                assert segment.kind in ("gnn", "rnn", "spatial", "temporal")
+
+    def test_busy_never_exceeds_makespan(self, simulator, plan):
+        result = simulator.run(plan)
+        for timeline in result.timelines.values():
+            assert timeline.busy_cycles() <= result.makespan_cycles + 1e-6
+
+
+class TestPipelineSemantics:
+    def test_balanced_plan_beats_natural(self, medium_graph, medium_spec):
+        hw = HardwareConfig.small()
+        simulator = PipelineSimulator(hw)
+        balanced = DiTileScheduler(
+            hw.total_tiles, float(hw.distributed_buffer_bytes)
+        ).plan(medium_graph, medium_spec)
+        natural = DiTileScheduler(
+            hw.total_tiles,
+            float(hw.distributed_buffer_bytes),
+            SchedulerOptions(enable_balance=False),
+        ).plan(medium_graph, medium_spec)
+        assert simulator.run(balanced).makespan_cycles <= simulator.run(
+            natural
+        ).makespan_cycles * 1.001
+
+    def test_reuse_shrinks_makespan(self, medium_graph, medium_spec):
+        hw = HardwareConfig.small()
+        simulator = PipelineSimulator(hw)
+        with_reuse = DiTileScheduler(
+            hw.total_tiles, float(hw.distributed_buffer_bytes)
+        ).plan(medium_graph, medium_spec)
+        without = DiTileScheduler(
+            hw.total_tiles,
+            float(hw.distributed_buffer_bytes),
+            SchedulerOptions(enable_reuse=False),
+        ).plan(medium_graph, medium_spec)
+        assert simulator.run(with_reuse).makespan_cycles < simulator.run(
+            without
+        ).makespan_cycles
+
+    def test_temporal_mapping_emits_temporal_segments(
+        self, medium_graph, medium_spec
+    ):
+        hw = HardwareConfig.small()
+        plan = DiTileScheduler(
+            hw.total_tiles,
+            float(hw.distributed_buffer_bytes),
+            SchedulerOptions(enable_parallelism=False),
+        ).plan(medium_graph, medium_spec)
+        result = PipelineSimulator(hw).run(plan)
+        kinds = {
+            segment.kind
+            for timeline in result.timelines.values()
+            for segment in timeline.segments
+        }
+        assert "temporal" in kinds
+
+    def test_spatial_mapping_emits_spatial_segments(self, simulator, plan):
+        if plan.factors.vertex_groups <= 1:
+            pytest.skip("plan chose a temporal mapping")
+        result = simulator.run(plan)
+        kinds = {
+            segment.kind
+            for timeline in result.timelines.values()
+            for segment in timeline.segments
+        }
+        assert "spatial" in kinds
+
+    def test_makespan_same_scale_as_aggregate_simulator(
+        self, medium_graph, medium_spec
+    ):
+        model = DiTileAccelerator()
+        plan = model.plan(medium_graph, medium_spec)
+        pipeline = PipelineSimulator(model.hardware).run(plan)
+        aggregate = model.simulate(medium_graph, medium_spec)
+        ratio = pipeline.makespan_cycles / aggregate.execution_cycles
+        assert 0.1 <= ratio <= 10.0

@@ -1,0 +1,286 @@
+"""Property-based tests (hypothesis) on core data structures and invariants."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.baselines.algorithms import (
+    ALGORITHMS,
+    AlgorithmParams,
+    SnapshotQuantities,
+    layer_fractions,
+)
+from repro.core.comm_model import (
+    CommunicationModel,
+    ParallelFactors,
+    WorkloadProfile,
+)
+from repro.core.tiling import dram_access
+from repro.graphs.delta import common_core, snapshot_delta
+from repro.graphs.generators import evolve_snapshot, powerlaw_snapshot
+from repro.graphs.partition import round_robin_partition
+from repro.graphs.snapshot import GraphSnapshot
+
+
+# ---------------------------------------------------------------------------
+# Strategies
+# ---------------------------------------------------------------------------
+@st.composite
+def snapshots(draw, max_vertices=30):
+    n = draw(st.integers(2, max_vertices))
+    max_edges = min(n * (n - 1), 4 * n)
+    e = draw(st.integers(0, max_edges))
+    seed = draw(st.integers(0, 2**31 - 1))
+    return powerlaw_snapshot(n, e, seed=seed)
+
+
+@st.composite
+def profiles(draw):
+    return WorkloadProfile(
+        gnn_layers=draw(st.integers(1, 3)),
+        num_snapshots=draw(st.integers(1, 32)),
+        avg_subgraph_vertices=draw(st.floats(1.0, 10_000.0)),
+        avg_subgraph_edges=draw(st.floats(0.0, 100_000.0)),
+        dissimilarity=draw(st.floats(0.0, 1.0)),
+        alpha=draw(st.integers(1, 8)),
+    )
+
+
+# ---------------------------------------------------------------------------
+# Graph structure invariants
+# ---------------------------------------------------------------------------
+class TestSnapshotProperties:
+    @settings(max_examples=40, deadline=None)
+    @given(snapshots())
+    def test_csr_invariants(self, snapshot):
+        assert snapshot.indptr[0] == 0
+        assert snapshot.indptr[-1] == snapshot.num_edges
+        assert np.all(np.diff(snapshot.indptr) >= 0)
+        # Rows sorted and duplicate-free.
+        for v in range(snapshot.num_vertices):
+            row = snapshot.in_neighbors(v)
+            assert np.all(np.diff(row) > 0)
+
+    @settings(max_examples=40, deadline=None)
+    @given(snapshots())
+    def test_degree_sums_equal_edges(self, snapshot):
+        assert snapshot.in_degree().sum() == snapshot.num_edges
+        assert snapshot.out_degree().sum() == snapshot.num_edges
+
+    @settings(max_examples=30, deadline=None)
+    @given(snapshots(), st.integers(0, 3))
+    def test_k_hop_monotone_and_bounded(self, snapshot, hops):
+        seeds = np.arange(min(3, snapshot.num_vertices))
+        smaller = snapshot.k_hop_affected(seeds, hops)
+        larger = snapshot.k_hop_affected(seeds, hops + 1)
+        assert set(smaller.tolist()) <= set(larger.tolist())
+        assert len(larger) <= snapshot.num_vertices
+
+    @settings(max_examples=30, deadline=None)
+    @given(snapshots())
+    def test_aggregation_preserves_shape_and_finiteness(self, snapshot):
+        x = np.ones((snapshot.num_vertices, 3))
+        out = snapshot.aggregate(x)
+        assert out.shape == x.shape
+        assert np.all(np.isfinite(out))
+
+
+class TestDeltaProperties:
+    @settings(max_examples=30, deadline=None)
+    @given(snapshots(), st.floats(0.0, 0.6), st.integers(0, 2**31 - 1))
+    def test_delta_reconstructs_successor(self, snapshot, dis, seed):
+        rng = np.random.default_rng(seed)
+        evolved = evolve_snapshot(snapshot, dis, rng)
+        delta = snapshot_delta(snapshot, evolved)
+        rebuilt = set(snapshot.edge_set())
+        rebuilt -= set(zip(delta.removed_src.tolist(), delta.removed_dst.tolist()))
+        rebuilt |= set(zip(delta.added_src.tolist(), delta.added_dst.tolist()))
+        assert rebuilt == evolved.edge_set()
+
+    @settings(max_examples=30, deadline=None)
+    @given(snapshots(), st.floats(0.0, 0.6), st.integers(0, 2**31 - 1))
+    def test_core_is_subset_of_both(self, snapshot, dis, seed):
+        rng = np.random.default_rng(seed)
+        evolved = evolve_snapshot(snapshot, dis, rng)
+        core = common_core(snapshot, evolved)
+        assert core.edge_set() <= snapshot.edge_set()
+        assert core.edge_set() <= evolved.edge_set()
+
+
+class TestPartitionProperties:
+    @settings(max_examples=30, deadline=None)
+    @given(st.integers(1, 200), st.integers(1, 16), st.integers(0, 2**31 - 1))
+    def test_round_robin_is_partition(self, n, parts, seed):
+        rng = np.random.default_rng(seed)
+        order = rng.permutation(n)
+        partition = round_robin_partition(order, parts, n)
+        sizes = partition.sizes()
+        assert sizes.sum() == n
+        assert sizes.max() - sizes.min() <= 1  # near-equal cardinality
+
+
+# ---------------------------------------------------------------------------
+# Analytic model invariants
+# ---------------------------------------------------------------------------
+class TestCommModelProperties:
+    @settings(max_examples=50, deadline=None)
+    @given(profiles(), st.integers(1, 64), st.integers(1, 64))
+    def test_all_components_nonnegative(self, profile, ns, nv):
+        model = CommunicationModel(profile)
+        factors = ParallelFactors.from_groups(
+            profile.num_snapshots, profile.avg_subgraph_vertices, ns, nv
+        )
+        breakdown = model.breakdown(factors)
+        assert breakdown.temporal >= 0
+        assert breakdown.rf_spatial >= -1e-9
+        assert breakdown.reuse >= 0
+        assert breakdown.total >= -1e-9
+
+    @settings(max_examples=50, deadline=None)
+    @given(profiles())
+    def test_redundancy_never_exceeds_spatial(self, profile):
+        model = CommunicationModel(profile)
+        factors = ParallelFactors.from_groups(
+            profile.num_snapshots, profile.avg_subgraph_vertices, 1,
+            max(int(profile.avg_subgraph_vertices), 1),
+        )
+        assert model.redundant_spatial_comm(factors) <= model.spatial_comm(
+            factors
+        ) + 1e-6
+
+    @settings(max_examples=50, deadline=None)
+    @given(profiles(), st.integers(1, 10))
+    def test_dram_access_monotone_in_alpha(self, profile, alpha):
+        from repro.graphs.dynamic import DynamicGraphStats
+
+        stats = DynamicGraphStats(
+            num_snapshots=profile.num_snapshots,
+            num_vertices=[int(profile.avg_subgraph_vertices * profile.alpha)]
+            * profile.num_snapshots,
+            num_edges=[int(profile.avg_subgraph_edges * profile.alpha)]
+            * profile.num_snapshots,
+            feature_dim=16,
+            avg_vertices=profile.avg_subgraph_vertices * profile.alpha,
+            avg_edges=profile.avg_subgraph_edges * profile.alpha,
+            avg_dissimilarity=profile.dissimilarity,
+            dissimilarity=[],
+        )
+        assert dram_access(stats, alpha) <= dram_access(stats, alpha + 1) + 1e-6
+
+
+class TestAlgorithmProperties:
+    @settings(max_examples=60, deadline=None)
+    @given(
+        st.integers(1, 10_000),  # vertices
+        st.integers(0, 100_000),  # edges
+        st.floats(0.0, 1.0),  # dissimilarity
+        st.integers(0, 1000),  # added
+        st.integers(0, 1000),  # removed
+        st.integers(1, 3),  # layers
+    )
+    def test_fraction_invariants(self, v, e, dis, added, removed, layers):
+        q = SnapshotQuantities(2, v, e, dis, added, removed)
+        params = AlgorithmParams()
+        ditile = layer_fractions("ditile", q, layers, params)
+        for algorithm in ALGORITHMS:
+            fractions = layer_fractions(algorithm, q, layers, params)
+            assert len(fractions) == layers
+            for f, d in zip(fractions, ditile):
+                assert 0.0 <= f <= 1.0
+                # DiTile never does more work than any other algorithm.
+                assert d <= f + 1e-12
+
+
+class TestTilingProperties:
+    @settings(max_examples=40, deadline=None)
+    @given(
+        vertices=st.integers(10, 2000),
+        degree=st.floats(1.0, 20.0),
+        snapshots=st.integers(1, 6),
+        buffer_kib=st.integers(8, 4096),
+        feature_dim=st.integers(4, 512),
+    )
+    def test_chosen_alpha_is_minimal_feasible(
+        self, vertices, degree, snapshots, buffer_kib, feature_dim
+    ):
+        from repro.core.tiling import (
+            subgraph_data_volume,
+            subgraph_tiling,
+        )
+        from repro.graphs.dynamic import DynamicGraphStats
+
+        edges = int(vertices * degree)
+        stats = DynamicGraphStats(
+            num_snapshots=snapshots,
+            num_vertices=[vertices] * snapshots,
+            num_edges=[edges] * snapshots,
+            feature_dim=feature_dim,
+            avg_vertices=float(vertices),
+            avg_edges=float(edges),
+            avg_dissimilarity=0.1,
+            dissimilarity=[0.1] * max(snapshots - 1, 0),
+        )
+        buffer_bytes = buffer_kib * 1024
+        result = subgraph_tiling(stats, buffer_bytes, feature_dim=feature_dim)
+        if result.fits_buffer:
+            # Feasible and minimal: alpha fits, alpha-1 does not (or is 0).
+            assert (
+                subgraph_data_volume(stats, result.alpha, feature_dim)
+                <= buffer_bytes
+            )
+            if result.alpha > 1:
+                assert (
+                    subgraph_data_volume(stats, result.alpha - 1, feature_dim)
+                    > buffer_bytes
+                )
+
+
+class TestPersistenceProperties:
+    @settings(max_examples=15, deadline=None)
+    @given(
+        seed=st.integers(0, 10_000),
+        snapshots=st.integers(1, 4),
+        with_features=st.booleans(),
+    )
+    def test_npz_round_trip(self, tmp_path_factory, seed, snapshots, with_features):
+        from repro.graphs.generators import generate_dynamic_graph
+        from repro.graphs.io import load_dynamic_graph, save_dynamic_graph
+
+        graph = generate_dynamic_graph(
+            30, 100, snapshots, feature_dim=5, seed=seed,
+            with_features=with_features,
+        )
+        path = tmp_path_factory.mktemp("npz") / "graph.npz"
+        save_dynamic_graph(graph, path)
+        loaded = load_dynamic_graph(path)
+        for original, restored in zip(graph, loaded):
+            assert original == restored
+            if with_features:
+                np.testing.assert_array_equal(
+                    original.features, restored.features
+                )
+
+
+class TestSchedulerProperties:
+    @settings(max_examples=15, deadline=None)
+    @given(
+        seed=st.integers(0, 10_000),
+        dissimilarity=st.floats(0.0, 0.6),
+        tiles=st.sampled_from([4, 16, 64]),
+    )
+    def test_plan_invariants(self, seed, dissimilarity, tiles):
+        from repro.core.plan import DGNNSpec
+        from repro.core.scheduler import DiTileScheduler
+        from repro.graphs.generators import generate_dynamic_graph
+
+        graph = generate_dynamic_graph(
+            60, 240, 4, dissimilarity=dissimilarity, feature_dim=8, seed=seed
+        )
+        spec = DGNNSpec.classic(8, hidden_dim=8)
+        plan = DiTileScheduler(tiles, 4 * 2**20).plan(graph, spec)
+        assert plan.tiling.alpha >= 1
+        assert 1 <= plan.factors.tiles_used <= tiles
+        assert plan.comm.total >= -1e-9
+        assert plan.workload.partition.sizes().sum() == 60
+        assert 0 < plan.workload.utilization <= 1.0

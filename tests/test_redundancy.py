@@ -1,0 +1,73 @@
+"""Unit tests for repro.core.redundancy."""
+
+import numpy as np
+
+from repro.core.redundancy import RedundancyAnalysis
+from repro.graphs.dynamic import DynamicGraph
+from repro.graphs.partition import contiguous_vertex_partition
+from repro.graphs.snapshot import GraphSnapshot
+
+
+def _snap(edges, n=6):
+    return GraphSnapshot.from_edges(n, edges)
+
+
+class TestAnalyze:
+    def test_cold_start_is_fully_affected(self, small_graph):
+        analysis = RedundancyAnalysis.analyze(small_graph, 2)
+        first = analysis[0]
+        assert first.dissimilarity == 1.0
+        assert first.affected_fraction(0) == 1.0
+        assert first.reusable_rows(1) == 0
+
+    def test_transition_counts(self):
+        before = _snap([(0, 1), (2, 3), (4, 5)])
+        after = _snap([(0, 1), (0, 3), (2, 3), (4, 5)])  # vertex 3 changed
+        analysis = RedundancyAnalysis.analyze(DynamicGraph([before, after]), 2)
+        transition = analysis[1]
+        np.testing.assert_array_equal(transition.changed, [3])
+        # Layer 1 affected: 3 plus out-neighbours of 3 (none) -> {3}.
+        np.testing.assert_array_equal(transition.affected_per_layer[0], [3])
+        assert transition.reusable_rows(0) == 5
+
+    def test_affected_grows_per_layer(self, small_graph):
+        analysis = RedundancyAnalysis.analyze(small_graph, 3)
+        for transition in analysis.transitions[1:]:
+            sizes = [len(a) for a in transition.affected_per_layer]
+            assert sizes == sorted(sizes)
+
+    def test_len_and_getitem(self, small_graph):
+        analysis = RedundancyAnalysis.analyze(small_graph, 2)
+        assert len(analysis) == small_graph.num_snapshots
+        assert analysis[2].timestamp == 2
+
+    def test_avg_affected_fraction(self, small_graph):
+        analysis = RedundancyAnalysis.analyze(small_graph, 2)
+        fraction = analysis.avg_affected_fraction(1)
+        assert 0.0 <= fraction <= 1.0
+        with_cold = analysis.avg_affected_fraction(1, skip_first=False)
+        assert with_cold >= fraction
+
+    def test_identical_snapshots_have_no_affected(self):
+        snapshot = _snap([(0, 1), (1, 2)])
+        analysis = RedundancyAnalysis.analyze(
+            DynamicGraph([snapshot, snapshot]), 2
+        )
+        assert analysis.avg_affected_fraction(0) == 0.0
+        assert analysis.avg_affected_fraction(1) == 0.0
+
+
+class TestPerTile:
+    def test_counts_by_partition(self):
+        before = _snap([(0, 1), (2, 3), (4, 5)])
+        after = _snap([(0, 1), (0, 3), (2, 3), (4, 5)])
+        analysis = RedundancyAnalysis.analyze(DynamicGraph([before, after]), 1)
+        partition = contiguous_vertex_partition(6, 2)  # {0,1,2} {3,4,5}
+        counts = analysis.per_tile_affected(partition, 1)
+        np.testing.assert_array_equal(counts, [0, 1])
+
+    def test_cold_start_spreads_everywhere(self, small_graph):
+        analysis = RedundancyAnalysis.analyze(small_graph, 2)
+        partition = contiguous_vertex_partition(40, 4)
+        counts = analysis.per_tile_affected(partition, 0)
+        np.testing.assert_array_equal(counts, [10, 10, 10, 10])

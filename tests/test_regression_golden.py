@@ -1,0 +1,61 @@
+"""Golden-range regression guard.
+
+Loads the expected headline-metric ranges from
+``tests/fixtures/golden_ranges.json`` and verifies the current code still
+produces numbers inside them.  The ranges are wide on purpose: this test
+exists to catch silent calibration drift (a changed constant flipping who
+wins, or an inverted ratio), not run-to-run noise.
+"""
+
+import json
+from pathlib import Path
+
+import pytest
+
+from repro.accel.area import AreaModel
+from repro.accel.config import HardwareConfig
+from repro.experiments.runner import ExperimentConfig, ExperimentRunner
+
+FIXTURE = Path(__file__).parent / "fixtures" / "golden_ranges.json"
+
+
+@pytest.fixture(scope="module")
+def golden():
+    return json.loads(FIXTURE.read_text())
+
+
+@pytest.fixture(scope="module")
+def results(golden):
+    config = ExperimentConfig(
+        scale=golden["scale"],
+        snapshots=golden["snapshots"],
+        seed=golden["seed"],
+    )
+    return ExperimentRunner(config).compare(golden["dataset"])
+
+
+class TestHeadlineRatios:
+    @pytest.mark.parametrize(
+        "baseline", ["ReaDy", "DGNN-Booster", "RACE", "MEGA"]
+    )
+    def test_ratios_in_golden_range(self, golden, results, baseline):
+        ditile = results["DiTile-DGNN"]
+        other = results[baseline]
+        measured = {
+            "ops": other.total_macs / ditile.total_macs,
+            "dram": other.dram_bytes / ditile.dram_bytes,
+            "time": other.execution_cycles / ditile.execution_cycles,
+            "energy": other.energy_joules / ditile.energy_joules,
+        }
+        for metric, (low, high) in golden["ratios_vs_ditile"][baseline].items():
+            assert low <= measured[metric] <= high, (
+                f"{baseline} {metric} ratio {measured[metric]:.2f} left the "
+                f"golden range [{low}, {high}] — calibration drift?"
+            )
+
+
+class TestAreaGolden:
+    def test_chip_breakdown_in_range(self, golden):
+        breakdown = AreaModel().report(HardwareConfig.small()).chip_breakdown()
+        for component, (low, high) in golden["area_chip_percent"].items():
+            assert low <= breakdown[component] <= high, component

@@ -1,0 +1,125 @@
+"""Unit tests for repro.models.rnn (LSTM, GRU)."""
+
+import numpy as np
+import pytest
+
+from repro.models.rnn import GRUCell, LSTMCell, RNNState, sigmoid
+
+
+class TestSigmoid:
+    def test_midpoint(self):
+        assert sigmoid(np.array([0.0]))[0] == pytest.approx(0.5)
+
+    def test_saturation_is_stable(self):
+        values = sigmoid(np.array([-1000.0, 1000.0]))
+        assert values[0] == pytest.approx(0.0, abs=1e-12)
+        assert values[1] == pytest.approx(1.0, abs=1e-12)
+        assert np.all(np.isfinite(values))
+
+    def test_symmetry(self, rng):
+        x = rng.standard_normal(100)
+        np.testing.assert_allclose(sigmoid(x) + sigmoid(-x), 1.0, atol=1e-12)
+
+
+class TestLSTMCell:
+    def test_create_dims(self):
+        cell = LSTMCell.create(6, 4, seed=0)
+        assert cell.in_dim == 6
+        assert cell.hidden_dim == 4
+        assert cell.matmul_count() == 8
+
+    def test_rejects_bad_shapes(self):
+        with pytest.raises(ValueError):
+            LSTMCell(np.zeros((3, 4, 5)), np.zeros((4, 5, 5)))
+        with pytest.raises(ValueError):
+            LSTMCell(np.zeros((4, 4, 5)), np.zeros((4, 4, 4)))
+
+    def test_initial_state_zero(self):
+        cell = LSTMCell.create(3, 5, seed=1)
+        state = cell.initial_state(7)
+        assert state.hidden.shape == (7, 5)
+        assert state.cell.shape == (7, 5)
+        assert not state.hidden.any()
+
+    def test_step_shapes_and_bounds(self, rng):
+        cell = LSTMCell.create(3, 5, seed=2)
+        state = cell.step(rng.standard_normal((7, 3)), cell.initial_state(7))
+        assert state.hidden.shape == (7, 5)
+        # h = o * tanh(c) is bounded by (-1, 1).
+        assert np.all(np.abs(state.hidden) < 1.0)
+
+    def test_step_requires_cell_state(self, rng):
+        cell = LSTMCell.create(3, 5, seed=3)
+        with pytest.raises(ValueError):
+            cell.step(rng.standard_normal((2, 3)), RNNState(np.zeros((2, 5))))
+
+    def test_state_evolves_under_constant_input(self, rng):
+        # The property that makes exact cross-snapshot RNN reuse impossible
+        # (DESIGN.md §2): identical inputs still advance the state.
+        cell = LSTMCell.create(3, 5, seed=4)
+        z = rng.standard_normal((4, 3))
+        first = cell.step(z, cell.initial_state(4))
+        second = cell.step(z, first)
+        assert not np.allclose(first.hidden, second.hidden)
+
+    def test_rows_are_independent(self, rng):
+        cell = LSTMCell.create(3, 4, seed=5)
+        z = rng.standard_normal((6, 3))
+        full = cell.step(z, cell.initial_state(6))
+        half = cell.step(z[:3], cell.initial_state(3))
+        np.testing.assert_allclose(full.hidden[:3], half.hidden)
+
+    def test_matches_manual_equations(self, rng):
+        # Eq. 4 computed by hand for a single row.
+        cell = LSTMCell.create(2, 3, seed=6)
+        z = rng.standard_normal((1, 2))
+        h_prev = rng.standard_normal((1, 3))
+        c_prev = rng.standard_normal((1, 3))
+        state = cell.step(z, RNNState(h_prev.copy(), c_prev.copy()))
+        i = sigmoid(z @ cell.w_input[0] + h_prev @ cell.w_hidden[0])
+        f = sigmoid(z @ cell.w_input[1] + h_prev @ cell.w_hidden[1])
+        o = sigmoid(z @ cell.w_input[2] + h_prev @ cell.w_hidden[2])
+        c = f * c_prev + i * np.tanh(z @ cell.w_input[3] + h_prev @ cell.w_hidden[3])
+        np.testing.assert_allclose(state.cell, c, atol=1e-12)
+        np.testing.assert_allclose(state.hidden, o * np.tanh(c), atol=1e-12)
+
+
+class TestGRUCell:
+    def test_create_dims(self):
+        cell = GRUCell.create(6, 4, seed=0)
+        assert cell.in_dim == 6
+        assert cell.hidden_dim == 4
+        assert cell.matmul_count() == 6
+
+    def test_rejects_bad_shapes(self):
+        with pytest.raises(ValueError):
+            GRUCell(np.zeros((2, 4, 5)), np.zeros((3, 5, 5)))
+
+    def test_initial_state_has_no_cell(self):
+        cell = GRUCell.create(3, 5, seed=1)
+        assert cell.initial_state(4).cell is None
+
+    def test_step_shapes(self, rng):
+        cell = GRUCell.create(3, 5, seed=2)
+        state = cell.step(rng.standard_normal((7, 3)), cell.initial_state(7))
+        assert state.hidden.shape == (7, 5)
+
+    def test_update_gate_interpolates(self, rng):
+        # h_new is a convex combination of h_prev and the candidate, so it
+        # stays within their elementwise envelope when both are bounded.
+        cell = GRUCell.create(3, 5, seed=3)
+        h_prev = np.clip(rng.standard_normal((6, 5)), -0.99, 0.99)
+        state = cell.step(rng.standard_normal((6, 3)), RNNState(h_prev.copy()))
+        assert np.all(np.abs(state.hidden) <= 1.0)
+
+
+class TestRNNState:
+    def test_copy_is_deep(self):
+        state = RNNState(np.zeros((2, 3)), np.zeros((2, 3)))
+        clone = state.copy()
+        clone.hidden[0, 0] = 5.0
+        assert state.hidden[0, 0] == 0.0
+
+    def test_copy_without_cell(self):
+        state = RNNState(np.zeros((2, 3)))
+        assert state.copy().cell is None

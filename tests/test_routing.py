@@ -1,0 +1,141 @@
+"""Unit tests for the traffic-matrix NoC router."""
+
+from dataclasses import replace
+
+import numpy as np
+import pytest
+
+from repro.accel.config import HardwareConfig, NoCConfig
+from repro.accel.routing import (
+    LinkLoadReport,
+    TrafficMatrixRouter,
+    spatial_traffic_matrix,
+)
+from repro.ditile import DiTileAccelerator
+
+
+def _hw(topology, relink=True, rows=4, cols=4):
+    hw = HardwareConfig(grid_rows=rows, grid_cols=cols)
+    return replace(hw, noc=NoCConfig(topology=topology, relink_enabled=relink))
+
+
+class TestRoutes:
+    def test_self_route(self):
+        router = TrafficMatrixRouter(_hw("mesh"))
+        assert router.route(5, 5, regular=False) == [5]
+
+    def test_mesh_xy_routing(self):
+        router = TrafficMatrixRouter(_hw("mesh"))
+        # (0,0) -> (1,1): X first to tile 1, then Y to tile 5.
+        assert router.route(0, 5, regular=False) == [0, 1, 5]
+
+    def test_crossbar_single_hop(self):
+        router = TrafficMatrixRouter(_hw("crossbar"))
+        assert router.route(0, 15, regular=False) == [0, 15]
+
+    def test_ditile_row_ring_for_regular(self):
+        router = TrafficMatrixRouter(_hw("ditile"))
+        # Same row 0: tiles 0..3 form the ring; 0 -> 3 wraps backwards.
+        route = router.route(0, 3, regular=True)
+        assert route == [0, 3]
+
+    def test_ditile_relink_bypass_vertical(self):
+        router = TrafficMatrixRouter(_hw("ditile", relink=True))
+        # Same column, distant rows: Re-Link gives a single hop.
+        assert router.route(0, 12, regular=False) == [0, 12]
+
+    def test_ditile_vertical_ring_without_relink(self):
+        router = TrafficMatrixRouter(_hw("ditile", relink=False))
+        route = router.route(0, 8, regular=False)
+        assert len(route) > 2  # must walk the column ring
+
+    def test_ditile_off_dimension_route(self):
+        router = TrafficMatrixRouter(_hw("ditile"))
+        route = router.route(0, 13, regular=False)  # (0,0) -> (3,1)
+        assert route[0] == 0 and route[-1] == 13
+        # Routes through the corner tile of row 0, column 1.
+        assert 1 in route
+
+    def test_ring_topology_route(self):
+        router = TrafficMatrixRouter(_hw("ring"))
+        route = router.route(0, 15, regular=False)
+        assert route == [0, 15]  # wrap-around is 1 hop on a 16-ring
+
+    def test_routes_follow_physical_adjacency_on_mesh(self):
+        router = TrafficMatrixRouter(_hw("mesh"))
+        rng = np.random.default_rng(0)
+        for _ in range(20):
+            src, dst = rng.integers(0, 16, size=2)
+            route = router.route(int(src), int(dst), regular=False)
+            for a, b in zip(route, route[1:]):
+                ar, ac = divmod(a, 4)
+                br, bc = divmod(b, 4)
+                assert abs(ar - br) + abs(ac - bc) == 1
+
+
+class TestRouteMatrix:
+    def test_rejects_wrong_shape(self):
+        router = TrafficMatrixRouter(_hw("mesh"))
+        with pytest.raises(ValueError):
+            router.route_matrix(np.zeros((4, 4)), regular=False)
+
+    def test_conservation(self):
+        router = TrafficMatrixRouter(_hw("mesh"))
+        traffic = np.zeros((16, 16))
+        traffic[0, 5] = 100.0
+        traffic[3, 12] = 50.0
+        report = router.route_matrix(traffic, regular=False)
+        assert report.total_bytes == pytest.approx(150.0)
+        # Each transfer's bytes appear on every link of its route.
+        assert report.link_loads[(0, 1)] == pytest.approx(100.0)
+
+    def test_diagonal_ignored(self):
+        router = TrafficMatrixRouter(_hw("mesh"))
+        traffic = np.eye(16) * 100.0
+        report = router.route_matrix(traffic, regular=False)
+        assert report.total_bytes == 0.0
+        assert report.max_link_load == 0.0
+
+    def test_relink_cuts_byte_hops(self):
+        traffic = np.zeros((16, 16))
+        traffic[0, 8] = 1000.0  # two rows down one column (ring distance 2)
+        with_relink = TrafficMatrixRouter(_hw("ditile", relink=True))
+        without = TrafficMatrixRouter(_hw("ditile", relink=False))
+        assert (
+            with_relink.route_matrix(traffic, regular=False).total_byte_hops
+            < without.route_matrix(traffic, regular=False).total_byte_hops
+        )
+
+    def test_merged_reports(self):
+        a = LinkLoadReport({(0, 1): 10.0}, 10.0, 10.0)
+        b = LinkLoadReport({(0, 1): 5.0, (1, 2): 5.0}, 5.0, 10.0)
+        merged = a.merged(b)
+        assert merged.link_loads[(0, 1)] == 15.0
+        assert merged.total_bytes == 15.0
+        assert merged.avg_hops == pytest.approx(20.0 / 15.0)
+
+    def test_bottleneck_cycles(self):
+        report = LinkLoadReport({(0, 1): 1280.0}, 1280.0, 1280.0)
+        assert report.bottleneck_cycles(128.0) == pytest.approx(10.0)
+
+
+class TestPlanTrafficMatrix:
+    def test_spatial_matrix_properties(self, medium_graph, medium_spec):
+        model = DiTileAccelerator()
+        plan = model.plan(medium_graph, medium_spec)
+        matrix = spatial_traffic_matrix(plan, model.hardware)
+        assert matrix.shape == (16, 16)
+        assert np.all(matrix >= 0)
+        assert np.all(np.diag(matrix) == 0)
+
+    def test_spatial_matrix_routes_cleanly(self, medium_graph, medium_spec):
+        model = DiTileAccelerator()
+        plan = model.plan(medium_graph, medium_spec)
+        matrix = spatial_traffic_matrix(plan, model.hardware)
+        report = TrafficMatrixRouter(model.hardware).route_matrix(
+            matrix, regular=False
+        )
+        assert report.total_bytes == pytest.approx(matrix.sum())
+        if report.total_bytes > 0:
+            assert report.avg_hops >= 1.0
+            assert report.max_link_load <= report.total_bytes

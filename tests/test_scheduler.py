@@ -1,0 +1,117 @@
+"""Unit tests for repro.core.scheduler and repro.core.plan."""
+
+import math
+
+import pytest
+
+from repro.core.plan import DGNNSpec
+from repro.core.scheduler import DiTileScheduler, SchedulerOptions
+
+
+class TestDGNNSpec:
+    def test_classic_shape(self):
+        spec = DGNNSpec.classic(172)
+        assert spec.gcn_dims == (172, 64, 64)
+        assert spec.num_gnn_layers == 2
+        assert spec.embedding_dim == 64
+        assert spec.rnn_matmuls == 8
+        assert spec.feature_dim == 172
+
+    def test_gru_matmuls(self):
+        spec = DGNNSpec((8, 4), 4, rnn_kind="gru")
+        assert spec.rnn_matmuls == 6
+
+    def test_avg_width(self):
+        spec = DGNNSpec((100, 50, 20), 10)
+        assert spec.avg_gnn_width == pytest.approx(75.0)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            DGNNSpec((8,), 4)
+        with pytest.raises(ValueError):
+            DGNNSpec((8, 4), 0)
+        with pytest.raises(ValueError):
+            DGNNSpec((8, 4), 4, rnn_kind="rnn")
+        with pytest.raises(ValueError):
+            DGNNSpec((8, -4), 4)
+
+
+class TestScheduler:
+    def test_rejects_bad_args(self):
+        with pytest.raises(ValueError):
+            DiTileScheduler(0, 1024)
+        with pytest.raises(ValueError):
+            DiTileScheduler(16, 0)
+
+    def test_plan_is_complete(self, medium_graph, medium_spec):
+        scheduler = DiTileScheduler(16, 4 * 2**20)
+        plan = scheduler.plan(medium_graph, medium_spec)
+        assert plan.tiling.alpha >= 1
+        assert plan.factors.tiles_used <= 16
+        assert plan.comm.total >= 0
+        assert plan.workload.partition.num_vertices == 300
+        assert plan.redundancy is not None
+        assert plan.reuse_enabled
+        assert "grid=" in plan.summary()
+
+    def test_tight_buffer_forces_tiling(self, medium_graph, medium_spec):
+        scheduler = DiTileScheduler(16, 24 * 1024)
+        plan = scheduler.plan(medium_graph, medium_spec)
+        assert plan.tiling.alpha > 1
+
+    def test_disable_tiling(self, medium_graph, medium_spec):
+        scheduler = DiTileScheduler(
+            16, 24 * 1024, SchedulerOptions(enable_tiling=False)
+        )
+        plan = scheduler.plan(medium_graph, medium_spec)
+        assert plan.tiling.alpha == 1
+        assert math.isnan(plan.tiling.data_volume_bytes)
+
+    def test_disable_parallelism_falls_back_to_temporal(
+        self, medium_graph, medium_spec
+    ):
+        scheduler = DiTileScheduler(
+            16, 4 * 2**20, SchedulerOptions(enable_parallelism=False)
+        )
+        plan = scheduler.plan(medium_graph, medium_spec)
+        assert plan.factors.vertex_groups == 1
+        assert plan.factors.snapshot_groups == min(16, medium_graph.num_snapshots)
+
+    def test_disable_balance_uses_natural_partition(
+        self, medium_graph, medium_spec
+    ):
+        import numpy as np
+
+        scheduler = DiTileScheduler(
+            16, 4 * 2**20, SchedulerOptions(enable_balance=False)
+        )
+        plan = scheduler.plan(medium_graph, medium_spec)
+        members = plan.workload.partition.members(0)
+        np.testing.assert_array_equal(members, np.arange(len(members)))
+        assert not plan.balance_enabled
+
+    def test_disable_reuse_sets_full_dissimilarity(
+        self, medium_graph, medium_spec
+    ):
+        scheduler = DiTileScheduler(
+            16, 4 * 2**20, SchedulerOptions(enable_reuse=False)
+        )
+        plan = scheduler.plan(medium_graph, medium_spec)
+        assert plan.profile.dissimilarity == 1.0
+        assert plan.redundancy is None
+        assert not plan.reuse_enabled
+
+    def test_plan_objective_not_worse_than_temporal(
+        self, medium_graph, medium_spec
+    ):
+        default = DiTileScheduler(16, 4 * 2**20).plan(medium_graph, medium_spec)
+        temporal = DiTileScheduler(
+            16, 4 * 2**20, SchedulerOptions(enable_parallelism=False)
+        ).plan(medium_graph, medium_spec)
+        assert default.comm.total <= temporal.comm.total + 1e-9
+
+    def test_communication_model_exposed(self, medium_graph, medium_spec):
+        scheduler = DiTileScheduler(16, 4 * 2**20)
+        model = scheduler.communication_model(medium_graph, medium_spec, alpha=2)
+        assert model.profile.alpha == 2
+        assert model.total_spatial_comm() > 0

@@ -1,0 +1,131 @@
+"""Unit tests for repro.accel.simulator and repro.accel.metrics."""
+
+import pytest
+
+from repro.accel.config import HardwareConfig
+from repro.accel.dram import DRAMTraffic
+from repro.accel.energy import EnergyParams
+from repro.accel.metrics import CostSummary, SnapshotCosts
+from repro.accel.noc import NoCTraffic
+from repro.accel.simulator import AcceleratorSimulator, SimulatorParams
+
+
+def _costs(
+    macs=1e7,
+    dram=1e6,
+    spatial=1e5,
+    snapshots=4,
+    utilization=1.0,
+    sync=0.0,
+    config=0.0,
+):
+    records = [
+        SnapshotCosts(
+            timestamp=t,
+            gnn_aggregation_macs=macs * 0.3,
+            gnn_combination_macs=macs * 0.5,
+            rnn_macs=macs * 0.2,
+            dram=DRAMTraffic(streaming_read=dram),
+            noc=NoCTraffic(spatial_bytes=spatial),
+            sync_events=sync,
+            config_events=config,
+        )
+        for t in range(snapshots)
+    ]
+    return CostSummary("test", records, load_utilization=utilization)
+
+
+@pytest.fixture
+def simulator():
+    return AcceleratorSimulator(HardwareConfig.small())
+
+
+class TestCostSummary:
+    def test_aggregates(self):
+        costs = _costs(macs=100, dram=10, spatial=5, snapshots=3)
+        assert costs.total_macs == pytest.approx(300)
+        assert costs.gnn_macs == pytest.approx(240)
+        assert costs.rnn_macs == pytest.approx(60)
+        assert costs.dram_bytes == pytest.approx(30)
+        assert costs.noc_bytes == pytest.approx(15)
+
+
+class TestSimulator:
+    def test_result_fields(self, simulator):
+        result = simulator.run(_costs())
+        assert result.execution_cycles > 0
+        assert result.execution_seconds == pytest.approx(
+            result.execution_cycles / 700e6
+        )
+        assert result.energy_joules > 0
+        assert 0 <= result.pe_utilization <= 1
+        assert len(result.per_snapshot_cycles) == 4
+
+    def test_more_macs_more_cycles(self, simulator):
+        small = simulator.run(_costs(macs=1e6, dram=0, spatial=0))
+        large = simulator.run(_costs(macs=1e8, dram=0, spatial=0))
+        assert large.execution_cycles > small.execution_cycles
+
+    def test_imbalance_stretches_compute(self, simulator):
+        balanced = simulator.run(_costs(utilization=1.0, dram=0, spatial=0))
+        imbalanced = simulator.run(_costs(utilization=0.5, dram=0, spatial=0))
+        assert imbalanced.execution_cycles == pytest.approx(
+            2 * balanced.execution_cycles, rel=0.01
+        )
+
+    def test_offchip_overlaps_with_compute(self, simulator):
+        compute_only = simulator.run(_costs(dram=1, spatial=0))
+        small_dram = simulator.run(_costs(dram=1e4, spatial=0))
+        # DRAM below the compute time hides entirely (max composition).
+        assert small_dram.execution_cycles == pytest.approx(
+            compute_only.execution_cycles, rel=0.05
+        )
+
+    def test_dram_bound_workload(self, simulator):
+        result = simulator.run(_costs(macs=1e4, dram=1e9, spatial=0))
+        assert result.cycles.off_chip == pytest.approx(
+            result.cycles.total, rel=0.01
+        )
+
+    def test_overheads_accumulate(self, simulator):
+        quiet = simulator.run(_costs(sync=0.0, config=0.0))
+        noisy = simulator.run(_costs(sync=1.0, config=1.0))
+        expected_extra = 4 * (
+            SimulatorParams().sync_latency_cycles
+            + SimulatorParams().config_latency_cycles
+        )
+        assert noisy.execution_cycles - quiet.execution_cycles == pytest.approx(
+            expected_extra
+        )
+
+    def test_energy_params_override(self):
+        hw = HardwareConfig.small()
+        default = AcceleratorSimulator(hw).run(_costs())
+        pricey = AcceleratorSimulator(
+            hw, energy_params=EnergyParams(fp32_mult_pj=37.0)
+        ).run(_costs())
+        assert pricey.energy_joules > default.energy_joules
+
+    def test_operand_noc_energy(self):
+        hw = HardwareConfig.small()
+        base = AcceleratorSimulator(hw).run(_costs())
+        crossbar_fed = AcceleratorSimulator(
+            hw, SimulatorParams(operand_noc_bytes_per_mac=2.0)
+        ).run(_costs())
+        assert crossbar_fed.energy.on_chip > base.energy.on_chip
+        assert crossbar_fed.execution_cycles == pytest.approx(
+            base.execution_cycles
+        )
+
+    def test_speedup_helpers(self, simulator):
+        fast = simulator.run(_costs(macs=1e6, dram=0, spatial=0))
+        slow = simulator.run(_costs(macs=4e6, dram=0, spatial=0))
+        assert fast.speedup_over(slow) == pytest.approx(4.0, rel=0.05)
+        assert slow.speedup_over(fast) == pytest.approx(0.25, rel=0.05)
+        assert fast.energy_ratio_over(slow) > 1.0
+
+    def test_cycle_breakdown_as_dict(self, simulator):
+        result = simulator.run(_costs())
+        assert set(result.cycles.as_dict()) == {
+            "compute", "on_chip", "off_chip", "overhead", "total",
+        }

@@ -1,0 +1,159 @@
+"""Tests for the sweep and supplementary experiment modules."""
+
+import pytest
+
+from repro.core.plan import DGNNSpec
+from repro.experiments.runner import ExperimentConfig
+from repro.experiments.supplementary import (
+    frontend_overhead,
+    link_load_analysis,
+    pipeline_utilization,
+)
+from repro.experiments.sweeps import (
+    bandwidth_scaling_sweep,
+    buffer_scaling_sweep,
+    snapshot_count_sweep,
+    tile_scaling_sweep,
+)
+from repro.graphs.generators import generate_dynamic_graph
+
+FAST = ExperimentConfig(scale=0.02, snapshots=4, large_dataset_shrink=0.1)
+
+
+@pytest.fixture(scope="module")
+def workload():
+    graph = generate_dynamic_graph(
+        250, 2000, 5, dissimilarity=0.1, feature_dim=48, seed=9, name="sweep"
+    )
+    return graph, DGNNSpec.classic(48, hidden_dim=16)
+
+
+class TestSweeps:
+    def test_tile_scaling_monotone_compute(self, workload):
+        graph, spec = workload
+        result = tile_scaling_sweep(graph, spec, sides=(2, 4))
+        assert len(result.rows) == 2
+        # More tiles never slow things down on this workload.
+        assert result.rows[1][2] <= result.rows[0][2] * 1.05
+
+    def test_buffer_scaling_reduces_alpha(self, workload):
+        graph, spec = workload
+        result = buffer_scaling_sweep(
+            graph, spec, capacities_kib=(64, 1024, 8192)
+        )
+        alphas = [row[1] for row in result.rows]
+        assert alphas == sorted(alphas, reverse=True)
+        drams = [row[2] for row in result.rows]
+        assert drams[-1] <= drams[0]
+
+    def test_bandwidth_scaling_reduces_offchip_share(self, workload):
+        graph, spec = workload
+        result = bandwidth_scaling_sweep(graph, spec, bandwidths=(8.0, 256.0))
+        shares = [row[2] for row in result.rows]
+        assert shares[-1] <= shares[0]
+
+    def test_snapshot_count_sweep(self, workload):
+        _, spec = workload
+        graphs = [
+            generate_dynamic_graph(
+                250, 2000, t, dissimilarity=0.1, feature_dim=48, seed=9
+            )
+            for t in (2, 6)
+        ]
+        result = snapshot_count_sweep(graphs, spec)
+        assert [row[0] for row in result.rows] == [2, 6]
+        assert result.rows[1][2] > result.rows[0][2]  # more T, more cycles
+
+
+class TestSupplementary:
+    def test_pipeline_utilization_rows(self):
+        result = pipeline_utilization(FAST)
+        assert len(result.rows) == 3
+        for row in result.rows:
+            assert 0 < row[2] <= 1.0
+
+    def test_link_load_relink_vs_mesh(self):
+        result = link_load_analysis(FAST)
+        rows = result.row_dict()
+        assert rows["Re-Link"][2] <= rows["static mesh"][2] + 1e-9
+
+    def test_frontend_overhead_small(self):
+        result = frontend_overhead(
+            ExperimentConfig(scale=0.01, snapshots=3, large_dataset_shrink=0.1)
+        )
+        for row in result.rows:
+            assert row[3] < 50.0
+
+
+class TestCapacitySharingKnob:
+    def test_sharing_increases_temporal_dram(self, workload):
+        from dataclasses import replace
+
+        from repro.baselines.algorithms import (
+            AlgorithmParams,
+            Placement,
+            build_costs,
+        )
+
+        graph, spec = workload
+        placement = Placement(snapshot_groups=5, vertex_groups=1)
+        off = build_costs(
+            graph, spec, "re", placement,
+            params=replace(AlgorithmParams(), onchip_bytes=128 * 1024),
+        )
+        on = build_costs(
+            graph, spec, "re", placement,
+            params=replace(AlgorithmParams(), group_capacity_sharing=1.0,
+                           onchip_bytes=128 * 1024),
+        )
+        assert on.dram_bytes > off.dram_bytes
+
+
+class TestSeedVariance:
+    def test_variance_report(self):
+        from repro.experiments.variance import seed_variance
+
+        result = seed_variance(
+            ExperimentConfig(scale=0.015, snapshots=3), seeds=(1, 2)
+        )
+        assert len(result.rows) == 4
+        for row in result.rows:
+            name, mean, std, low, high, cv = row
+            assert low <= mean <= high
+            assert std >= 0
+            assert mean > 1.0  # every baseline slower than DiTile
+
+    def test_unknown_metric_rejected(self):
+        from repro.experiments.variance import seed_variance
+
+        with pytest.raises(ValueError):
+            seed_variance(metric="latency")
+
+
+class TestDepthSweep:
+    def test_depth_sweep_macs_grow(self, workload):
+        from repro.experiments.sweeps import gnn_depth_sweep
+
+        graph, _ = workload
+        result = gnn_depth_sweep(graph, feature_dim=48, hidden_dim=16,
+                                 depths=(1, 3))
+        macs = [row[1] for row in result.rows]
+        assert macs[1] > macs[0]
+
+
+class TestPareto:
+    def test_frontier_logic(self):
+        from repro.experiments.pareto import pareto_frontier
+
+        points = [("a", 1.0, 5.0), ("b", 2.0, 2.0), ("c", 3.0, 3.0),
+                  ("d", 1.0, 5.0)]
+        optimal = pareto_frontier(points)
+        assert "a" in optimal and "b" in optimal
+        assert "c" not in optimal  # dominated by b
+
+    def test_ditile_on_frontier(self):
+        from repro.experiments.pareto import design_points
+
+        result = design_points(FAST, include_ablations=False)
+        flags = {row[0]: row[3] for row in result.rows}
+        assert flags["DiTile-DGNN"] == "yes"

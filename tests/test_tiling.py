@@ -1,0 +1,103 @@
+"""Unit tests for repro.core.tiling (Algorithm 1, Eqs. 5-6)."""
+
+import pytest
+
+from repro.core.tiling import (
+    dram_access,
+    subgraph_data_volume,
+    subgraph_tiling,
+)
+from repro.graphs.generators import generate_dynamic_graph
+
+
+@pytest.fixture
+def stats(medium_graph):
+    return medium_graph.stats()
+
+
+class TestDRAMAccess:
+    def test_alpha_one_is_vertex_count(self, stats):
+        # Eq. 6 at alpha=1: SV = V so the boundary term vanishes.
+        assert dram_access(stats, 1) == pytest.approx(sum(stats.num_vertices))
+
+    def test_monotone_in_alpha(self, stats):
+        values = [dram_access(stats, a) for a in (1, 2, 4, 8)]
+        assert values == sorted(values)
+
+    def test_matches_closed_form(self, stats):
+        # Eq. 6 simplifies to sum_i V_i + E_i * (1 - 1/alpha).
+        alpha = 4
+        expected = sum(
+            v + e * (1 - 1 / alpha)
+            for v, e in zip(stats.num_vertices, stats.num_edges)
+        )
+        assert dram_access(stats, alpha) == pytest.approx(expected)
+
+    def test_rejects_bad_alpha(self, stats):
+        with pytest.raises(ValueError):
+            dram_access(stats, 0)
+
+
+class TestDataVolume:
+    def test_shrinks_with_alpha(self, stats):
+        v1 = subgraph_data_volume(stats, 1, feature_dim=32)
+        v4 = subgraph_data_volume(stats, 4, feature_dim=32)
+        assert v4 == pytest.approx(v1 / 4)
+
+    def test_counts_features_and_edges(self, stats):
+        volume = subgraph_data_volume(stats, 1, feature_dim=10, output_dim=6)
+        expected = stats.avg_vertices * 16 * 4 + stats.avg_edges * 8
+        # avg == per-snapshot here (constant vertex count), so worst == avg.
+        assert volume == pytest.approx(expected, rel=0.2)
+
+
+class TestSubgraphTiling:
+    def test_large_buffer_needs_no_tiling(self, medium_graph):
+        result = subgraph_tiling(medium_graph, buffer_bytes=1e9, feature_dim=32)
+        assert result.alpha == 1
+        assert result.fits_buffer
+
+    def test_small_buffer_forces_tiling(self, medium_graph):
+        untiled_volume = subgraph_data_volume(
+            medium_graph.stats(), 1, feature_dim=32
+        )
+        result = subgraph_tiling(
+            medium_graph, buffer_bytes=untiled_volume / 3, feature_dim=32
+        )
+        assert result.alpha >= 3
+        assert result.fits_buffer
+        assert result.data_volume_bytes <= result.buffer_bytes
+
+    def test_picks_minimal_dram_access(self, medium_graph):
+        stats = medium_graph.stats()
+        volume = subgraph_data_volume(stats, 1, feature_dim=32)
+        result = subgraph_tiling(
+            medium_graph, buffer_bytes=volume / 2.5, feature_dim=32
+        )
+        # Eq. 6 is monotone, so the optimum is the smallest feasible alpha.
+        assert result.alpha == 3
+        assert result.dram_access == pytest.approx(dram_access(stats, 3))
+
+    def test_impossible_buffer_returns_finest(self, medium_graph):
+        result = subgraph_tiling(
+            medium_graph, buffer_bytes=16.0, feature_dim=32, max_alpha=50
+        )
+        assert result.alpha == 50
+        assert not result.fits_buffer
+
+    def test_rejects_nonpositive_buffer(self, medium_graph):
+        with pytest.raises(ValueError):
+            subgraph_tiling(medium_graph, buffer_bytes=0)
+
+    def test_accepts_stats_directly(self, medium_graph):
+        from_graph = subgraph_tiling(medium_graph, 1e9, feature_dim=32)
+        from_stats = subgraph_tiling(medium_graph.stats(), 1e9, feature_dim=32)
+        assert from_graph.alpha == from_stats.alpha
+
+    def test_varying_snapshot_sizes(self):
+        graph = generate_dynamic_graph(150, 1400, 4, dissimilarity=0.3, seed=1)
+        result = subgraph_tiling(graph, buffer_bytes=64 * 1024, feature_dim=64)
+        assert result.alpha >= 1
+        assert result.subgraph_vertices == pytest.approx(
+            graph.stats().avg_vertices / result.alpha
+        )

@@ -1,0 +1,183 @@
+"""Tests for the training-cost extension, EvolveGCN, and graph validation."""
+
+import numpy as np
+import pytest
+
+from repro.core.training import TrainingParams, training_costs
+from repro.ditile import DiTileAccelerator
+from repro.graphs.dynamic import DynamicGraph
+from repro.graphs.snapshot import GraphSnapshot
+from repro.graphs.validate import (
+    GraphValidationError,
+    validate_dynamic_graph,
+    validate_snapshot,
+)
+from repro.models.evolvegcn import EvolveGCNModel
+
+
+class TestTrainingCosts:
+    @pytest.fixture
+    def inference(self, medium_graph, medium_spec):
+        return DiTileAccelerator().build_costs(medium_graph, medium_spec)
+
+    def test_training_costs_exceed_inference(
+        self, inference, medium_graph, medium_spec
+    ):
+        train = training_costs(
+            inference,
+            medium_spec,
+            vertices_per_snapshot=[s.num_vertices for s in medium_graph],
+        )
+        assert train.total_macs > 2.5 * inference.total_macs
+        assert train.dram_bytes > inference.dram_bytes
+        assert train.noc_bytes > inference.noc_bytes
+        assert train.algorithm.endswith("-train")
+
+    def test_backward_factor_scales_compute(self, inference, medium_spec):
+        light = training_costs(
+            inference, medium_spec,
+            params=TrainingParams(backward_compute_factor=1.0),
+        )
+        heavy = training_costs(
+            inference, medium_spec,
+            params=TrainingParams(backward_compute_factor=3.0),
+        )
+        assert heavy.total_macs > light.total_macs
+
+    def test_allreduce_adds_sync(self, inference, medium_spec):
+        train = training_costs(
+            inference, medium_spec,
+            params=TrainingParams(allreduce_rounds=2),
+        )
+        extra = sum(t.sync_events for t in train.snapshots) - sum(
+            s.sync_events for s in inference.snapshots
+        )
+        assert extra == pytest.approx(2 * len(inference.snapshots))
+
+    def test_activation_stash_spills(self, inference, medium_graph, medium_spec):
+        small_buffer = training_costs(
+            inference,
+            medium_spec,
+            vertices_per_snapshot=[s.num_vertices for s in medium_graph],
+            params=TrainingParams(onchip_bytes=1024),
+        )
+        big_buffer = training_costs(
+            inference,
+            medium_spec,
+            vertices_per_snapshot=[s.num_vertices for s in medium_graph],
+            params=TrainingParams(onchip_bytes=1e12),
+        )
+        assert small_buffer.dram_bytes > big_buffer.dram_bytes
+
+    def test_rejects_bad_params(self):
+        with pytest.raises(ValueError):
+            TrainingParams(backward_compute_factor=-1.0)
+        with pytest.raises(ValueError):
+            TrainingParams(allreduce_rounds=-1)
+
+    def test_training_simulates(self, inference, medium_graph, medium_spec):
+        from repro.accel.simulator import AcceleratorSimulator
+
+        model = DiTileAccelerator()
+        train = training_costs(
+            inference, medium_spec,
+            vertices_per_snapshot=[s.num_vertices for s in medium_graph],
+        )
+        fwd = AcceleratorSimulator(model.hardware).run(inference)
+        bwd = AcceleratorSimulator(model.hardware).run(train)
+        assert bwd.execution_cycles > fwd.execution_cycles
+
+
+class TestEvolveGCN:
+    def test_create_and_run(self, small_graph):
+        model = EvolveGCNModel.create([6, 8, 4], seed=0)
+        outputs = model.run(small_graph)
+        assert outputs.num_snapshots == 5
+        assert outputs.embeddings[0].shape == (40, 4)
+        assert len(outputs.weights[0]) == 2
+
+    def test_weights_actually_evolve(self, small_graph):
+        model = EvolveGCNModel.create([6, 8], seed=1)
+        outputs = model.run(small_graph)
+        assert not np.allclose(outputs.weights[0][0], outputs.weights[1][0])
+
+    def test_static_graph_still_changes_embeddings(self, small_graph):
+        # Unlike the feature-recurrent DGNN, weight evolution changes
+        # embeddings even when the graph is frozen.
+        model = EvolveGCNModel.create([6, 8], seed=2)
+        frozen = DynamicGraph([small_graph[0], small_graph[0]])
+        outputs = model.run(frozen)
+        assert not np.allclose(outputs.embeddings[0], outputs.embeddings[1])
+
+    def test_dimension_validation(self):
+        from repro.models.gcn import GCNModel
+        from repro.models.rnn import GRUCell
+
+        gnn = GCNModel.create([6, 8], seed=3)
+        with pytest.raises(ValueError):
+            EvolveGCNModel(gnn, [])
+        with pytest.raises(ValueError):
+            EvolveGCNModel(gnn, [GRUCell.create(4, 4, seed=0)])
+
+    def test_requires_features(self):
+        graph = DynamicGraph([GraphSnapshot.from_edges(4, [(0, 1)], feature_dim=3)])
+        model = EvolveGCNModel.create([3, 4], seed=4)
+        with pytest.raises(ValueError):
+            model.run(graph)
+
+
+class TestValidation:
+    def test_valid_graph_passes(self, small_graph):
+        validate_dynamic_graph(small_graph)
+        validate_snapshot(small_graph[0])
+
+    def test_corrupt_indptr_detected(self, tiny_snapshot):
+        broken = GraphSnapshot.__new__(GraphSnapshot)
+        broken.num_vertices = tiny_snapshot.num_vertices
+        broken.indptr = tiny_snapshot.indptr.copy()
+        broken.indices = tiny_snapshot.indices.copy()
+        broken.feature_dim = tiny_snapshot.feature_dim
+        broken.timestamp = 0
+        broken._features = None
+        broken._out_degree = None
+        broken.indptr[2] = 99  # corrupt past nnz
+        with pytest.raises(GraphValidationError) as excinfo:
+            validate_snapshot(broken)
+        assert any("monoton" in p or "indptr" in p for p in excinfo.value.problems)
+
+    def test_unsorted_row_detected(self, tiny_snapshot):
+        broken = GraphSnapshot.__new__(GraphSnapshot)
+        broken.num_vertices = tiny_snapshot.num_vertices
+        broken.indptr = tiny_snapshot.indptr.copy()
+        broken.indices = tiny_snapshot.indices.copy()
+        broken.feature_dim = tiny_snapshot.feature_dim
+        broken.timestamp = 0
+        broken._features = None
+        broken._out_degree = None
+        # Vertex 2's row is [0, 1, 3]; reverse it.
+        start, stop = broken.indptr[2], broken.indptr[3]
+        broken.indices[start:stop] = broken.indices[start:stop][::-1]
+        with pytest.raises(GraphValidationError):
+            validate_snapshot(broken)
+
+    def test_nan_features_detected(self, tiny_snapshot):
+        features = np.zeros((5, 3))
+        features[1, 1] = np.nan
+        bad = tiny_snapshot.with_features(features)
+        with pytest.raises(GraphValidationError):
+            validate_snapshot(bad)
+
+    def test_all_problems_reported(self, tiny_snapshot):
+        broken = GraphSnapshot.__new__(GraphSnapshot)
+        broken.num_vertices = 5
+        broken.indptr = tiny_snapshot.indptr.copy()
+        broken.indices = tiny_snapshot.indices.copy()
+        broken.feature_dim = 3
+        broken.timestamp = 0
+        broken._features = None
+        broken._out_degree = None
+        broken.indptr[0] = -1
+        broken.indices[0] = 99
+        with pytest.raises(GraphValidationError) as excinfo:
+            validate_snapshot(broken)
+        assert len(excinfo.value.problems) >= 2

@@ -1,0 +1,157 @@
+"""Tests for GraphSAGE and GIN layer variants, including incremental equality."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.graphs.generators import generate_dynamic_graph
+from repro.models.aggregate import mean_rows, normalized_rows, sum_rows
+from repro.models.dgnn import DGNNModel
+from repro.models.incremental import IncrementalDGNN
+from repro.models.rnn import LSTMCell
+from repro.models.variants import (
+    GINLayer,
+    SAGELayer,
+    create_gin_model,
+    create_sage_model,
+)
+
+
+class TestAggregates:
+    def test_normalized_subset_matches_full(self, tiny_snapshot, rng):
+        x = rng.standard_normal((5, 3))
+        full = tiny_snapshot.aggregate(x)
+        subset = normalized_rows(tiny_snapshot, x, np.array([1, 3]))
+        np.testing.assert_allclose(subset, full[[1, 3]], atol=1e-12)
+
+    def test_mean_rows_by_hand(self, line_snapshot):
+        x = np.array([[1.0], [3.0], [5.0], [7.0]])
+        out = mean_rows(line_snapshot, x, np.arange(4))
+        # Vertex 0 has no in-neighbours -> 0; others average the one
+        # predecessor.
+        np.testing.assert_allclose(out, [[0.0], [1.0], [3.0], [5.0]])
+
+    def test_sum_rows_by_hand(self, tiny_snapshot):
+        x = np.ones((5, 2))
+        out = sum_rows(tiny_snapshot, x, np.arange(5))
+        np.testing.assert_allclose(out[:, 0], tiny_snapshot.in_degree())
+
+    def test_empty_rows(self, tiny_snapshot, rng):
+        x = rng.standard_normal((5, 3))
+        empty = np.empty(0, dtype=np.int64)
+        assert mean_rows(tiny_snapshot, x, empty).shape == (0, 3)
+        assert sum_rows(tiny_snapshot, x, empty).shape == (0, 3)
+
+
+class TestSAGELayer:
+    def test_dims(self):
+        layer = SAGELayer(np.zeros((4, 6)), np.zeros((4, 6)))
+        assert layer.in_dim == 4
+        assert layer.out_dim == 6
+
+    def test_rejects_mismatched_weights(self):
+        with pytest.raises(ValueError):
+            SAGELayer(np.zeros((4, 6)), np.zeros((4, 5)))
+
+    def test_forward_matches_manual(self, tiny_snapshot, rng):
+        layer = SAGELayer(
+            rng.standard_normal((3, 2)), rng.standard_normal((3, 2))
+        )
+        x = rng.standard_normal((5, 3))
+        out = layer.forward(tiny_snapshot, x)
+        manual = np.maximum(
+            x @ layer.w_self
+            + mean_rows(tiny_snapshot, x, np.arange(5)) @ layer.w_neigh,
+            0.0,
+        )
+        np.testing.assert_allclose(out, manual, atol=1e-12)
+
+    def test_forward_rows_matches_forward(self, tiny_snapshot, rng):
+        layer = SAGELayer(
+            rng.standard_normal((3, 2)), rng.standard_normal((3, 2))
+        )
+        x = rng.standard_normal((5, 3))
+        full = layer.forward(tiny_snapshot, x)
+        rows = np.array([0, 2, 4])
+        np.testing.assert_allclose(
+            layer.forward_rows(tiny_snapshot, x, rows), full[rows], atol=1e-12
+        )
+
+
+class TestGINLayer:
+    def test_dims(self):
+        layer = GINLayer(np.zeros((4, 8)), np.zeros((8, 6)))
+        assert layer.in_dim == 4
+        assert layer.out_dim == 6
+
+    def test_rejects_unchained_mlp(self):
+        with pytest.raises(ValueError):
+            GINLayer(np.zeros((4, 8)), np.zeros((7, 6)))
+
+    def test_epsilon_weighs_self(self, tiny_snapshot, rng):
+        x = rng.standard_normal((5, 3))
+        w1, w2 = rng.standard_normal((3, 3)), rng.standard_normal((3, 3))
+        small = GINLayer(w1, w2, epsilon=0.0).forward(tiny_snapshot, x)
+        large = GINLayer(w1, w2, epsilon=5.0).forward(tiny_snapshot, x)
+        assert not np.allclose(small, large)
+
+    def test_forward_rows_matches_forward(self, tiny_snapshot, rng):
+        layer = GINLayer(
+            rng.standard_normal((3, 4)), rng.standard_normal((4, 2)), 0.3
+        )
+        x = rng.standard_normal((5, 3))
+        full = layer.forward(tiny_snapshot, x)
+        rows = np.array([1, 3])
+        np.testing.assert_allclose(
+            layer.forward_rows(tiny_snapshot, x, rows), full[rows], atol=1e-12
+        )
+
+
+class TestVariantModels:
+    def test_create_sage_stack(self, tiny_snapshot, rng):
+        model = create_sage_model([3, 8, 4], seed=0)
+        assert model.num_layers == 2
+        out = model.forward(tiny_snapshot, rng.standard_normal((5, 3)))
+        assert out.shape == (5, 4)
+
+    def test_create_gin_stack(self, tiny_snapshot, rng):
+        model = create_gin_model([3, 8, 4], seed=0)
+        out = model.forward(tiny_snapshot, rng.standard_normal((5, 3)))
+        assert out.shape == (5, 4)
+
+    def test_rejects_short_dims(self):
+        with pytest.raises(ValueError):
+            create_sage_model([3])
+        with pytest.raises(ValueError):
+            create_gin_model([3])
+
+    @pytest.mark.parametrize("builder", [create_sage_model, create_gin_model])
+    def test_incremental_equals_full(self, builder, small_graph):
+        gnn = builder([6, 8, 5], seed=1)
+        model = DGNNModel(gnn, LSTMCell.create(5, 4, seed=2))
+        full = model.run(small_graph)
+        incremental = IncrementalDGNN(model).run(small_graph)
+        for t in range(small_graph.num_snapshots):
+            np.testing.assert_allclose(
+                incremental.embeddings[t], full.embeddings[t], atol=1e-10
+            )
+            np.testing.assert_allclose(
+                incremental.hidden[t], full.hidden[t], atol=1e-10
+            )
+
+    @settings(max_examples=10, deadline=None)
+    @given(seed=st.integers(0, 10_000), dissimilarity=st.floats(0.0, 0.5))
+    def test_property_sage_incremental_equals_full(self, seed, dissimilarity):
+        graph = generate_dynamic_graph(
+            20, 70, 3, dissimilarity=dissimilarity, feature_dim=4,
+            seed=seed, with_features=True,
+        )
+        gnn = create_sage_model([4, 5], seed=seed)
+        model = DGNNModel(gnn, LSTMCell.create(5, 3, seed=seed))
+        full = model.run(graph)
+        incremental = IncrementalDGNN(model).run(graph)
+        for t in range(3):
+            np.testing.assert_allclose(
+                incremental.hidden[t], full.hidden[t], atol=1e-10
+            )

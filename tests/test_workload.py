@@ -1,0 +1,129 @@
+"""Unit tests for repro.models.workload (op counting + Eq. 17)."""
+
+import numpy as np
+import pytest
+
+from repro.graphs.dynamic import DynamicGraph
+from repro.graphs.snapshot import GraphSnapshot
+from repro.models.workload import (
+    KernelOps,
+    dynamic_vertex_workload,
+    gcn_ops,
+    gcn_ops_subset,
+    label_aggregation,
+    rnn_ops,
+    vertex_workload,
+)
+
+
+class TestKernelOps:
+    def test_total_and_add(self):
+        a = KernelOps(10, 20)
+        b = KernelOps(1, 2)
+        combined = a + b
+        assert combined.total == 33
+        assert combined.aggregation == 11
+
+
+class TestGCNOps:
+    def test_counts_by_hand(self, tiny_snapshot):
+        # V=5, E=5, dims 3 -> 4: aggregation (E+V)*3 = 30,
+        # combination V*3*4 = 60.
+        ops = gcn_ops(tiny_snapshot, [3, 4])
+        assert ops.aggregation == 30
+        assert ops.combination == 60
+
+    def test_multi_layer_accumulates(self, tiny_snapshot):
+        one = gcn_ops(tiny_snapshot, [3, 4])
+        two = gcn_ops(tiny_snapshot, [3, 4, 2])
+        assert two.aggregation == one.aggregation + (5 + 5) * 4
+        assert two.combination == one.combination + 5 * 4 * 2
+
+    def test_rejects_short_dims(self, tiny_snapshot):
+        with pytest.raises(ValueError):
+            gcn_ops(tiny_snapshot, [3])
+
+    def test_subset_counts(self, tiny_snapshot):
+        full = gcn_ops(tiny_snapshot, [3, 4])
+        all_rows = [np.arange(5)]
+        subset_full = gcn_ops_subset(tiny_snapshot, [3, 4], all_rows)
+        assert subset_full.total == full.total
+        some = gcn_ops_subset(tiny_snapshot, [3, 4], [np.array([2])])
+        # Vertex 2 has in-degree 3 (+1 self loop): aggregation 4*3 = 12,
+        # combination 1*3*4 = 12.
+        assert some.aggregation == 12
+        assert some.combination == 12
+
+    def test_subset_requires_per_layer_rows(self, tiny_snapshot):
+        with pytest.raises(ValueError):
+            gcn_ops_subset(tiny_snapshot, [3, 4, 2], [np.array([0])])
+
+
+class TestRNNOps:
+    def test_lstm_counts_by_hand(self):
+        # V=2, z=3, h=4: 4 input projections 2*4*3*4=96,
+        # 4 hidden projections 2*4*4*4=128, elementwise 2*4*4=32.
+        ops = rnn_ops(2, 3, 4, num_matmuls=8)
+        assert ops.combination == 96 + 128 + 32
+        assert ops.aggregation == 0
+
+    def test_gru_is_cheaper(self):
+        lstm = rnn_ops(10, 8, 8, num_matmuls=8)
+        gru = rnn_ops(10, 8, 8, num_matmuls=6)
+        assert gru.total < lstm.total
+
+
+class TestLabelAggregation:
+    def test_line_graph_walk_counts(self, line_snapshot):
+        # 0 -> 1 -> 2 -> 3: walks^1 = in-degree, walks^2 via two hops.
+        rounds = label_aggregation(line_snapshot, 2)
+        np.testing.assert_array_equal(rounds[0], [0, 1, 1, 1])
+        np.testing.assert_array_equal(rounds[1], [0, 0, 1, 1])
+
+    def test_rejects_zero_layers(self, line_snapshot):
+        with pytest.raises(ValueError):
+            label_aggregation(line_snapshot, 0)
+
+    def test_counts_walks_not_vertices(self):
+        # Two parallel paths 0->1->3 and 0->2->3 give walks^2(3) = 2.
+        snapshot = GraphSnapshot.from_edges(
+            4, [(0, 1), (0, 2), (1, 3), (2, 3)]
+        )
+        rounds = label_aggregation(snapshot, 2)
+        assert rounds[1][3] == 2
+
+
+class TestVertexWorkload:
+    def test_paper_fig4_example(self):
+        """§5 worked example: N^1(A)=3, N^2(A)=1 gives workload 7 at L=2."""
+        # A=0 with in-neighbours B=1, C=2, D=3; B has in-neighbour E=4.
+        snapshot = GraphSnapshot.from_edges(
+            5, [(1, 0), (2, 0), (3, 0), (4, 1)]
+        )
+        workload = vertex_workload(snapshot, 2)
+        # L_A = 2 * walks^1(A) + walks^2(A) = 2*3 + 1 = 7 (Eq. 17).
+        assert workload[0] == 7
+
+    def test_line_graph_by_hand(self, line_snapshot):
+        workload = vertex_workload(line_snapshot, 2)
+        # L_v = 2*walks^1 + walks^2.
+        np.testing.assert_array_equal(workload, [0, 2, 3, 3])
+
+    def test_single_layer_is_in_degree(self, tiny_snapshot):
+        np.testing.assert_array_equal(
+            vertex_workload(tiny_snapshot, 1), tiny_snapshot.in_degree()
+        )
+
+    def test_dynamic_sums_over_snapshots(self, line_snapshot):
+        graph = DynamicGraph([line_snapshot, line_snapshot])
+        vload = dynamic_vertex_workload(graph, 2)
+        np.testing.assert_array_equal(vload, [0, 4, 6, 6])
+
+    def test_dynamic_handles_growing_graph(self):
+        small = GraphSnapshot.from_edges(3, [(0, 1)])
+        large = GraphSnapshot.from_edges(5, [(0, 1), (3, 4)])
+        graph = DynamicGraph([small, large])
+        vload = dynamic_vertex_workload(graph, 1)
+        assert len(vload) == 5
+        assert vload[1] == 2  # in both snapshots
+        assert vload[4] == 1  # only in the second

@@ -1,0 +1,84 @@
+"""Calibration harness: compare measured figure metrics against paper targets.
+
+Run:  python tools/calibrate.py [scale]
+
+Prints, for each dataset and on average, the ratios the paper's figures
+report (baseline / DiTile) next to the published targets, so calibration
+constants in `repro.baselines.algorithms.AlgorithmParams` and the accel
+models can be tuned.
+"""
+
+import sys
+
+import numpy as np
+
+from repro.baselines import (
+    DGNNBoosterAccelerator,
+    MEGAAccelerator,
+    RACEAccelerator,
+    ReaDyAccelerator,
+)
+from repro.core import DGNNSpec
+from repro.ditile import DiTileAccelerator
+from repro.graphs import dataset_names, load_dataset
+
+SCALE = float(sys.argv[1]) if len(sys.argv) > 1 else 0.05
+
+# Paper targets (baseline / DiTile ratios).
+TARGETS = {
+    "ops": {"ReaDy": 2.92, "DGNN-Booster": 2.92, "RACE": 1.51, "MEGA": 1.36},
+    "dram": {"ReaDy": 2.39, "DGNN-Booster": 2.39, "RACE": 1.36, "MEGA": 1.50},
+    "time": {"ReaDy": 1.94, "DGNN-Booster": 2.28, "RACE": 1.30, "MEGA": 1.56},
+    "energy": {"ReaDy": 6.26, "DGNN-Booster": 6.01, "RACE": 4.10, "MEGA": 3.50},
+}
+
+
+def main():
+    ratios = {m: {n: [] for n in TARGETS["ops"]} for m in TARGETS}
+    util = {"DiTile-DGNN": [], "baseline": []}
+    for name in dataset_names():
+        scale = SCALE if name not in ("Mobile", "Flicker") else SCALE / 5
+        g = load_dataset(name, scale=scale, seed=7)
+        spec = DGNNSpec.classic(g.feature_dim)
+        models = [
+            ReaDyAccelerator(),
+            DGNNBoosterAccelerator(),
+            RACEAccelerator(),
+            MEGAAccelerator(),
+            DiTileAccelerator(),
+        ]
+        results = {m.name: m.simulate(g, spec) for m in models}
+        d = results["DiTile-DGNN"]
+        util["DiTile-DGNN"].append(d.pe_utilization)
+        print(f"\n== {name} (scale={scale}) V~{g.stats().avg_vertices:.0f} "
+              f"E~{g.stats().avg_edges:.0f} Dis~{g.stats().avg_dissimilarity:.3f}")
+        for bname, r in results.items():
+            if bname == "DiTile-DGNN":
+                continue
+            ops = r.total_macs / d.total_macs
+            dram = r.dram_bytes / d.dram_bytes
+            time = r.execution_cycles / d.execution_cycles
+            energy = r.energy_joules / d.energy_joules
+            util["baseline"].append(r.pe_utilization)
+            ratios["ops"][bname].append(ops)
+            ratios["dram"][bname].append(dram)
+            ratios["time"][bname].append(time)
+            ratios["energy"][bname].append(energy)
+            print(f"  {bname:13s} ops x{ops:5.2f} dram x{dram:5.2f} "
+                  f"time x{time:5.2f} energy x{energy:5.2f} util={r.pe_utilization:.3f}")
+        print(f"  {'DiTile':13s} util={d.pe_utilization:.3f} "
+              f"ctl={d.energy.control_fraction()*100:.1f}% "
+              f"cycles: C={d.cycles.compute:.2e} N={d.cycles.on_chip:.2e} D={d.cycles.off_chip:.2e}")
+
+    print("\n===== averages vs paper targets =====")
+    for metric, per_base in ratios.items():
+        for bname, vals in per_base.items():
+            avg = float(np.mean(vals))
+            tgt = TARGETS[metric][bname]
+            print(f"  {metric:6s} {bname:13s} measured x{avg:5.2f}  target x{tgt:5.2f}")
+    print(f"  PE util: DiTile {np.mean(util['DiTile-DGNN']):.3f} vs baselines "
+          f"{np.mean(util['baseline']):.3f} (paper: DiTile +23.8% on WD)")
+
+
+if __name__ == "__main__":
+    main()
