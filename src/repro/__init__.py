@@ -53,8 +53,16 @@ from .baselines import (
 )
 from .ditile import DiTileAccelerator
 from .experiments import ExperimentConfig, ExperimentRunner
+from .serving import (
+    ServiceConfig,
+    ServingReport,
+    StreamingService,
+    serve_offline,
+    stream_from_dataset,
+    synthetic_event_stream,
+)
 
-__version__ = "1.0.0"
+__version__ = "1.1.0"
 
 __all__ = [
     "GraphSnapshot",
@@ -89,5 +97,11 @@ __all__ = [
     "DiTileAccelerator",
     "ExperimentConfig",
     "ExperimentRunner",
+    "ServiceConfig",
+    "ServingReport",
+    "StreamingService",
+    "serve_offline",
+    "stream_from_dataset",
+    "synthetic_event_stream",
     "__version__",
 ]

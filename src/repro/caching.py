@@ -1,0 +1,111 @@
+"""Bounded caches shared across the library.
+
+Long-running workloads — above all the streaming-inference service
+(:mod:`repro.serving`) — keep producing new cache keys forever: every
+served window has a fresh workload signature, every transition graph a
+fresh identity.  Unbounded ``dict`` memoization therefore leaks.  This
+module provides the one bounded policy the library standardizes on: a
+plain LRU with hit/miss accounting, used by the DiTile plan cache, the
+dynamic-graph changed-vertex cache, and the serving plan manager.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from dataclasses import dataclass
+from typing import Generic, Iterator, Optional, Tuple, TypeVar
+
+__all__ = ["CacheStats", "LRUCache"]
+
+K = TypeVar("K")
+V = TypeVar("V")
+
+_MISSING = object()
+
+
+@dataclass
+class CacheStats:
+    """Hit/miss/eviction counters of one cache instance."""
+
+    hits: int = 0
+    misses: int = 0
+    evictions: int = 0
+
+    @property
+    def lookups(self) -> int:
+        """Total ``get`` calls."""
+        return self.hits + self.misses
+
+    @property
+    def hit_rate(self) -> float:
+        """``hits / lookups`` (0.0 before the first lookup)."""
+        if self.lookups == 0:
+            return 0.0
+        return self.hits / self.lookups
+
+
+class LRUCache(Generic[K, V]):
+    """A least-recently-used mapping bounded at ``capacity`` entries.
+
+    ``get`` refreshes recency; ``put`` evicts the stalest entry once the
+    bound is exceeded.  ``capacity=None`` disables eviction (an explicit
+    opt-out, for call sites whose key space is provably small).
+    """
+
+    def __init__(self, capacity: Optional[int] = 128):
+        if capacity is not None and capacity < 1:
+            raise ValueError(f"capacity must be >= 1 or None, got {capacity}")
+        self.capacity = capacity
+        self.stats = CacheStats()
+        self._data: "OrderedDict[K, V]" = OrderedDict()
+
+    def __len__(self) -> int:
+        return len(self._data)
+
+    def __contains__(self, key: K) -> bool:
+        return key in self._data
+
+    def __iter__(self) -> Iterator[K]:
+        return iter(self._data)
+
+    def get(self, key: K, default: Optional[V] = None) -> Optional[V]:
+        """The cached value (refreshing recency), or ``default``."""
+        value = self._data.get(key, _MISSING)
+        if value is _MISSING:
+            self.stats.misses += 1
+            return default
+        self._data.move_to_end(key)
+        self.stats.hits += 1
+        return value
+
+    def peek(self, key: K, default: Optional[V] = None) -> Optional[V]:
+        """Like :meth:`get` but without touching recency or counters."""
+        return self._data.get(key, default)
+
+    def put(self, key: K, value: V) -> None:
+        """Insert/overwrite ``key``, evicting the LRU entry if over bound."""
+        if key in self._data:
+            self._data.move_to_end(key)
+        self._data[key] = value
+        if self.capacity is not None and len(self._data) > self.capacity:
+            self._data.popitem(last=False)
+            self.stats.evictions += 1
+
+    def pop(self, key: K, default: Optional[V] = None) -> Optional[V]:
+        """Remove and return ``key`` (no counter updates)."""
+        return self._data.pop(key, default)
+
+    def clear(self) -> None:
+        """Drop every entry (counters are preserved)."""
+        self._data.clear()
+
+    def items(self) -> Iterator[Tuple[K, V]]:
+        """Iterate ``(key, value)`` pairs, stalest first."""
+        return iter(self._data.items())
+
+    def __repr__(self) -> str:
+        cap = "inf" if self.capacity is None else str(self.capacity)
+        return (
+            f"LRUCache(size={len(self._data)}/{cap}, hits={self.stats.hits}, "
+            f"misses={self.stats.misses}, evictions={self.stats.evictions})"
+        )

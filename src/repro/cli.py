@@ -10,6 +10,9 @@ Commands
     Simulate DiTile plus all four baselines and print the comparison.
 ``reproduce [FIGURE ...]``
     Regenerate evaluation artifacts (default: all of Table 1 / Figs 7-14).
+``serve [DATASET]``
+    Run the online streaming-inference service over a dataset replay or a
+    synthetic event stream and print the service statistics.
 ``area``
     Print the Fig. 14 area breakdown.
 """
@@ -64,6 +67,41 @@ def build_parser() -> argparse.ArgumentParser:
         "--out", default=None, metavar="DIR",
         help="also export results to DIR (CSV per figure + REPORT.md)",
     )
+
+    serve = sub.add_parser(
+        "serve", help="run the online streaming-inference service"
+    )
+    serve.add_argument(
+        "dataset", nargs="?", default=None,
+        help="Table 1 dataset to replay as an event stream "
+        "(omit to serve a synthetic stream)",
+    )
+    serve.add_argument("--scale", type=float, default=0.0625,
+                       help="dataset synthesis scale (dataset mode)")
+    serve.add_argument("--snapshots", type=int, default=None,
+                       help="dataset snapshot count (dataset mode)")
+    serve.add_argument("--seed", type=int, default=7)
+    serve.add_argument("--vertices", type=int, default=256,
+                       help="synthetic stream vertex count")
+    serve.add_argument("--events", type=int, default=10_000,
+                       help="synthetic stream event count")
+    serve.add_argument("--remove-fraction", type=float, default=0.15,
+                       help="synthetic stream edge-removal share")
+    serve.add_argument("--window", type=float, default=None,
+                       help="window width in stream time (default: 1.0 for "
+                       "dataset replays, span/32 for synthetic streams)")
+    serve.add_argument("--drift-threshold", type=float, default=0.25,
+                       help="relative workload change that forces a re-plan")
+    serve.add_argument("--workers", type=int, default=2,
+                       help="simulation worker threads (0 = inline)")
+    serve.add_argument("--batch", type=int, default=4,
+                       help="max windows grouped per executor batch")
+    serve.add_argument("--queue-capacity", type=int, default=8,
+                       help="ingest queue bound (backpressure)")
+    serve.add_argument("--plan-cache-capacity", type=int, default=32,
+                       help="LRU bound of the execution-plan cache")
+    serve.add_argument("--hidden-dim", type=int, default=64,
+                       help="DGNN hidden width (synthetic mode)")
 
     sub.add_parser("area", help="print the Fig. 14 area breakdown")
     return parser
@@ -155,6 +193,72 @@ def _cmd_reproduce(args: argparse.Namespace) -> None:
         print(f"exported {len(written) - 1} figures to {args.out}")
 
 
+def _cmd_serve(args: argparse.Namespace) -> None:
+    from .core.plan import DGNNSpec
+    from .serving import (
+        ServiceConfig,
+        StreamingService,
+        stream_from_dataset,
+        synthetic_event_stream,
+    )
+
+    if args.dataset is not None:
+        stream = stream_from_dataset(
+            args.dataset,
+            scale=args.scale,
+            snapshots=args.snapshots,
+            seed=args.seed,
+        )
+        from .graphs.datasets import dataset_profile
+
+        spec = DGNNSpec.classic(dataset_profile(args.dataset).feature_dim)
+        window = args.window if args.window is not None else 1.0
+        origin = 0.0  # integer event times t=1..T-1 -> one transition/window
+    else:
+        stream = synthetic_event_stream(
+            num_vertices=args.vertices,
+            num_events=args.events,
+            seed=args.seed,
+            remove_fraction=args.remove_fraction,
+        )
+        spec = DGNNSpec.classic(args.hidden_dim, args.hidden_dim)
+        first, last = stream.time_span
+        window = (
+            args.window
+            if args.window is not None
+            else max((last - first) / 32.0, 1e-9)
+        )
+        origin = None
+    config = ServiceConfig(
+        window=window,
+        origin=origin,
+        workers=args.workers,
+        max_batch_windows=args.batch,
+        queue_capacity=args.queue_capacity,
+        plan_cache_capacity=args.plan_cache_capacity,
+        drift_threshold=args.drift_threshold,
+    )
+    first, last = stream.time_span
+    print(
+        f"stream: {stream.name} |O|={stream.num_events} events over "
+        f"[{first:g}, {last:g}], V={stream.num_vertices}, "
+        f"window={window:g} ({stream.num_windows(window, origin=origin)} windows)"
+    )
+    report = StreamingService(ditile_model(), config).serve(stream, spec)
+    print(report.stats.summary())
+    print(
+        f"simulated load     {report.total_cycles:.3e} accelerator cycles "
+        f"over {report.num_windows} windows"
+    )
+
+
+def ditile_model():
+    """The service's accelerator model (one seam for tests to patch)."""
+    from .ditile import DiTileAccelerator
+
+    return DiTileAccelerator()
+
+
 def _cmd_area() -> None:
     print(figure14(HardwareConfig.small()).to_text())
 
@@ -170,6 +274,8 @@ def main(argv: Optional[List[str]] = None) -> int:
         _cmd_compare(args)
     elif args.command == "reproduce":
         _cmd_reproduce(args)
+    elif args.command == "serve":
+        _cmd_serve(args)
     elif args.command == "area":
         _cmd_area()
     else:  # pragma: no cover - argparse enforces choices

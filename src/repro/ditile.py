@@ -17,12 +17,13 @@ Each contribution can be disabled through :class:`SchedulerOptions` /
 from __future__ import annotations
 
 from dataclasses import replace
-from typing import Dict, Optional, Tuple
+from typing import Optional, Tuple
 
 from .accel.config import HardwareConfig
 from .accel.metrics import CostSummary
 from .baselines.algorithms import AlgorithmParams, Placement, build_costs
 from .baselines.base import AcceleratorModel
+from .caching import LRUCache
 from .core.plan import DGNNSpec, ExecutionPlan
 from .core.scheduler import DiTileScheduler, SchedulerOptions
 from .graphs.dynamic import DynamicGraph
@@ -37,12 +38,17 @@ class DiTileAccelerator(AcceleratorModel):
     algorithm = "ditile"
     topology = "ditile"
 
+    #: default bound on the per-(graph, spec) plan memo; a long-lived model
+    #: fed an open-ended stream of workloads must not retain every plan
+    DEFAULT_PLAN_CACHE_CAPACITY = 64
+
     def __init__(
         self,
         hardware: Optional[HardwareConfig] = None,
         options: SchedulerOptions = SchedulerOptions(),
         params: Optional[AlgorithmParams] = None,
         reconfigurable_noc: bool = True,
+        plan_cache_capacity: Optional[int] = None,
     ):
         if not reconfigurable_noc:
             # The NoRa ablation falls back to a conventional static mesh.
@@ -65,20 +71,34 @@ class DiTileAccelerator(AcceleratorModel):
             distributed_buffer_bytes=float(self.hardware.distributed_buffer_bytes),
             options=options,
         )
-        self._plan_cache: Dict[Tuple[int, DGNNSpec], ExecutionPlan] = {}
+        if plan_cache_capacity is None:
+            plan_cache_capacity = self.DEFAULT_PLAN_CACHE_CAPACITY
+        self._plan_cache: LRUCache[Tuple[int, DGNNSpec], ExecutionPlan] = LRUCache(
+            plan_cache_capacity
+        )
 
     # ------------------------------------------------------------------
     # Planning
     # ------------------------------------------------------------------
     def plan(self, graph: DynamicGraph, spec: DGNNSpec) -> ExecutionPlan:
-        """The scheduler's execution plan for this workload (memoized)."""
+        """The scheduler's execution plan for this workload (memoized, LRU)."""
         key = (id(graph), spec)
-        if key not in self._plan_cache:
-            self._plan_cache[key] = self.scheduler.plan(graph, spec)
-        return self._plan_cache[key]
+        plan = self._plan_cache.get(key)
+        if plan is None:
+            plan = self.scheduler.plan(graph, spec)
+            self._plan_cache.put(key, plan)
+        return plan
 
     def placement(self, graph: DynamicGraph, spec: DGNNSpec) -> Placement:
-        plan = self.plan(graph, spec)
+        return self.placement_from_plan(self.plan(graph, spec))
+
+    def placement_from_plan(self, plan: ExecutionPlan) -> Placement:
+        """The tile-array mapping a (possibly cached) plan prescribes.
+
+        Split out from :meth:`placement` so the streaming service's plan
+        manager can apply a plan computed for an earlier, similar workload
+        window without re-invoking the scheduler.
+        """
         factors = plan.factors
         occupancy = factors.tiles_used / self.hardware.total_tiles
         utilization = max(

@@ -13,6 +13,7 @@ of real dynamic-graph traces) feed the rest of the library.
 from __future__ import annotations
 
 import bisect
+import math
 from dataclasses import dataclass
 from typing import Iterable, List, Optional, Sequence, Tuple
 
@@ -21,7 +22,23 @@ import numpy as np
 from .dynamic import DynamicGraph
 from .snapshot import GraphSnapshot
 
-__all__ = ["EdgeEvent", "ContinuousDynamicGraph"]
+__all__ = ["EdgeEvent", "ContinuousDynamicGraph", "window_index"]
+
+
+def window_index(time: float, origin: float, window: float) -> int:
+    """The window an event at ``time`` belongs to.
+
+    Windows partition the stream into half-open intervals anchored at
+    ``origin`` (the first event time): window ``k`` covers
+    ``(origin + k*window, origin + (k+1)*window]``, except that events at
+    exactly ``origin`` belong to window 0.  The closed upper bound matches
+    :meth:`ContinuousDynamicGraph.edges_at`, whose prefix is inclusive —
+    so an event landing exactly on a boundary is visible in the snapshot
+    sampled at that boundary.
+    """
+    if window <= 0:
+        raise ValueError(f"window must be positive, got {window}")
+    return max(0, math.ceil((time - origin) / window) - 1)
 
 _ADD = "add"
 _REMOVE = "remove"
@@ -90,6 +107,34 @@ class ContinuousDynamicGraph:
         ]
         return cls(GraphSnapshot.empty(num_vertices), events, name=name)
 
+    @classmethod
+    def from_snapshots(
+        cls, graph: DynamicGraph, name: Optional[str] = None
+    ) -> "ContinuousDynamicGraph":
+        """Replay a discrete-time dynamic graph as an event stream.
+
+        The first snapshot becomes the initial graph ``G``; every later
+        transition ``t-1 -> t`` contributes its exact edge delta as add /
+        remove events stamped at time ``t``.  Discretizing the result with
+        a unit window recovers snapshots ``1..T-1``, which is how offline
+        Table 1 datasets are fed to the streaming service.
+        """
+        from .delta import snapshot_delta  # local import avoids a cycle at module load
+
+        events: List[EdgeEvent] = []
+        for t in range(1, graph.num_snapshots):
+            delta = snapshot_delta(graph[t - 1], graph[t])
+            time = float(t)
+            events.extend(
+                EdgeEvent(time, int(s), int(d), _ADD)
+                for s, d in zip(delta.added_src, delta.added_dst)
+            )
+            events.extend(
+                EdgeEvent(time, int(s), int(d), _REMOVE)
+                for s, d in zip(delta.removed_src, delta.removed_dst)
+            )
+        return cls(graph[0], events, name=name or f"{graph.name}[events]")
+
     # ------------------------------------------------------------------
     # Queries
     # ------------------------------------------------------------------
@@ -155,6 +200,41 @@ class ContinuousDynamicGraph:
                 time = last
             snapshots.append(self.snapshot_at(time, feature_dim))
         return DynamicGraph(snapshots, name=f"{self.name}[T={num_snapshots}]")
+
+    def num_windows(self, window: float, origin: Optional[float] = None) -> int:
+        """Windows of width ``window`` needed to cover the stream (>= 1)."""
+        first, last = self.time_span
+        anchor = first if origin is None else origin
+        if not self.events:
+            return 1
+        return window_index(last, anchor, window) + 1
+
+    def discretize_windows(
+        self,
+        window: float,
+        feature_dim: Optional[int] = None,
+        origin: Optional[float] = None,
+    ) -> DynamicGraph:
+        """Sample one snapshot per fixed-width time window.
+
+        Unlike :meth:`discretize` (which divides the *observed span* into a
+        requested snapshot count), this anchors half-open windows of width
+        ``window`` at ``origin`` (default: the first event time) and samples
+        the graph state at each window's closing boundary — the same rule
+        (:func:`window_index`) the streaming service's ingest stage applies
+        online, so the two paths discretize identically.  Windows containing
+        no events still produce a snapshot (equal to their predecessor).
+        """
+        if window <= 0:
+            raise ValueError(f"window must be positive, got {window}")
+        first, _ = self.time_span
+        anchor = first if origin is None else origin
+        count = self.num_windows(window, origin=anchor)
+        snapshots = [
+            self.snapshot_at(anchor + (k + 1) * window, feature_dim)
+            for k in range(count)
+        ]
+        return DynamicGraph(snapshots, name=f"{self.name}[W={window:g}]")
 
     def __repr__(self) -> str:
         return (

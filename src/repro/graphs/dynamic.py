@@ -10,10 +10,11 @@ sets that bound how far a change propagates through an L-layer GNN.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Iterator, List, Sequence
+from typing import Iterator, List, Optional, Sequence
 
 import numpy as np
 
+from ..caching import LRUCache
 from .snapshot import GraphSnapshot
 
 __all__ = ["DynamicGraph", "DynamicGraphStats"]
@@ -50,7 +51,17 @@ class DynamicGraph:
     contains it.
     """
 
-    def __init__(self, snapshots: Sequence[GraphSnapshot], name: str = "dynamic-graph"):
+    #: default bound on the per-transition changed-vertex memo; snapshots
+    #: are indexed ``0..T-1``, so this only bites for very long histories
+    #: (e.g. graphs grown indefinitely by a streaming service)
+    DEFAULT_CHANGED_CACHE_CAPACITY = 1024
+
+    def __init__(
+        self,
+        snapshots: Sequence[GraphSnapshot],
+        name: str = "dynamic-graph",
+        changed_cache_capacity: Optional[int] = None,
+    ):
         snapshots = list(snapshots)
         if not snapshots:
             raise ValueError("a dynamic graph needs at least one snapshot")
@@ -64,7 +75,9 @@ class DynamicGraph:
             for t, s in enumerate(snapshots)
         ]
         self.name = name
-        self._changed_cache: dict = {}
+        if changed_cache_capacity is None:
+            changed_cache_capacity = self.DEFAULT_CHANGED_CACHE_CAPACITY
+        self._changed_cache: LRUCache = LRUCache(changed_cache_capacity)
 
     # ------------------------------------------------------------------
     # Basic container protocol
@@ -104,11 +117,12 @@ class DynamicGraph:
         when it exists in only one of the two snapshots, or when its input
         features changed (for feature-carrying graphs).
         """
-        if t in self._changed_cache:
-            return self._changed_cache[t]
+        cached = self._changed_cache.get(t)
+        if cached is not None:
+            return cached
         if t == 0:
             result = np.arange(self.snapshots[0].num_vertices, dtype=np.int64)
-            self._changed_cache[t] = result
+            self._changed_cache.put(t, result)
             return result
         prev, cur = self.snapshots[t - 1], self.snapshots[t]
         common = min(prev.num_vertices, cur.num_vertices)
@@ -125,7 +139,7 @@ class DynamicGraph:
             changed = np.concatenate(
                 [changed, np.arange(common, cur.num_vertices, dtype=np.int64)]
             )
-        self._changed_cache[t] = changed
+        self._changed_cache.put(t, changed)
         return changed
 
     def dissimilarity(self, t: int) -> float:

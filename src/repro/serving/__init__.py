@@ -1,0 +1,52 @@
+"""Online streaming-inference service layer.
+
+Turns the offline batch pipeline (event stream -> discretize -> plan ->
+simulate) into a three-stage online service:
+
+1. **Ingest** (:mod:`repro.serving.ingest`) — consumes
+   :class:`~repro.graphs.continuous.EdgeEvent` streams, assigns events to
+   fixed-width time windows, and materializes each window's snapshot
+   *incrementally* from the previous one via
+   :func:`~repro.graphs.delta.apply_delta` instead of rebuilding from
+   scratch.
+2. **Plan management** (:mod:`repro.serving.plan_manager`) — caches
+   :class:`~repro.core.plan.ExecutionPlan`\\ s in an LRU keyed by a
+   quantized workload signature, re-invoking the scheduler only when a
+   drift detector observes the workload has moved beyond a threshold.
+3. **Execution** (:mod:`repro.serving.executor` /
+   :mod:`repro.serving.service`) — batches pending windows, simulates
+   them on a small worker pool, and applies bounded-queue backpressure
+   between stages.
+
+Serving is *deterministic*: the per-window
+:class:`~repro.accel.metrics.SimulationResult`\\ s are identical to the
+offline reference (:func:`~repro.serving.service.serve_offline`) on the
+same discretized stream, regardless of worker count, batching, or queue
+timing.
+"""
+
+from .ingest import IncrementalWindowBuilder, Window, WindowedIngestor
+from .plan_manager import PlanDecision, PlanManager
+from .service import ServiceConfig, ServingReport, StreamingService, serve_offline
+from .signature import DriftDetector, WindowProfile, WorkloadSignature
+from .stats import ServiceStats, WindowRecord
+from .streams import stream_from_dataset, synthetic_event_stream
+
+__all__ = [
+    "IncrementalWindowBuilder",
+    "Window",
+    "WindowedIngestor",
+    "PlanDecision",
+    "PlanManager",
+    "ServiceConfig",
+    "ServingReport",
+    "StreamingService",
+    "serve_offline",
+    "DriftDetector",
+    "WindowProfile",
+    "WorkloadSignature",
+    "ServiceStats",
+    "WindowRecord",
+    "stream_from_dataset",
+    "synthetic_event_stream",
+]

@@ -1,0 +1,129 @@
+"""Execution stage: per-window cost building and simulation.
+
+The unit of execution is one *window transition*: the previous window's
+snapshot followed by the current one.  Costs are built on that two-snapshot
+graph (the second snapshot takes the incremental path, exactly as the
+offline batch pipeline prices snapshot ``t`` given ``t-1``) and only the
+current window's :class:`~repro.accel.metrics.SnapshotCosts` is simulated.
+
+Window results are therefore independent of how windows are grouped into
+batches or interleaved across workers — the property the service's
+determinism guarantee rests on.  The worker pool
+(:class:`WindowExecutor`) only controls *when* a window is simulated,
+never *what* its result is.
+"""
+
+from __future__ import annotations
+
+from concurrent.futures import Future, ThreadPoolExecutor
+from typing import Callable, Optional, TypeVar
+
+from ..accel.metrics import CostSummary, SimulationResult
+from ..accel.simulator import AcceleratorSimulator
+from ..baselines.algorithms import build_costs
+from ..core.plan import DGNNSpec, ExecutionPlan
+from ..ditile import DiTileAccelerator
+from ..graphs.dynamic import DynamicGraph
+from ..graphs.snapshot import GraphSnapshot
+
+__all__ = ["transition_graph", "simulate_window", "WindowExecutor"]
+
+T = TypeVar("T")
+
+
+def transition_graph(
+    prev: Optional[GraphSnapshot], cur: GraphSnapshot, name: str = "window"
+) -> DynamicGraph:
+    """The context graph a window is planned and priced on.
+
+    ``[prev, cur]`` in steady state; ``[cur]`` for the first window, which
+    is a cold start (every vertex computed) in both the online and the
+    offline path.
+    """
+    snapshots = [cur] if prev is None else [prev, cur]
+    return DynamicGraph(snapshots, name=name)
+
+
+def simulate_window(
+    model: DiTileAccelerator,
+    spec: DGNNSpec,
+    transition: DynamicGraph,
+    plan: ExecutionPlan,
+) -> SimulationResult:
+    """Simulate the last snapshot of ``transition`` under ``plan``.
+
+    Mirrors :meth:`DiTileAccelerator.build_costs` /
+    :meth:`~repro.baselines.base.AcceleratorModel.simulate`, but keeps
+    only the current window's snapshot costs so the returned
+    :class:`SimulationResult` prices exactly one window.
+    """
+    algorithm = "ditile" if model.options.enable_reuse else "re"
+    costs = build_costs(
+        transition,
+        spec,
+        algorithm,
+        model.placement_from_plan(plan),
+        model.params,
+        tiling_alpha=plan.tiling.alpha,
+    )
+    window_costs = CostSummary(
+        algorithm="ditile",
+        snapshots=[costs.snapshots[-1]],
+        load_utilization=costs.load_utilization,
+    )
+    simulator = AcceleratorSimulator(
+        model.hardware,
+        model.simulator_params(),
+        name=model.name,
+        energy_params=model.energy_params(),
+    )
+    return simulator.run(window_costs)
+
+
+class _ImmediateFuture(Future):
+    """A completed future, for the ``workers=0`` inline mode."""
+
+    def __init__(self, fn: Callable[[], T]):
+        super().__init__()
+        try:
+            self.set_result(fn())
+        except BaseException as exc:  # noqa: BLE001 - mirror executor behaviour
+            self.set_exception(exc)
+
+
+class WindowExecutor:
+    """A small worker pool (or inline executor) for window simulations.
+
+    ``workers=0`` executes submissions synchronously on the caller's
+    thread — the sequential reference mode used by
+    :func:`~repro.serving.service.serve_offline` and by parity tests.
+    """
+
+    def __init__(self, workers: int = 2):
+        if workers < 0:
+            raise ValueError(f"workers must be >= 0, got {workers}")
+        self.workers = workers
+        self._pool = (
+            ThreadPoolExecutor(
+                max_workers=workers, thread_name_prefix="repro-serve"
+            )
+            if workers > 0
+            else None
+        )
+
+    def submit(self, fn: Callable[[], T]) -> "Future[T]":
+        """Schedule ``fn``; inline mode runs it before returning."""
+        if self._pool is None:
+            return _ImmediateFuture(fn)
+        return self._pool.submit(fn)
+
+    def shutdown(self) -> None:
+        """Release pool threads (idempotent)."""
+        if self._pool is not None:
+            self._pool.shutdown(wait=True)
+
+    def __enter__(self) -> "WindowExecutor":
+        return self
+
+    def __exit__(self, *_exc) -> None:
+        self.shutdown()

@@ -1,0 +1,129 @@
+"""Execution-plan cache with drift-triggered re-planning.
+
+Planning a window runs the full scheduler front-end (tiling search,
+``Ps``/``Pv`` optimization, Algorithm 2 balance) — far more work than
+simulating the window's incremental costs.  The serving layer therefore
+caches plans in an LRU keyed by :class:`~repro.serving.signature.WorkloadSignature`
+and re-invokes :class:`~repro.core.scheduler.DiTileScheduler` only when
+
+* a window's signature misses the cache, or
+* the :class:`~repro.serving.signature.DriftDetector` observes that the
+  workload has drifted beyond threshold from the profile the cached plan
+  was computed for.
+
+Resolution is sequential in window order (the service resolves plans in
+its single-threaded dispatch stage), so cache behaviour — and therefore
+every served result — is deterministic regardless of worker-pool timing.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import Optional, Tuple
+
+from ..caching import LRUCache
+from ..core.plan import DGNNSpec, ExecutionPlan
+from ..ditile import DiTileAccelerator
+from ..graphs.dynamic import DynamicGraph
+from .signature import DriftDetector, WindowProfile, WorkloadSignature
+
+__all__ = ["PlanDecision", "PlanEntry", "PlanManager"]
+
+
+class PlanDecision(enum.Enum):
+    """How a window's plan was obtained."""
+
+    HIT = "hit"  # cached plan reused as-is
+    MISS = "miss"  # no cached plan for this signature; scheduler invoked
+    REPLAN = "replan"  # cached plan found but drift fired; scheduler invoked
+
+
+@dataclass
+class PlanEntry:
+    """One cached plan plus the workload profile it was computed for."""
+
+    plan: ExecutionPlan
+    reference: WindowProfile
+
+
+class PlanManager:
+    """LRU-bounded plan cache in front of the DiTile scheduler."""
+
+    def __init__(
+        self,
+        model: DiTileAccelerator,
+        capacity: int = 32,
+        drift_threshold: float = 0.25,
+    ):
+        self.model = model
+        self.detector = DriftDetector(drift_threshold)
+        self._cache: LRUCache[WorkloadSignature, PlanEntry] = LRUCache(capacity)
+        self.hits = 0
+        self.misses = 0
+        self.replans = 0
+
+    # ------------------------------------------------------------------
+    # Resolution
+    # ------------------------------------------------------------------
+    def resolve(
+        self,
+        transition: DynamicGraph,
+        spec: DGNNSpec,
+        profile: Optional[WindowProfile] = None,
+    ) -> Tuple[ExecutionPlan, PlanDecision]:
+        """The plan to execute ``transition`` (its last snapshot's window)
+        under, plus how it was obtained.
+
+        ``transition`` is the ingest stage's context graph — the previous
+        window's snapshot followed by the current one (just the current
+        one for the first window).  A fresh plan is computed on exactly
+        this graph; a cached plan is applied to it unchanged.
+        """
+        current = profile or WindowProfile.from_snapshot(transition[-1])
+        signature = WorkloadSignature.from_profile(current, spec)
+        entry = self._cache.get(signature)
+        if entry is None:
+            plan = self.model.scheduler.plan(transition, spec)
+            self._cache.put(signature, PlanEntry(plan, current))
+            self.misses += 1
+            return plan, PlanDecision.MISS
+        if self.detector.fires(entry.reference, current):
+            plan = self.model.scheduler.plan(transition, spec)
+            self._cache.put(signature, PlanEntry(plan, current))
+            self.replans += 1
+            return plan, PlanDecision.REPLAN
+        self.hits += 1
+        return entry.plan, PlanDecision.HIT
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+    @property
+    def lookups(self) -> int:
+        """Total resolve calls."""
+        return self.hits + self.misses + self.replans
+
+    @property
+    def hit_rate(self) -> float:
+        """Fraction of windows served from cache without re-planning."""
+        if self.lookups == 0:
+            return 0.0
+        return self.hits / self.lookups
+
+    @property
+    def size(self) -> int:
+        """Plans currently cached."""
+        return len(self._cache)
+
+    @property
+    def evictions(self) -> int:
+        """Entries dropped by the LRU bound."""
+        return self._cache.stats.evictions
+
+    def __repr__(self) -> str:
+        return (
+            f"PlanManager(size={self.size}, hits={self.hits}, "
+            f"misses={self.misses}, replans={self.replans}, "
+            f"evictions={self.evictions})"
+        )

@@ -1,0 +1,247 @@
+"""The streaming-inference service: ingest -> plan/dispatch -> execute.
+
+Pipeline shape (PiPAD-style preparation/execution overlap):
+
+::
+
+    events ──> [ingest thread] ──(bounded queue)──> [dispatch] ──> [worker pool]
+                incremental          backpressure      plan cache      batched
+                window builds                          + drift         simulation
+
+* The **ingest thread** runs :class:`~repro.serving.ingest.WindowedIngestor`
+  and pushes closed windows into a bounded queue — when execution falls
+  behind, the queue fills and ingest blocks (backpressure).
+* The **dispatch stage** (caller's thread) drains up to
+  ``max_batch_windows`` pending windows, resolves each window's plan
+  *sequentially in window order* through the
+  :class:`~repro.serving.plan_manager.PlanManager`, and submits the batch
+  to the worker pool.  Sequential plan resolution is what makes cache
+  decisions — and therefore results — independent of pool timing.
+* The **worker pool** simulates the batch's windows concurrently; the
+  dispatch stage collects them in order before pulling the next batch,
+  bounding in-flight work at the batch size.
+
+Determinism: :func:`serve_offline` runs the plain offline batch pipeline
+(window-discretize the whole stream, then price each transition
+sequentially) with the identical plan-manager policy.  Its per-window
+:class:`~repro.accel.metrics.SimulationResult`\\ s are exactly equal to
+the online service's, which the parity tests assert.
+"""
+
+from __future__ import annotations
+
+import queue
+import threading
+import time
+from dataclasses import dataclass
+from typing import List, Optional
+
+from ..accel.metrics import SimulationResult
+from ..core.plan import DGNNSpec
+from ..ditile import DiTileAccelerator
+from ..graphs.continuous import ContinuousDynamicGraph
+from ..graphs.snapshot import GraphSnapshot
+from .executor import WindowExecutor, simulate_window, transition_graph
+from .ingest import Window, WindowedIngestor
+from .plan_manager import PlanManager
+from .stats import ServiceStats, WindowRecord
+
+__all__ = ["ServiceConfig", "ServingReport", "StreamingService", "serve_offline"]
+
+_SENTINEL = object()
+
+
+@dataclass(frozen=True)
+class ServiceConfig:
+    """Tunable knobs of the streaming service."""
+
+    #: stream-time width of one snapshot window
+    window: float = 1.0
+    #: window-clock anchor; ``None`` anchors at the first event time
+    origin: Optional[float] = None
+    #: simulation worker threads (0 = inline sequential execution)
+    workers: int = 2
+    #: pending windows grouped into one worker-pool batch
+    max_batch_windows: int = 4
+    #: bound of the ingest->dispatch queue (the backpressure knob)
+    queue_capacity: int = 8
+    #: LRU bound of the execution-plan cache
+    plan_cache_capacity: int = 32
+    #: relative workload change that forces a re-plan on a cache hit
+    drift_threshold: float = 0.25
+    #: reject late events instead of dropping/counting them
+    strict_time_order: bool = False
+
+    def __post_init__(self) -> None:
+        if self.window <= 0:
+            raise ValueError("window must be positive")
+        if self.max_batch_windows < 1:
+            raise ValueError("max_batch_windows must be >= 1")
+        if self.queue_capacity < 1:
+            raise ValueError("queue_capacity must be >= 1")
+        if self.workers < 0:
+            raise ValueError("workers must be >= 0")
+
+
+@dataclass
+class ServingReport:
+    """Everything one :meth:`StreamingService.serve` run produced."""
+
+    results: List[SimulationResult]
+    stats: ServiceStats
+
+    @property
+    def num_windows(self) -> int:
+        """Windows served."""
+        return len(self.results)
+
+    @property
+    def total_cycles(self) -> float:
+        """Accelerator cycles summed over all served windows."""
+        return sum(r.execution_cycles for r in self.results)
+
+
+class StreamingService:
+    """Serves an event stream through the DiTile pipeline, online."""
+
+    def __init__(
+        self,
+        model: Optional[DiTileAccelerator] = None,
+        config: ServiceConfig = ServiceConfig(),
+    ):
+        self.model = model if model is not None else DiTileAccelerator()
+        self.config = config
+
+    def _plan_manager(self) -> PlanManager:
+        return PlanManager(
+            self.model,
+            capacity=self.config.plan_cache_capacity,
+            drift_threshold=self.config.drift_threshold,
+        )
+
+    # ------------------------------------------------------------------
+    # Online serving
+    # ------------------------------------------------------------------
+    def serve(
+        self, stream: ContinuousDynamicGraph, spec: DGNNSpec
+    ) -> ServingReport:
+        """Serve ``stream`` end to end and return results plus stats."""
+        cfg = self.config
+        ingestor = WindowedIngestor.for_stream(
+            stream,
+            window=cfg.window,
+            feature_dim=spec.feature_dim,
+            origin=cfg.origin,
+            strict_time_order=cfg.strict_time_order,
+        )
+        window_queue: "queue.Queue" = queue.Queue(maxsize=cfg.queue_capacity)
+
+        def _ingest() -> None:
+            try:
+                for window in ingestor.windows(stream.events):
+                    window_queue.put(window)
+                window_queue.put(_SENTINEL)
+            except BaseException as exc:  # propagate into the dispatch loop
+                window_queue.put(exc)
+
+        ingest_thread = threading.Thread(
+            target=_ingest, name="repro-serve-ingest", daemon=True
+        )
+        stats = ServiceStats()
+        results: List[SimulationResult] = []
+        manager = self._plan_manager()
+        prev: Optional[GraphSnapshot] = None
+        started = time.perf_counter()
+        ingest_thread.start()
+        with WindowExecutor(cfg.workers) as pool:
+            done = False
+            while not done:
+                stats.record_queue_depth(window_queue.qsize())
+                batch: List[Window] = []
+                item = window_queue.get()
+                while True:
+                    if item is _SENTINEL:
+                        done = True
+                        break
+                    if isinstance(item, BaseException):
+                        raise item
+                    batch.append(item)
+                    if len(batch) >= cfg.max_batch_windows:
+                        break
+                    try:
+                        item = window_queue.get_nowait()
+                    except queue.Empty:
+                        break
+                if not batch:
+                    break
+                stats.batches += 1
+                # Plans resolve sequentially, in window order, before any
+                # simulation is scheduled — cache behaviour cannot depend
+                # on worker timing.
+                futures = []
+                for window in batch:
+                    transition = transition_graph(
+                        prev, window.snapshot, name=f"window-{window.index}"
+                    )
+                    plan, decision = manager.resolve(transition, spec)
+                    futures.append(
+                        (
+                            window,
+                            decision,
+                            pool.submit(
+                                lambda t=transition, p=plan: simulate_window(
+                                    self.model, spec, t, p
+                                )
+                            ),
+                        )
+                    )
+                    prev = window.snapshot
+                for window, decision, future in futures:
+                    result = future.result()
+                    results.append(result)
+                    stats.records.append(
+                        WindowRecord(
+                            index=window.index,
+                            num_events=window.num_events,
+                            latency_s=time.perf_counter() - window.closed_at,
+                            cycles=result.execution_cycles,
+                            plan_decision=decision.value,
+                        )
+                    )
+        ingest_thread.join()
+        stats.elapsed_s = time.perf_counter() - started
+        stats.windows = len(results)
+        stats.events = ingestor.total_events
+        stats.late_events = ingestor.late_events
+        stats.from_plan_manager(manager)
+        return ServingReport(results=results, stats=stats)
+
+
+def serve_offline(
+    stream: ContinuousDynamicGraph,
+    spec: DGNNSpec,
+    model: Optional[DiTileAccelerator] = None,
+    config: ServiceConfig = ServiceConfig(),
+) -> List[SimulationResult]:
+    """The offline batch pipeline over the same windowed discretization.
+
+    Discretizes the whole stream up front
+    (:meth:`ContinuousDynamicGraph.discretize_windows`), then prices each
+    window transition sequentially with the identical plan-cache policy.
+    This is the determinism reference: :meth:`StreamingService.serve` must
+    produce exactly these per-window results.
+    """
+    model = model if model is not None else DiTileAccelerator()
+    service = StreamingService(model, config)
+    manager = service._plan_manager()
+    discrete = stream.discretize_windows(
+        config.window, feature_dim=spec.feature_dim, origin=config.origin
+    )
+    results: List[SimulationResult] = []
+    prev: Optional[GraphSnapshot] = None
+    for t in range(discrete.num_snapshots):
+        transition = transition_graph(prev, discrete[t], name=f"window-{t}")
+        plan, _ = manager.resolve(transition, spec)
+        results.append(simulate_window(model, spec, transition, plan))
+        prev = discrete[t]
+    return results

@@ -1,0 +1,177 @@
+"""Service statistics: latency, throughput, plan-cache behaviour, queues.
+
+Everything wall-clock lives here, deliberately separated from the
+deterministic :class:`~repro.accel.metrics.SimulationResult`\\ s the
+service produces — results are reproducible, service timings are not.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+__all__ = ["WindowRecord", "ServiceStats"]
+
+
+def _percentile(values: List[float], q: float) -> float:
+    """Nearest-rank percentile (0 for an empty sample)."""
+    if not values:
+        return 0.0
+    ordered = sorted(values)
+    rank = min(len(ordered) - 1, max(0, int(round(q * (len(ordered) - 1)))))
+    return ordered[rank]
+
+
+@dataclass
+class WindowRecord:
+    """Per-window service telemetry."""
+
+    index: int
+    num_events: int
+    latency_s: float  # window close (ingest) -> result available
+    cycles: float
+    plan_decision: str  # "hit" | "miss" | "replan"
+
+
+@dataclass
+class ServiceStats:
+    """Aggregated report of one :meth:`StreamingService.serve` run."""
+
+    windows: int = 0
+    events: int = 0
+    late_events: int = 0
+    elapsed_s: float = 0.0
+    plan_hits: int = 0
+    plan_misses: int = 0
+    plan_replans: int = 0
+    plan_evictions: int = 0
+    plan_cache_size: int = 0
+    batches: int = 0
+    max_queue_depth: int = 0
+    queue_depth_samples: List[int] = field(default_factory=list, repr=False)
+    records: List[WindowRecord] = field(default_factory=list, repr=False)
+
+    # ------------------------------------------------------------------
+    # Derived metrics
+    # ------------------------------------------------------------------
+    @property
+    def events_per_sec(self) -> float:
+        """Ingested-event throughput over the whole run."""
+        if self.elapsed_s <= 0:
+            return 0.0
+        return self.events / self.elapsed_s
+
+    @property
+    def windows_per_sec(self) -> float:
+        """Served-window throughput over the whole run."""
+        if self.elapsed_s <= 0:
+            return 0.0
+        return self.windows / self.elapsed_s
+
+    @property
+    def latencies(self) -> List[float]:
+        """Per-window close-to-result latencies, in seconds."""
+        return [r.latency_s for r in self.records]
+
+    @property
+    def p50_latency_s(self) -> float:
+        """Median window latency."""
+        return _percentile(self.latencies, 0.50)
+
+    @property
+    def p95_latency_s(self) -> float:
+        """95th-percentile window latency."""
+        return _percentile(self.latencies, 0.95)
+
+    @property
+    def max_latency_s(self) -> float:
+        """Worst window latency."""
+        return max(self.latencies, default=0.0)
+
+    @property
+    def plan_lookups(self) -> int:
+        """Plan-manager resolutions (one per window)."""
+        return self.plan_hits + self.plan_misses + self.plan_replans
+
+    @property
+    def plan_hit_rate(self) -> float:
+        """Windows served without invoking the scheduler."""
+        if self.plan_lookups == 0:
+            return 0.0
+        return self.plan_hits / self.plan_lookups
+
+    @property
+    def mean_queue_depth(self) -> float:
+        """Average ingest-queue depth at batch-pull time."""
+        if not self.queue_depth_samples:
+            return 0.0
+        return sum(self.queue_depth_samples) / len(self.queue_depth_samples)
+
+    @property
+    def mean_batch_windows(self) -> float:
+        """Average windows grouped per executor batch."""
+        if self.batches == 0:
+            return 0.0
+        return self.windows / self.batches
+
+    # ------------------------------------------------------------------
+    # Reporting
+    # ------------------------------------------------------------------
+    def as_dict(self) -> Dict[str, float]:
+        """Flat metric mapping (for JSON export / benchmarks)."""
+        return {
+            "windows": self.windows,
+            "events": self.events,
+            "late_events": self.late_events,
+            "elapsed_s": self.elapsed_s,
+            "events_per_sec": self.events_per_sec,
+            "windows_per_sec": self.windows_per_sec,
+            "p50_latency_s": self.p50_latency_s,
+            "p95_latency_s": self.p95_latency_s,
+            "max_latency_s": self.max_latency_s,
+            "plan_hits": self.plan_hits,
+            "plan_misses": self.plan_misses,
+            "plan_replans": self.plan_replans,
+            "plan_evictions": self.plan_evictions,
+            "plan_cache_size": self.plan_cache_size,
+            "plan_hit_rate": self.plan_hit_rate,
+            "batches": self.batches,
+            "mean_batch_windows": self.mean_batch_windows,
+            "max_queue_depth": self.max_queue_depth,
+            "mean_queue_depth": self.mean_queue_depth,
+        }
+
+    def summary(self) -> str:
+        """Human-readable multi-line report (the ``repro serve`` output)."""
+        lines = [
+            f"windows served     {self.windows} "
+            f"({self.events} events, {self.late_events} late/dropped)",
+            f"wall time          {self.elapsed_s:.3f} s "
+            f"({self.events_per_sec:,.0f} events/s, "
+            f"{self.windows_per_sec:.1f} windows/s)",
+            f"window latency     p50={1e3 * self.p50_latency_s:.2f} ms  "
+            f"p95={1e3 * self.p95_latency_s:.2f} ms  "
+            f"max={1e3 * self.max_latency_s:.2f} ms",
+            f"plan cache         hit rate {self.plan_hit_rate:.1%} "
+            f"({self.plan_hits} hits, {self.plan_misses} misses, "
+            f"{self.plan_replans} drift re-plans, "
+            f"{self.plan_evictions} evictions, {self.plan_cache_size} resident)",
+            f"batching           {self.batches} batches, "
+            f"{self.mean_batch_windows:.1f} windows/batch",
+            f"ingest queue       depth max={self.max_queue_depth} "
+            f"mean={self.mean_queue_depth:.1f}",
+        ]
+        return "\n".join(lines)
+
+    def record_queue_depth(self, depth: int) -> None:
+        """Sample the ingest queue depth (called once per batch pull)."""
+        self.queue_depth_samples.append(depth)
+        self.max_queue_depth = max(self.max_queue_depth, depth)
+
+    def from_plan_manager(self, manager) -> None:
+        """Copy the plan manager's counters into this report."""
+        self.plan_hits = manager.hits
+        self.plan_misses = manager.misses
+        self.plan_replans = manager.replans
+        self.plan_evictions = manager.evictions
+        self.plan_cache_size = manager.size

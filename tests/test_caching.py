@@ -1,0 +1,80 @@
+"""Unit tests for the shared bounded LRU cache."""
+
+import pytest
+
+from repro.caching import LRUCache
+
+
+class TestLRUCache:
+    def test_rejects_bad_capacity(self):
+        with pytest.raises(ValueError):
+            LRUCache(0)
+
+    def test_get_put_roundtrip(self):
+        cache = LRUCache(4)
+        cache.put("a", 1)
+        assert cache.get("a") == 1
+        assert cache.get("missing") is None
+        assert cache.get("missing", 42) == 42
+
+    def test_eviction_order_is_lru(self):
+        cache = LRUCache(2)
+        cache.put("a", 1)
+        cache.put("b", 2)
+        cache.get("a")  # refresh "a"; "b" becomes stalest
+        cache.put("c", 3)
+        assert "a" in cache and "c" in cache
+        assert "b" not in cache
+        assert cache.stats.evictions == 1
+
+    def test_capacity_bound_holds(self):
+        cache = LRUCache(8)
+        for i in range(100):
+            cache.put(i, i)
+        assert len(cache) == 8
+        assert cache.stats.evictions == 92
+        assert set(cache) == set(range(92, 100))
+
+    def test_overwrite_refreshes_without_evicting(self):
+        cache = LRUCache(2)
+        cache.put("a", 1)
+        cache.put("b", 2)
+        cache.put("a", 10)
+        assert len(cache) == 2
+        assert cache.stats.evictions == 0
+        assert cache.get("a") == 10
+
+    def test_unbounded_mode(self):
+        cache = LRUCache(None)
+        for i in range(1000):
+            cache.put(i, i)
+        assert len(cache) == 1000
+        assert cache.stats.evictions == 0
+
+    def test_hit_rate_accounting(self):
+        cache = LRUCache(4)
+        cache.put("a", 1)
+        cache.get("a")
+        cache.get("a")
+        cache.get("b")
+        assert cache.stats.hits == 2
+        assert cache.stats.misses == 1
+        assert cache.stats.hit_rate == pytest.approx(2 / 3)
+
+    def test_peek_does_not_touch_recency_or_counters(self):
+        cache = LRUCache(2)
+        cache.put("a", 1)
+        cache.put("b", 2)
+        cache.peek("a")
+        cache.put("c", 3)  # "a" is still stalest -> evicted
+        assert "a" not in cache
+        assert cache.stats.lookups == 0
+
+    def test_pop_and_clear(self):
+        cache = LRUCache(4)
+        cache.put("a", 1)
+        assert cache.pop("a") == 1
+        assert cache.pop("a") is None
+        cache.put("b", 2)
+        cache.clear()
+        assert len(cache) == 0

@@ -52,3 +52,34 @@ class TestCommands:
     def test_reproduce_rejects_unknown_figure(self):
         with pytest.raises(SystemExit):
             main(["reproduce", "figure99"])
+
+    def test_serve_synthetic(self, capsys):
+        assert main(
+            ["serve", "--events", "1500", "--vertices", "64",
+             "--hidden-dim", "16", "--workers", "2"]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "windows served" in out
+        assert "hit rate" in out
+        assert "events/s" in out
+        assert "ingest queue" in out
+
+    def test_serve_dataset_replay(self, capsys):
+        assert main(
+            ["serve", "TW", "--scale", "0.02", "--snapshots", "4"]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "Twitter[events]" in out
+        assert "windows served     3" in out  # T-1 transitions
+
+    def test_serve_inline_workers(self, capsys):
+        assert main(
+            ["serve", "--events", "600", "--vertices", "32",
+             "--hidden-dim", "16", "--workers", "0", "--window", "100"]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "windows served" in out
+
+    def test_serve_rejects_bad_dataset(self):
+        with pytest.raises(KeyError):
+            main(["serve", "no-such-dataset"])

@@ -3,7 +3,12 @@
 import numpy as np
 import pytest
 
-from repro.graphs.continuous import ContinuousDynamicGraph, EdgeEvent
+from repro.graphs.continuous import (
+    ContinuousDynamicGraph,
+    EdgeEvent,
+    window_index,
+)
+from repro.graphs.dynamic import DynamicGraph
 from repro.graphs.snapshot import GraphSnapshot
 
 
@@ -116,3 +121,155 @@ class TestDiscretize:
         spec = DGNNSpec(gcn_dims=(8, 8), rnn_hidden_dim=8)
         result = DiTileAccelerator().simulate(discrete, spec)
         assert result.execution_cycles > 0
+
+
+class TestWindowIndex:
+    def test_origin_event_in_window_zero(self):
+        assert window_index(0.0, 0.0, 2.0) == 0
+
+    def test_boundary_event_belongs_to_closing_window(self):
+        # An event exactly on a window's upper boundary is included in
+        # that window, matching the inclusive prefix of ``edges_at``.
+        assert window_index(2.0, 0.0, 2.0) == 0
+        assert window_index(4.0, 0.0, 2.0) == 1
+        assert window_index(2.0 + 1e-9, 0.0, 2.0) == 1
+
+    def test_pre_origin_clamps_to_zero(self):
+        assert window_index(-5.0, 0.0, 2.0) == 0
+
+    def test_rejects_nonpositive_window(self):
+        with pytest.raises(ValueError):
+            window_index(1.0, 0.0, 0.0)
+
+
+class TestDiscretizeWindows:
+    def _builder_windows(self, graph, window, origin=None, feature_dim=None):
+        """Reference: the serving ingest path over the same stream."""
+        from repro.serving.ingest import WindowedIngestor
+
+        ingestor = WindowedIngestor.for_stream(
+            graph, window, feature_dim=feature_dim, origin=origin
+        )
+        return [w.snapshot for w in ingestor.windows(graph.events)]
+
+    def assert_parity(self, graph, window, origin=None):
+        offline = graph.discretize_windows(window, origin=origin)
+        online = self._builder_windows(graph, window, origin=origin)
+        assert offline.num_snapshots == len(online)
+        for a, b in zip(offline, online):
+            assert a == b
+        return offline
+
+    def test_rejects_nonpositive_window(self):
+        with pytest.raises(ValueError):
+            _ctdg([]).discretize_windows(0.0)
+
+    def test_empty_stream_single_window(self):
+        initial = GraphSnapshot.from_edges(3, [(0, 1)])
+        graph = ContinuousDynamicGraph(initial, [])
+        discrete = self.assert_parity(graph, 1.0)
+        assert discrete.num_snapshots == 1
+        assert discrete[0].edge_set() == {(0, 1)}
+
+    def test_empty_windows_repeat_predecessor(self):
+        # A long gap in the stream produces windows with no events; each
+        # still emits a snapshot equal to the previous one.
+        graph = _ctdg([EdgeEvent(0.0, 0, 1), EdgeEvent(10.0, 1, 2)])
+        discrete = self.assert_parity(graph, 2.0)
+        assert discrete.num_snapshots == 5
+        for t in range(4):
+            assert discrete[t].edge_set() == {(0, 1)}
+        assert discrete[4].edge_set() == {(0, 1), (1, 2)}
+
+    def test_event_exactly_on_boundary(self):
+        graph = _ctdg(
+            [EdgeEvent(0.0, 0, 1), EdgeEvent(2.0, 1, 2), EdgeEvent(2.5, 2, 3)]
+        )
+        discrete = self.assert_parity(graph, 2.0)
+        # t=2.0 sits exactly on window 0's closing boundary -> window 0.
+        assert discrete[0].edge_set() == {(0, 1), (1, 2)}
+        assert discrete[1].edge_set() == {(0, 1), (1, 2), (2, 3)}
+
+    def test_out_of_order_events_within_window(self):
+        shuffled = [
+            EdgeEvent(3.0, 2, 3),
+            EdgeEvent(1.0, 0, 1),
+            EdgeEvent(2.0, 1, 2),
+            EdgeEvent(2.5, 1, 2, kind="remove"),
+        ]
+        graph = _ctdg(shuffled)
+        discrete = self.assert_parity(graph, 10.0)
+        assert discrete.num_snapshots == 1
+        assert discrete[0].edge_set() == {(0, 1), (2, 3)}
+
+    def test_remove_before_add_is_noop_then_add(self):
+        # Sorted by time, the remove precedes the (re-)add: the edge must
+        # survive, and removing an absent edge must not corrupt state.
+        graph = _ctdg(
+            [EdgeEvent(1.0, 0, 1, kind="remove"), EdgeEvent(2.0, 0, 1)]
+        )
+        discrete = self.assert_parity(graph, 5.0)
+        assert discrete[0].edge_set() == {(0, 1)}
+
+    def test_add_remove_same_timestamp_resolves_to_remove(self):
+        # EdgeEvent ordering breaks the (time, src, dst) tie by kind, with
+        # "add" < "remove" — both paths must apply them in that order.
+        graph = _ctdg(
+            [EdgeEvent(1.0, 0, 1, kind="remove"), EdgeEvent(1.0, 0, 1, kind="add")]
+        )
+        discrete = self.assert_parity(graph, 1.0)
+        assert discrete[0].edge_set() == set()
+
+    def test_churn_within_window_nets_out(self):
+        graph = _ctdg(
+            [
+                EdgeEvent(1.0, 0, 1),
+                EdgeEvent(1.5, 0, 1, kind="remove"),
+                EdgeEvent(1.8, 0, 1),
+                EdgeEvent(2.2, 2, 3),
+                EdgeEvent(2.4, 2, 3, kind="remove"),
+            ]
+        )
+        discrete = self.assert_parity(graph, 10.0)
+        assert discrete[0].edge_set() == {(0, 1)}
+
+    def test_explicit_origin(self):
+        graph = _ctdg([EdgeEvent(1.0, 0, 1), EdgeEvent(2.0, 1, 2)])
+        discrete = self.assert_parity(graph, 1.0, origin=0.0)
+        assert discrete.num_snapshots == 2
+        assert discrete[0].edge_set() == {(0, 1)}
+        assert discrete[1].edge_set() == {(0, 1), (1, 2)}
+
+    def test_num_windows_covers_span(self):
+        graph = _ctdg([EdgeEvent(0.0, 0, 1), EdgeEvent(7.1, 1, 2)])
+        assert graph.num_windows(2.0) == 4
+        assert _ctdg([]).num_windows(2.0) == 1
+
+    def test_feature_dim_override(self):
+        graph = _ctdg([EdgeEvent(1.0, 0, 1)])
+        discrete = graph.discretize_windows(1.0, feature_dim=9)
+        assert discrete.feature_dim == 9
+
+
+class TestFromSnapshots:
+    def test_replay_recovers_snapshots(self):
+        rng = np.random.default_rng(5)
+        snapshots = [
+            GraphSnapshot.from_edges(
+                12, {(int(a), int(b)) for a, b in rng.integers(0, 12, (20, 2))}
+            )
+            for _ in range(4)
+        ]
+        graph = DynamicGraph(snapshots, name="replayed")
+        stream = ContinuousDynamicGraph.from_snapshots(graph)
+        assert stream.initial == graph[0]
+        # With unit windows anchored at 0, window k reproduces snapshot k+1.
+        discrete = stream.discretize_windows(1.0, origin=0.0)
+        assert discrete.num_snapshots == graph.num_snapshots - 1
+        for t in range(1, graph.num_snapshots):
+            assert discrete[t - 1] == graph[t]
+
+    def test_single_snapshot_graph_yields_empty_stream(self):
+        graph = DynamicGraph([GraphSnapshot.from_edges(3, [(0, 1)])])
+        stream = ContinuousDynamicGraph.from_snapshots(graph)
+        assert stream.num_events == 0
