@@ -20,9 +20,10 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 import math
 
-__all__ = ["EnergyParams", "EnergyBreakdown", "EnergyModel"]
+__all__ = ["JOULES_PER_PJ", "EnergyParams", "EnergyBreakdown", "EnergyModel"]
 
-_PJ = 1e-12
+JOULES_PER_PJ = 1e-12  # the pJ -> J conversion factor
+_PJ = JOULES_PER_PJ  # short internal alias
 
 
 @dataclass(frozen=True)
@@ -41,9 +42,9 @@ class EnergyParams:
     control_overhead_fraction: float = 0.015
 
     @property
-    def mac_pj(self) -> float:
-        """One multiply-accumulate."""
-        return self.fp32_mult_pj + self.fp32_add_pj
+    def pj_per_mac(self) -> float:
+        """Energy of one multiply-accumulate."""
+        return self.fp32_mult_pj + self.fp32_add_pj  # repro: noqa[UNIT003] the two summands are already per-MAC energies (one mult + one add per MAC)
 
     def sram_word_pj(self, capacity_bytes: float) -> float:
         """Per-word SRAM access energy, sqrt-capacity scaling from 8 KB."""
@@ -98,7 +99,7 @@ class EnergyModel:
     def compute_energy(self, macs: float, sram_bytes: float,
                        sram_capacity_bytes: float) -> float:
         """Joules for ``macs`` MACs plus their operand SRAM traffic."""
-        mac_j = macs * self.params.mac_pj * _PJ
+        mac_j = macs * self.params.pj_per_mac * _PJ
         words = sram_bytes / 4.0
         sram_j = words * self.params.sram_word_pj(sram_capacity_bytes) * _PJ
         return mac_j + sram_j
@@ -114,9 +115,9 @@ class EnergyModel:
     def control_energy(self, config_events: float, dynamic_joules: float = 0.0) -> float:
         """Joules for control: reconfiguration events plus the instruction
         dispatch overhead proportional to dynamic energy."""
-        events = config_events * self.params.config_pj_per_event * _PJ
-        dispatch = dynamic_joules * self.params.control_overhead_fraction
-        return events + dispatch
+        reconfig_j = config_events * self.params.config_pj_per_event * _PJ
+        dispatch_j = dynamic_joules * self.params.control_overhead_fraction
+        return reconfig_j + dispatch_j
 
     def breakdown(
         self,

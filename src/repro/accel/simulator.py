@@ -160,12 +160,14 @@ class AcceleratorSimulator:
         self, costs: CostSummary, noc_byte_hops: float, config_events: float
     ) -> EnergyBreakdown:
         local_buffer = self.hardware.tile.pe.local_buffer_bytes
-        operand_hops = costs.total_macs * self.params.operand_noc_bytes_per_mac
+        operand_byte_hops = (
+            costs.total_macs * self.params.operand_noc_bytes_per_mac
+        )
         return self.energy_model.breakdown(
             macs=costs.total_macs,
             sram_bytes=costs.total_macs * self.params.sram_bytes_per_mac,
             sram_capacity_bytes=local_buffer,
-            noc_byte_hops=noc_byte_hops + operand_hops,
+            noc_byte_hops=noc_byte_hops + operand_byte_hops,
             dram_bytes=costs.dram_bytes,
             config_events=config_events,
         )

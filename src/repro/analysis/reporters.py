@@ -1,0 +1,69 @@
+"""Text and JSON reporters for lint results.
+
+The JSON schema (stable, versioned — consumed by CI tooling and the
+reporter tests)::
+
+    {
+      "version": 1,
+      "files_checked": 12,
+      "findings": [
+        {"rule": "UNIT001", "severity": "error", "path": "...",
+         "line": 10, "col": 4, "message": "..."},
+        ...
+      ],
+      "summary": {"total": 2, "by_rule": {"UNIT001": 2},
+                  "by_severity": {"error": 2}}
+    }
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Dict, List, Sequence
+
+from .findings import Finding
+
+__all__ = ["JSON_SCHEMA_VERSION", "render_text", "render_json"]
+
+JSON_SCHEMA_VERSION = 1
+
+
+def render_text(findings: Sequence[Finding], files_checked: int) -> str:
+    """One line per finding plus a one-line summary (the CLI default)."""
+    lines: List[str] = [finding.format() for finding in findings]
+    if findings:
+        by_rule: Dict[str, int] = {}
+        for finding in findings:
+            by_rule[finding.rule] = by_rule.get(finding.rule, 0) + 1
+        breakdown = ", ".join(
+            f"{rule} x{count}" for rule, count in sorted(by_rule.items())
+        )
+        lines.append(
+            f"{len(findings)} finding{'s' if len(findings) != 1 else ''} "
+            f"in {files_checked} file{'s' if files_checked != 1 else ''} "
+            f"({breakdown})"
+        )
+    else:
+        lines.append(f"clean: {files_checked} files, 0 findings")
+    return "\n".join(lines)
+
+
+def render_json(findings: Sequence[Finding], files_checked: int) -> str:
+    """The machine-readable report (schema above)."""
+    by_rule: Dict[str, int] = {}
+    by_severity: Dict[str, int] = {}
+    for finding in findings:
+        by_rule[finding.rule] = by_rule.get(finding.rule, 0) + 1
+        key = str(finding.severity)
+        by_severity[key] = by_severity.get(key, 0) + 1
+    payload = {
+        "version": JSON_SCHEMA_VERSION,
+        "files_checked": files_checked,
+        "findings": [finding.as_dict() for finding in findings],
+        "summary": {
+            "total": len(findings),
+            "by_rule": dict(sorted(by_rule.items())),
+            "by_severity": dict(sorted(by_severity.items())),
+        },
+    }
+    return json.dumps(payload, indent=2, sort_keys=False)

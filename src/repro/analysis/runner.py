@@ -1,0 +1,149 @@
+"""Lint orchestration: file discovery, rule execution, suppression filtering.
+
+Exit-code contract (asserted by the CLI tests):
+
+* ``0`` — every checked file is clean (or explicitly suppressed);
+* ``1`` — at least one finding survived suppression filtering;
+* ``2`` — usage error (unknown path, unknown rule id, bad arguments).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Dict, List, Optional, Sequence, Set
+
+from .findings import Finding, RuleRegistry, default_registry
+from .source import SourceFile, iter_python_files
+
+__all__ = ["EXIT_CLEAN", "EXIT_FINDINGS", "EXIT_USAGE", "UsageError",
+           "LintReport", "LintRunner", "run_lint"]
+
+EXIT_CLEAN = 0
+EXIT_FINDINGS = 1
+EXIT_USAGE = 2
+
+
+class UsageError(ValueError):
+    """Bad invocation (maps to exit code 2)."""
+
+
+@dataclass
+class LintReport:
+    """Everything one lint run produced."""
+
+    findings: List[Finding] = field(default_factory=list)
+    files_checked: int = 0
+
+    @property
+    def exit_code(self) -> int:
+        return EXIT_FINDINGS if self.findings else EXIT_CLEAN
+
+    def rules_fired(self) -> Set[str]:
+        return {finding.rule for finding in self.findings}
+
+
+class LintRunner:
+    """Runs a rule registry over a set of files/directories."""
+
+    def __init__(
+        self,
+        registry: Optional[RuleRegistry] = None,
+        select: Optional[Sequence[str]] = None,
+        report_unused_suppressions: bool = True,
+    ):
+        registry = registry if registry is not None else default_registry()
+        if select:
+            try:
+                registry = registry.select([s.upper() for s in select])
+            except KeyError as exc:
+                known = ", ".join(default_registry().ids())
+                raise UsageError(
+                    f"unknown rule id {exc.args[0]!r} (known: {known})"
+                ) from exc
+        self.registry = registry
+        self.report_unused_suppressions = report_unused_suppressions
+
+    # ------------------------------------------------------------------
+    # Execution
+    # ------------------------------------------------------------------
+    def run(self, paths: Sequence[Path]) -> LintReport:
+        """Lint ``paths`` (files or directories) and return the report."""
+        if not paths:
+            raise UsageError("no paths given")
+        for path in paths:
+            if not path.exists():
+                raise UsageError(f"no such file or directory: {path}")
+        sources = [
+            SourceFile.load(candidate, display_path=self._display(candidate))
+            for candidate in iter_python_files(list(paths))
+        ]
+        return self.run_sources(sources)
+
+    def run_sources(self, sources: Sequence[SourceFile]) -> LintReport:
+        """Lint already-loaded sources (the in-memory/fixture entry point)."""
+        raw: List[Finding] = []
+        for source in sources:
+            raw.extend(source.load_findings)
+            if source.tree is None:
+                continue
+            scope_path = self._scope_path(source)
+            for rule in self.registry.file_rules():
+                if rule.applies_to(scope_path):
+                    raw.extend(rule.check(source))
+        for rule in self.registry.project_rules():
+            in_scope = [
+                s
+                for s in sources
+                if s.tree is not None and rule.applies_to(self._scope_path(s))
+            ]
+            if in_scope:
+                raw.extend(rule.check_project(in_scope))
+
+        by_source: Dict[str, SourceFile] = {s.display_path: s for s in sources}
+        kept: List[Finding] = []
+        fired_by_file: Dict[str, Dict[int, set]] = {
+            s.display_path: {} for s in sources
+        }
+        for finding in raw:
+            lines = fired_by_file.setdefault(finding.path, {})
+            lines.setdefault(finding.line, set()).add(finding.rule)
+            source = by_source.get(finding.path)
+            if source is not None and source.suppresses(finding):
+                continue
+            kept.append(finding)
+        if self.report_unused_suppressions:
+            for source in sources:
+                kept.extend(
+                    source.unused_suppressions(
+                        fired_by_file.get(source.display_path, {})
+                    )
+                )
+        kept.sort(key=Finding.sort_key)
+        return LintReport(findings=kept, files_checked=len(sources))
+
+    # ------------------------------------------------------------------
+    # Paths
+    # ------------------------------------------------------------------
+    @staticmethod
+    def _display(path: Path) -> str:
+        try:
+            return path.resolve().relative_to(Path.cwd()).as_posix()
+        except ValueError:
+            return path.as_posix()
+
+    @staticmethod
+    def _scope_path(source: SourceFile) -> str:
+        """The path rules match their :class:`PathScope` against."""
+        try:
+            return source.path.resolve().as_posix()
+        except OSError:  # pragma: no cover - synthetic sources
+            return source.display_path
+
+
+def run_lint(
+    paths: Sequence[Path],
+    select: Optional[Sequence[str]] = None,
+) -> LintReport:
+    """One-call convenience wrapper used by tests and the CLI."""
+    return LintRunner(select=select).run(paths)

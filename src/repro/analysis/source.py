@@ -1,0 +1,217 @@
+"""Source loading, AST parsing, and ``# repro: noqa[RULE]`` suppressions.
+
+Suppression syntax (one per line, suppresses findings on that line only)::
+
+    value = other_pj  # repro: noqa[UNIT002] raw pJ kept for the report table
+
+The bracket lists one or more rule ids (comma-separated); everything after
+the bracket is the mandatory one-line justification.  A suppression
+without a justification, or a bare ``# repro: noqa`` that names no rules,
+is itself a finding (``NOQA001`` / ``NOQA002``) — the suite forces every
+suppression in the tree to say *why*.  A suppression whose rules never
+fire on its line is reported as unused (``NOQA003``).
+"""
+
+from __future__ import annotations
+
+import ast
+import io
+import re
+import tokenize
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Dict, Iterator, List, Optional, Sequence
+
+from .findings import Finding, Severity
+
+__all__ = [
+    "NOQA_NO_JUSTIFICATION",
+    "NOQA_BARE",
+    "NOQA_UNUSED",
+    "PARSE_ERROR",
+    "Suppression",
+    "SourceFile",
+    "iter_python_files",
+]
+
+#: suppression carries no justification text
+NOQA_NO_JUSTIFICATION = "NOQA001"
+#: a noqa suppression without a ``[RULE]`` list
+NOQA_BARE = "NOQA002"
+#: suppression whose rules produced no finding on its line
+NOQA_UNUSED = "NOQA003"
+#: file does not parse
+PARSE_ERROR = "PARSE001"
+
+_NOQA_RE = re.compile(
+    r"#\s*repro:\s*noqa(?P<bracket>\[(?P<rules>[^\]]*)\])?(?P<rest>.*)",
+    re.IGNORECASE,
+)
+
+
+@dataclass(frozen=True)
+class Suppression:
+    """One parsed ``# repro: noqa[...]`` comment."""
+
+    line: int
+    col: int
+    rules: frozenset
+    justification: str
+
+    def covers(self, rule_id: str) -> bool:
+        """Whether this suppression silences ``rule_id`` on its line."""
+        return rule_id in self.rules
+
+
+@dataclass
+class SourceFile:
+    """One file under lint: text, AST, and its suppression table."""
+
+    path: Path
+    display_path: str
+    text: str
+    tree: Optional[ast.Module] = None
+    #: findings produced while loading (syntax errors, malformed noqa)
+    load_findings: List[Finding] = field(default_factory=list)
+    suppressions: Dict[int, Suppression] = field(default_factory=dict)
+
+    @classmethod
+    def load(cls, path: Path, display_path: Optional[str] = None) -> "SourceFile":
+        """Read, parse, and scan ``path`` for suppression comments."""
+        display = display_path if display_path is not None else path.as_posix()
+        text = path.read_text(encoding="utf-8")
+        return cls.from_text(text, path=path, display_path=display)
+
+    @classmethod
+    def from_text(
+        cls,
+        text: str,
+        path: Optional[Path] = None,
+        display_path: str = "<string>",
+    ) -> "SourceFile":
+        """Build a source file from in-memory text (the fixture/test path)."""
+        source = cls(
+            path=path if path is not None else Path(display_path),
+            display_path=display_path,
+            text=text,
+        )
+        try:
+            source.tree = ast.parse(text, filename=display_path)
+        except SyntaxError as exc:
+            source.load_findings.append(
+                Finding(
+                    rule=PARSE_ERROR,
+                    message=f"file does not parse: {exc.msg}",
+                    path=display_path,
+                    line=exc.lineno or 1,
+                    col=(exc.offset or 1) - 1,
+                    severity=Severity.ERROR,
+                )
+            )
+            return source
+        source._scan_suppressions()
+        return source
+
+    # ------------------------------------------------------------------
+    # Suppressions
+    # ------------------------------------------------------------------
+    def _comments(self) -> Iterator[tokenize.TokenInfo]:
+        try:
+            tokens = tokenize.generate_tokens(io.StringIO(self.text).readline)
+            for token in tokens:
+                if token.type == tokenize.COMMENT:
+                    yield token
+        except (tokenize.TokenError, IndentationError):  # pragma: no cover
+            return
+
+    def _scan_suppressions(self) -> None:
+        for token in self._comments():
+            match = _NOQA_RE.search(token.string)
+            if match is None:
+                continue
+            line, col = token.start
+            if match.group("bracket") is None:
+                self.load_findings.append(
+                    Finding(
+                        rule=NOQA_BARE,
+                        message="suppression must name rules: "
+                        "use `# repro: noqa[RULE] justification`",
+                        path=self.display_path,
+                        line=line,
+                        col=col,
+                        severity=Severity.ERROR,
+                    )
+                )
+                continue
+            rules = frozenset(
+                part.strip().upper()
+                for part in match.group("rules").split(",")
+                if part.strip()
+            )
+            justification = match.group("rest").strip().lstrip("-—:").strip()
+            if not rules:
+                self.load_findings.append(
+                    Finding(
+                        rule=NOQA_BARE,
+                        message="suppression lists no rules",
+                        path=self.display_path,
+                        line=line,
+                        col=col,
+                        severity=Severity.ERROR,
+                    )
+                )
+                continue
+            if not justification:
+                self.load_findings.append(
+                    Finding(
+                        rule=NOQA_NO_JUSTIFICATION,
+                        message=f"suppression of {', '.join(sorted(rules))} "
+                        "carries no justification",
+                        path=self.display_path,
+                        line=line,
+                        col=col,
+                        severity=Severity.ERROR,
+                    )
+                )
+            self.suppressions[line] = Suppression(
+                line=line, col=col, rules=rules, justification=justification
+            )
+
+    def suppresses(self, finding: Finding) -> bool:
+        """Whether a line suppression covers ``finding``."""
+        suppression = self.suppressions.get(finding.line)
+        return suppression is not None and suppression.covers(finding.rule)
+
+    def unused_suppressions(
+        self, fired_rules_by_line: Dict[int, set]
+    ) -> Iterator[Finding]:
+        """``NOQA003`` findings for suppressions that silenced nothing."""
+        for line, suppression in sorted(self.suppressions.items()):
+            fired = fired_rules_by_line.get(line, set())
+            if not (suppression.rules & fired):
+                yield Finding(
+                    rule=NOQA_UNUSED,
+                    message="unused suppression: "
+                    f"{', '.join(sorted(suppression.rules))} did not fire here",
+                    path=self.display_path,
+                    line=line,
+                    col=suppression.col,
+                    severity=Severity.WARNING,
+                )
+
+
+def iter_python_files(paths: Sequence[Path]) -> Iterator[Path]:
+    """Expand files/directories into a sorted, de-duplicated ``.py`` list."""
+    seen = []
+    for path in paths:
+        if path.is_dir():
+            candidates: Iterator[Path] = iter(sorted(path.rglob("*.py")))
+        else:
+            candidates = iter([path])
+        for candidate in candidates:
+            if "__pycache__" in candidate.parts:
+                continue
+            resolved = candidate.resolve()
+            if resolved not in seen:
+                seen.append(resolved)
+                yield candidate

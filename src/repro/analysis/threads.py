@@ -1,0 +1,300 @@
+"""Thread-safety rule (THR001) for the serving layer.
+
+The streaming service runs three kinds of threads (ingest thread,
+dispatch loop, worker pool — ``docs/serving.md``).  Its determinism
+argument rests on worker threads never touching shared mutable state.
+This rule rebuilds that argument mechanically:
+
+1. collect every thread entry point in the in-scope files — functions
+   passed as ``threading.Thread(target=...)`` or submitted to an
+   executor via ``.submit(fn, ...)`` (lambdas submitted inline count via
+   the calls inside their bodies);
+2. grow a name-based call graph from those roots across all in-scope
+   files (conservative: a call resolves to every same-named function);
+3. flag any instance attribute that is mutated in **more than one
+   method** of its class when at least one mutation site is reachable
+   from a thread root and not wrapped in a ``with <lock>:`` block
+   (anything whose name contains ``lock`` or ``mutex`` counts as a
+   lock).
+
+Single-method mutators stay exempt: confining all writes to one method
+(called from one thread) is the pattern the serving layer uses on
+purpose, and flagging it would bury the real hazards.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass, field
+from typing import Dict, Iterator, List, Optional, Sequence, Set, Tuple
+
+from .astutil import terminal_name
+from .findings import Finding, ProjectRule, THREADED_PATHS
+from .source import SourceFile
+
+__all__ = ["UnlockedSharedMutationRule", "THREAD_RULES"]
+
+_MUTATOR_METHODS = {
+    "append", "extend", "insert", "add", "update", "discard", "remove",
+    "pop", "popitem", "clear", "appendleft", "popleft", "put",
+    "difference_update", "intersection_update", "symmetric_difference_update",
+    "setdefault", "move_to_end",
+}
+
+_CONSTRUCTORS = {"__init__", "__post_init__", "__new__"}
+
+
+def _is_lock_like(node: ast.AST) -> bool:
+    """``with self._lock:`` / ``with lock:`` / ``with pool.get_lock():``."""
+    if isinstance(node, ast.Call):
+        return _is_lock_like(node.func)
+    name = terminal_name(node)
+    if name is None:
+        return False
+    lowered = name.lower()
+    return "lock" in lowered or "mutex" in lowered
+
+
+@dataclass
+class _MutationSite:
+    """One write to ``self.<attr>`` inside a method."""
+
+    attr: str
+    method: str
+    cls: str
+    path: str
+    line: int
+    col: int
+    locked: bool
+
+
+@dataclass
+class _FunctionInfo:
+    """One function/method definition and the simple names it calls."""
+
+    name: str
+    cls: Optional[str]
+    path: str
+    calls: Set[str] = field(default_factory=set)
+
+
+class _Collector(ast.NodeVisitor):
+    """Per-file pass: definitions, call edges, thread roots, mutations."""
+
+    def __init__(self, source: SourceFile):
+        self.source = source
+        self.functions: List[_FunctionInfo] = []
+        self.thread_roots: Set[str] = set()
+        self.mutations: List[_MutationSite] = []
+        self._class_stack: List[str] = []
+        self._func_stack: List[_FunctionInfo] = []
+        self._lock_depth = 0
+
+    # -- structure ------------------------------------------------------
+    def visit_ClassDef(self, node: ast.ClassDef) -> None:
+        self._class_stack.append(node.name)
+        self.generic_visit(node)
+        self._class_stack.pop()
+
+    def _visit_function(self, node: ast.AST, name: str) -> None:
+        enclosing_class = self._class_stack[-1] if self._class_stack else None
+        # A nested function is not a method of the enclosing class.
+        if self._func_stack:
+            enclosing_class = None
+        info = _FunctionInfo(
+            name=name, cls=enclosing_class, path=self.source.display_path
+        )
+        self.functions.append(info)
+        self._func_stack.append(info)
+        outer_lock_depth, self._lock_depth = self._lock_depth, 0
+        self.generic_visit(node)
+        self._lock_depth = outer_lock_depth
+        self._func_stack.pop()
+
+    def visit_FunctionDef(self, node: ast.FunctionDef) -> None:
+        self._visit_function(node, node.name)
+
+    def visit_AsyncFunctionDef(self, node: ast.AsyncFunctionDef) -> None:
+        self._visit_function(node, node.name)
+
+    def visit_With(self, node: ast.With) -> None:
+        locked = any(_is_lock_like(item.context_expr) for item in node.items)
+        self._lock_depth += 1 if locked else 0
+        self.generic_visit(node)
+        self._lock_depth -= 1 if locked else 0
+
+    # -- calls, roots ---------------------------------------------------
+    def visit_Call(self, node: ast.Call) -> None:
+        callee = terminal_name(node.func)
+        if self._func_stack and callee is not None:
+            self._func_stack[-1].calls.add(callee)
+        if callee == "Thread":
+            for keyword in node.keywords:
+                if keyword.arg == "target":
+                    self._add_root(keyword.value)
+        elif callee == "submit" and node.args:
+            self._add_root(node.args[0])
+        self.generic_visit(node)
+
+    def _add_root(self, node: ast.AST) -> None:
+        if isinstance(node, ast.Lambda):
+            for child in ast.walk(node.body):
+                if isinstance(child, ast.Call):
+                    name = terminal_name(child.func)
+                    if name is not None:
+                        self.thread_roots.add(name)
+            return
+        name = terminal_name(node)
+        if name is not None:
+            self.thread_roots.add(name)
+
+    # -- mutations ------------------------------------------------------
+    def _self_attr(self, node: ast.AST) -> Optional[str]:
+        if (
+            isinstance(node, ast.Attribute)
+            and isinstance(node.value, ast.Name)
+            and node.value.id == "self"
+        ):
+            return node.attr
+        return None
+
+    def _record(self, attr: Optional[str], node: ast.AST) -> None:
+        if attr is None or not self._func_stack or not self._class_stack:
+            return
+        info = self._func_stack[-1]
+        if info.cls is None:  # nested function, not a method body
+            return
+        self.mutations.append(
+            _MutationSite(
+                attr=attr,
+                method=info.name,
+                cls=info.cls,
+                path=self.source.display_path,
+                line=getattr(node, "lineno", 1),
+                col=getattr(node, "col_offset", 0),
+                locked=self._lock_depth > 0,
+            )
+        )
+
+    def visit_Assign(self, node: ast.Assign) -> None:
+        for target in node.targets:
+            self._record(self._self_attr(target), node)
+            if isinstance(target, ast.Subscript):
+                self._record(self._self_attr(target.value), node)
+        self.generic_visit(node)
+
+    def visit_AugAssign(self, node: ast.AugAssign) -> None:
+        self._record(self._self_attr(node.target), node)
+        if isinstance(node.target, ast.Subscript):
+            self._record(self._self_attr(node.target.value), node)
+        self.generic_visit(node)
+
+    def visit_AnnAssign(self, node: ast.AnnAssign) -> None:
+        if node.value is not None:
+            self._record(self._self_attr(node.target), node)
+        self.generic_visit(node)
+
+    def visit_Delete(self, node: ast.Delete) -> None:
+        for target in node.targets:
+            self._record(self._self_attr(target), node)
+        self.generic_visit(node)
+
+    def _visit_mutating_call(self, node: ast.Call) -> None:
+        func = node.func
+        if isinstance(func, ast.Attribute) and func.attr in _MUTATOR_METHODS:
+            self._record(self._self_attr(func.value), node)
+
+    def generic_visit(self, node: ast.AST) -> None:
+        if isinstance(node, ast.Call):
+            self._visit_mutating_call(node)
+        super().generic_visit(node)
+
+
+class UnlockedSharedMutationRule(ProjectRule):
+    """THR001: cross-thread attribute mutation without a lock."""
+
+    id = "THR001"
+    name = "unlocked attribute mutation reachable from a thread target"
+    rationale = (
+        "The serving layer's determinism proof assumes worker and ingest "
+        "threads never write state another method also writes; any such "
+        "attribute needs a `with <lock>:` around the thread-side write "
+        "or a single-writer redesign."
+    )
+    scope = THREADED_PATHS
+
+    def check_project(self, sources: Sequence[SourceFile]) -> Iterator[Finding]:
+        collectors = []
+        for source in sources:
+            if source.tree is None:
+                continue
+            collector = _Collector(source)
+            collector.visit(source.tree)
+            collectors.append(collector)
+
+        functions: List[_FunctionInfo] = [
+            fn for collector in collectors for fn in collector.functions
+        ]
+        roots: Set[str] = set()
+        for collector in collectors:
+            roots |= collector.thread_roots
+        reachable = self._reachable(functions, roots)
+
+        mutations: Dict[Tuple[str, str, str], List[_MutationSite]] = {}
+        for collector in collectors:
+            for site in collector.mutations:
+                mutations.setdefault((site.path, site.cls, site.attr), []).append(
+                    site
+                )
+
+        for (path, cls, attr), sites in sorted(mutations.items()):
+            methods = {
+                s.method for s in sites if s.method not in _CONSTRUCTORS
+            }
+            if len(methods) < 2:
+                continue
+            flagged = [
+                s
+                for s in sites
+                if s.method in reachable
+                and s.method not in _CONSTRUCTORS
+                and not s.locked
+            ]
+            reported: Set[str] = set()
+            for site in flagged:
+                if site.method in reported:
+                    continue
+                reported.add(site.method)
+                others = ", ".join(sorted(methods - {site.method})) or "-"
+                yield Finding(
+                    rule=self.id,
+                    message=(
+                        f"`{cls}.{attr}` is mutated here in `{site.method}` "
+                        "(reachable from a thread target) and also in "
+                        f"`{others}`, with no enclosing `with <lock>:` block"
+                    ),
+                    path=site.path,
+                    line=site.line,
+                    col=site.col,
+                    severity=self.severity,
+                )
+
+    @staticmethod
+    def _reachable(functions: List[_FunctionInfo], roots: Set[str]) -> Set[str]:
+        """Function names reachable from the thread roots by name matching."""
+        by_name: Dict[str, List[_FunctionInfo]] = {}
+        for fn in functions:
+            by_name.setdefault(fn.name, []).append(fn)
+        seen: Set[str] = set()
+        frontier = list(roots)
+        while frontier:
+            name = frontier.pop()
+            if name in seen:
+                continue
+            seen.add(name)
+            for fn in by_name.get(name, []):
+                frontier.extend(call for call in fn.calls if call not in seen)
+        return seen
+
+
+THREAD_RULES = (UnlockedSharedMutationRule(),)

@@ -1,0 +1,355 @@
+"""Unit-consistency rules (UNIT001-UNIT003).
+
+The accelerator cost models (``accel/``, ``core/``) encode physical units
+purely in identifier suffixes — ``_pj``, ``_joules``, ``_cycles``,
+``_bytes``, ``_hz``, ``_seconds`` — and in the ``_PJ`` conversion
+constant (joules per picojoule).  Nothing in the type system checks that
+a picojoule quantity is never added to a joule quantity or assigned to a
+``*_joules`` name without the ``* _PJ`` conversion; these rules do.
+
+The inference is deliberately conservative: an expression only gets a
+unit when its name carries a recognized suffix, and products of two
+*different* units are treated as unknown (compound units are legal in the
+cost models — ``bytes * pj_per_byte`` — and never flagged).  Ratio names
+(``bandwidth_bytes_per_cycle``) divide through, ``hz`` is normalized to
+``cycles/seconds`` so ``cycles / hz`` comes out as ``seconds``, and
+multiplying a ``pj`` quantity by ``_PJ`` converts it to ``joules``.
+
+* **UNIT001** — addition/subtraction/comparison of incompatible units
+  (``x_pj + y_joules``).
+* **UNIT002** — assignment that drops a conversion factor
+  (``x_joules = y_pj`` without ``* _PJ``).
+* **UNIT003** — a function whose name carries a unit suffix returns a
+  value inferred to a different unit.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass
+from typing import Dict, Iterator, Optional
+
+from .astutil import terminal_name
+from .findings import FileRule, Finding, UNIT_PATHS
+from .source import SourceFile
+
+__all__ = [
+    "Unit",
+    "infer_unit",
+    "unit_of_name",
+    "MixedUnitOperationRule",
+    "DroppedConversionRule",
+    "ReturnUnitMismatchRule",
+    "UNIT_RULES",
+]
+
+#: identifier suffix token -> canonical base unit
+_BASE_UNITS: Dict[str, str] = {
+    "pj": "pj",
+    "j": "joules",
+    "joule": "joules",
+    "joules": "joules",
+    "cycle": "cycles",
+    "cycles": "cycles",
+    "byte": "bytes",
+    "bytes": "bytes",
+    "s": "seconds",
+    "sec": "seconds",
+    "secs": "seconds",
+    "second": "seconds",
+    "seconds": "seconds",
+    "mm2": "mm2",
+    # countable events — included so per-op/per-event energies cancel
+    # against their counts (`ops * energy_pj_per_op -> pj`)
+    "op": "ops",
+    "ops": "ops",
+    "event": "events",
+    "events": "events",
+    "mac": "macs",
+    "macs": "macs",
+    "edge": "edges",
+    "edges": "edges",
+    "vertex": "vertices",
+    "vertices": "vertices",
+    "hop": "hops",
+    "hops": "hops",
+}
+
+#: reductions that preserve the unit of their (first) argument
+_UNIT_PRESERVING_CALLS = {"sum", "min", "max", "abs", "round", "float"}
+
+
+@dataclass(frozen=True)
+class Unit:
+    """A base unit or a simple ratio (``num`` per ``den``)."""
+
+    num: str
+    den: Optional[str] = None
+
+    def __str__(self) -> str:
+        return self.num if self.den is None else f"{self.num}/{self.den}"
+
+
+#: ``hz`` normalizes to a rate so frequency algebra falls out of the
+#: ratio rules: ``cycles / hz -> seconds``, ``seconds * hz -> cycles``.
+_HZ = Unit("cycles", "seconds")
+
+#: the ``_PJ`` module constant: joules per picojoule
+_PJ_CONVERSION = Unit("joules", "pj")
+
+
+def unit_of_name(identifier: Optional[str]) -> Optional[Unit]:
+    """The unit a (terminal) identifier's suffix declares, if any."""
+    if not identifier:
+        return None
+    if identifier.strip("_").upper() == "PJ" and identifier.upper() == identifier:
+        return _PJ_CONVERSION
+    tokens = identifier.lower().split("_")
+    if "per" in tokens:
+        split = tokens.index("per")
+        num = _suffix_unit(tokens[:split])
+        if num is None:
+            return None
+        den_tokens = tokens[split + 1:]
+        if not den_tokens or num.den is not None:
+            return None  # rates-of-rates are outside the tracked algebra
+        den_unit = _suffix_unit(den_tokens)
+        den = den_unit.num if den_unit is not None else "_".join(den_tokens)
+        return Unit(num.num, den)
+    if tokens and tokens[-1] == "hz":
+        return _HZ
+    return _suffix_unit(tokens)
+
+
+def _suffix_unit(tokens: list) -> Optional[Unit]:
+    if not tokens:
+        return None
+    last = tokens[-1]
+    if last == "hz":
+        return _HZ
+    base = _BASE_UNITS.get(last)
+    if base is None:
+        return None
+    # A trailing pair of two base units (`byte_hops`) names a *product*
+    # quantity; those live outside the tracked algebra.
+    if len(tokens) >= 2 and tokens[-2] in _BASE_UNITS:
+        return None
+    return Unit(base)
+
+
+def _invert(unit: Unit) -> Unit:
+    if unit.den is None:
+        return Unit("1", unit.num)
+    return Unit(unit.den, unit.num)
+
+
+class _Inference:
+    """Expression-level unit inference over one file's AST."""
+
+    def infer(self, node: ast.AST) -> Optional[Unit]:
+        if isinstance(node, (ast.Name, ast.Attribute)):
+            return unit_of_name(terminal_name(node))
+        if isinstance(node, ast.Subscript):
+            return self.infer(node.value)
+        if isinstance(node, ast.UnaryOp):
+            return self.infer(node.operand)
+        if isinstance(node, ast.Call):
+            return self._infer_call(node)
+        if isinstance(node, ast.BinOp):
+            return self._infer_binop(node)
+        if isinstance(node, ast.IfExp):
+            body, orelse = self.infer(node.body), self.infer(node.orelse)
+            return body if body == orelse else None
+        if isinstance(node, (ast.GeneratorExp, ast.ListComp)):
+            return self.infer(node.elt)  # so sum(x.n_bytes for ...) -> bytes
+        return None
+
+    def _infer_call(self, node: ast.Call) -> Optional[Unit]:
+        name = terminal_name(node.func)
+        if name in _UNIT_PRESERVING_CALLS and node.args:
+            return self.infer(node.args[0])
+        return unit_of_name(name)
+
+    def _infer_binop(self, node: ast.BinOp) -> Optional[Unit]:
+        left, right = self.infer(node.left), self.infer(node.right)
+        if isinstance(node.op, ast.Mult):
+            return self._mul(left, right)
+        if isinstance(node.op, ast.Div):
+            if left is None:
+                return None
+            if right is None:
+                return left
+            return self._mul(left, _invert(right))
+        if isinstance(node.op, (ast.Add, ast.Sub)):
+            if left is not None and right is not None:
+                return left if left == right else None
+            return left if left is not None else right
+        return None
+
+    @staticmethod
+    def _mul(left: Optional[Unit], right: Optional[Unit]) -> Optional[Unit]:
+        if left is None:
+            return right
+        if right is None:
+            return left
+        # fraction multiply with cancellation over (num, den) pairs
+        nums = [left.num, right.num]
+        dens = [d for d in (left.den, right.den) if d is not None]
+        for den in list(dens):
+            if den in nums:
+                nums.remove(den)
+                dens.remove(den)
+        nums = [n for n in nums if n != "1"]
+        if len(nums) == 1 and len(dens) == 0:
+            return Unit(nums[0])
+        if len(nums) == 1 and len(dens) == 1:
+            return Unit(nums[0], dens[0])
+        if len(nums) == 0 and len(dens) == 1:
+            return Unit("1", dens[0])
+        return None
+
+
+def infer_unit(node: ast.AST) -> Optional[Unit]:
+    """The unit of ``node``, or ``None`` when it cannot be pinned down."""
+    return _Inference().infer(node)
+
+
+class MixedUnitOperationRule(FileRule):
+    """UNIT001: adding/subtracting/comparing incompatible units."""
+
+    id = "UNIT001"
+    name = "arithmetic mixes incompatible units"
+    rationale = (
+        "The Horowitz energy model and the cycle accounting only compare "
+        "across engines when every sum stays within one unit; pJ + J "
+        "(or cycles + seconds) silently corrupts the evaluation figures."
+    )
+    scope = UNIT_PATHS
+
+    def check(self, source: SourceFile) -> Iterator[Finding]:
+        assert source.tree is not None
+        inference = _Inference()
+        for node in ast.walk(source.tree):
+            if isinstance(node, ast.BinOp) and isinstance(
+                node.op, (ast.Add, ast.Sub)
+            ):
+                yield from self._check_pair(
+                    source, inference, node, node.left, node.right, "operation"
+                )
+            elif isinstance(node, ast.AugAssign) and isinstance(
+                node.op, (ast.Add, ast.Sub)
+            ):
+                yield from self._check_pair(
+                    source, inference, node, node.target, node.value, "update"
+                )
+            elif isinstance(node, ast.Compare):
+                operands = [node.left, *node.comparators]
+                for left, right in zip(operands, operands[1:]):
+                    yield from self._check_pair(
+                        source, inference, node, left, right, "comparison"
+                    )
+
+    def _check_pair(
+        self,
+        source: SourceFile,
+        inference: _Inference,
+        node: ast.AST,
+        left: ast.AST,
+        right: ast.AST,
+        kind: str,
+    ) -> Iterator[Finding]:
+        left_unit, right_unit = inference.infer(left), inference.infer(right)
+        if left_unit is None or right_unit is None or left_unit == right_unit:
+            return
+        yield self.finding(
+            source,
+            getattr(node, "lineno", 1),
+            getattr(node, "col_offset", 0),
+            f"{kind} mixes incompatible units `{left_unit}` and "
+            f"`{right_unit}`; insert the missing conversion factor",
+        )
+
+
+class DroppedConversionRule(FileRule):
+    """UNIT002: assignment whose value disagrees with the target's unit."""
+
+    id = "UNIT002"
+    name = "assignment drops a unit conversion"
+    rationale = (
+        "`x_joules = y_pj` type-checks and runs, but every downstream "
+        "figure is then off by 1e12; the `* _PJ` conversion (or a "
+        "renamed target) must make the unit change explicit."
+    )
+    scope = UNIT_PATHS
+
+    def check(self, source: SourceFile) -> Iterator[Finding]:
+        assert source.tree is not None
+        inference = _Inference()
+        for node in ast.walk(source.tree):
+            targets: list
+            if isinstance(node, ast.Assign):
+                targets, value = node.targets, node.value
+            elif isinstance(node, ast.AnnAssign) and node.value is not None:
+                targets, value = [node.target], node.value
+            else:
+                continue
+            value_unit = inference.infer(value)
+            if value_unit is None:
+                continue
+            for target in targets:
+                if not isinstance(target, (ast.Name, ast.Attribute)):
+                    continue
+                target_unit = unit_of_name(terminal_name(target))
+                if target_unit is None or target_unit == value_unit:
+                    continue
+                yield self.finding(
+                    source,
+                    node.lineno,
+                    node.col_offset,
+                    f"`{terminal_name(target)}` declares `{target_unit}` but "
+                    f"is assigned a `{value_unit}` value; apply the "
+                    "conversion or rename the target",
+                )
+
+
+class ReturnUnitMismatchRule(FileRule):
+    """UNIT003: function's unit suffix disagrees with what it returns."""
+
+    id = "UNIT003"
+    name = "return value contradicts the function's unit suffix"
+    rationale = (
+        "Callers trust the suffix (`transfer_cycles`, `sram_word_pj`); a "
+        "return in a different unit propagates silently through every "
+        "call site."
+    )
+    scope = UNIT_PATHS
+
+    def check(self, source: SourceFile) -> Iterator[Finding]:
+        assert source.tree is not None
+        inference = _Inference()
+        for node in ast.walk(source.tree):
+            if not isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                continue
+            declared = unit_of_name(node.name)
+            if declared is None:
+                continue
+            for child in ast.walk(node):
+                if not isinstance(child, ast.Return) or child.value is None:
+                    continue
+                returned = infer_unit(child.value)
+                if returned is None or returned == declared:
+                    continue
+                yield self.finding(
+                    source,
+                    child.lineno,
+                    child.col_offset,
+                    f"`{node.name}` declares `{declared}` but returns a "
+                    f"`{returned}` value",
+                )
+
+
+UNIT_RULES = (
+    MixedUnitOperationRule(),
+    DroppedConversionRule(),
+    ReturnUnitMismatchRule(),
+)

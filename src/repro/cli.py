@@ -13,6 +13,9 @@ Commands
 ``serve [DATASET]``
     Run the online streaming-inference service over a dataset replay or a
     synthetic event stream and print the service statistics.
+``lint [PATH ...]``
+    Run the repo's static-analysis suite (determinism, unit-safety,
+    thread-safety — see ``docs/static-analysis.md``) over source paths.
 ``area``
     Print the Fig. 14 area breakdown.
 """
@@ -102,6 +105,30 @@ def build_parser() -> argparse.ArgumentParser:
                        help="LRU bound of the execution-plan cache")
     serve.add_argument("--hidden-dim", type=int, default=64,
                        help="DGNN hidden width (synthetic mode)")
+
+    lint = sub.add_parser(
+        "lint", help="run the static-analysis suite over source paths"
+    )
+    lint.add_argument(
+        "paths", nargs="*", default=["src/repro"],
+        help="files or directories to lint (default: src/repro)",
+    )
+    lint.add_argument(
+        "--format", choices=["text", "json"], default="text",
+        help="report format (default: text)",
+    )
+    lint.add_argument(
+        "--select", default=None, metavar="RULES",
+        help="comma-separated rule ids to run (default: all rules)",
+    )
+    lint.add_argument(
+        "--list-rules", action="store_true",
+        help="print the rule catalog and exit",
+    )
+    lint.add_argument(
+        "--no-unused-suppressions", action="store_true",
+        help="do not report suppressions whose rules never fired (NOQA003)",
+    )
 
     sub.add_parser("area", help="print the Fig. 14 area breakdown")
     return parser
@@ -252,6 +279,42 @@ def _cmd_serve(args: argparse.Namespace) -> None:
     )
 
 
+def _cmd_lint(args: argparse.Namespace) -> int:
+    from pathlib import Path
+
+    from .analysis import (
+        EXIT_USAGE,
+        LintRunner,
+        UsageError,
+        default_registry,
+        render_json,
+        render_text,
+    )
+
+    if args.list_rules:
+        for rule in default_registry().rules:
+            print(f"{rule.id}  [{rule.severity}]  {rule.name}")
+            print(f"        {rule.rationale}")
+        return 0
+    select = (
+        [part.strip() for part in args.select.split(",") if part.strip()]
+        if args.select
+        else None
+    )
+    try:
+        runner = LintRunner(
+            select=select,
+            report_unused_suppressions=not args.no_unused_suppressions,
+        )
+        report = runner.run([Path(p) for p in args.paths])
+    except UsageError as exc:
+        print(f"error: {exc}")
+        return EXIT_USAGE
+    render = render_json if args.format == "json" else render_text
+    print(render(report.findings, report.files_checked))
+    return report.exit_code
+
+
 def ditile_model():
     """The service's accelerator model (one seam for tests to patch)."""
     from .ditile import DiTileAccelerator
@@ -276,6 +339,8 @@ def main(argv: Optional[List[str]] = None) -> int:
         _cmd_reproduce(args)
     elif args.command == "serve":
         _cmd_serve(args)
+    elif args.command == "lint":
+        return _cmd_lint(args)
     elif args.command == "area":
         _cmd_area()
     else:  # pragma: no cover - argparse enforces choices

@@ -23,10 +23,15 @@ from __future__ import annotations
 import math
 from dataclasses import dataclass
 
+from ..accel.energy import JOULES_PER_PJ
 from ..graphs.dynamic import DynamicGraphStats
 from .plan import DGNNSpec, ExecutionPlan
 
 __all__ = ["FrontEndParams", "FrontEndEstimate", "FrontEndModel"]
+
+# Algorithm 2's descending sort: log2(n) comparisons plus one placement
+# move per vertex.
+_SWAP_OPS_PER_VERTEX = 1.0
 
 
 @dataclass(frozen=True)
@@ -91,8 +96,10 @@ class FrontEndModel:
         )
         search = (candidate_alphas + grid_shapes) * p.model_eval_cycles
 
-        sort_ops = avg_vertices * math.log2(avg_vertices + 1)
-        balance = (sort_ops + avg_vertices) / p.sort_ops_per_cycle
+        compare_ops_per_vertex = math.log2(avg_vertices + 1)
+        sort_ops = avg_vertices * compare_ops_per_vertex
+        swap_ops = avg_vertices * _SWAP_OPS_PER_VERTEX
+        balance = (sort_ops + swap_ops) / p.sort_ops_per_cycle
 
         delta_ops = vertices_total  # one row-key comparison per vertex per t
         redundancy = delta_ops / p.delta_ops_per_cycle
@@ -121,4 +128,4 @@ class FrontEndModel:
     def energy_joules(self, estimate: FrontEndEstimate) -> float:
         """Control/configuration energy of the front end."""
         ops = estimate.total_cycles * self.params.label_ops_per_cycle * 0.25
-        return ops * self.params.energy_pj_per_op * 1e-12
+        return ops * self.params.energy_pj_per_op * JOULES_PER_PJ

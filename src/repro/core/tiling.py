@@ -81,7 +81,7 @@ def subgraph_data_volume(
         sv_i = v_i / alpha
         se_i = e_i / alpha
         volume = (
-            sv_i * (feature_dim + output_dim) * _BYTES_PER_VALUE
+            sv_i * (feature_dim + output_dim) * _BYTES_PER_VALUE  # repro: noqa[UNIT001] both terms are bytes: the per-value/per-edge ratios cancel against the untyped sv_i/se_i counts
             + se_i * _BYTES_PER_EDGE
         )
         worst = max(worst, volume)

@@ -25,7 +25,6 @@ Streaming realities handled here:
 
 from __future__ import annotations
 
-import time as _time
 from dataclasses import dataclass, field
 from typing import Iterable, Iterator, List, Optional, Tuple
 
@@ -34,6 +33,7 @@ import numpy as np
 from ..graphs.continuous import ContinuousDynamicGraph, EdgeEvent, window_index
 from ..graphs.delta import SnapshotDelta, apply_delta
 from ..graphs.snapshot import GraphSnapshot
+from .stats import wall_clock
 
 __all__ = ["Window", "IncrementalWindowBuilder", "WindowedIngestor"]
 
@@ -172,7 +172,7 @@ class WindowedIngestor:
             delta=delta,
             num_events=len(buffer),
             close_time=anchor + (index + 1) * self.window,
-            closed_at=_time.perf_counter(),
+            closed_at=wall_clock(),
         )
 
     def windows(self, events: Iterable[EdgeEvent]) -> Iterator[Window]:

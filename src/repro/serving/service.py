@@ -32,7 +32,6 @@ from __future__ import annotations
 
 import queue
 import threading
-import time
 from dataclasses import dataclass
 from typing import List, Optional
 
@@ -44,7 +43,7 @@ from ..graphs.snapshot import GraphSnapshot
 from .executor import WindowExecutor, simulate_window, transition_graph
 from .ingest import Window, WindowedIngestor
 from .plan_manager import PlanManager
-from .stats import ServiceStats, WindowRecord
+from .stats import ServiceStats, WindowRecord, wall_clock
 
 __all__ = ["ServiceConfig", "ServingReport", "StreamingService", "serve_offline"]
 
@@ -151,7 +150,7 @@ class StreamingService:
         results: List[SimulationResult] = []
         manager = self._plan_manager()
         prev: Optional[GraphSnapshot] = None
-        started = time.perf_counter()
+        started = wall_clock()
         ingest_thread.start()
         with WindowExecutor(cfg.workers) as pool:
             done = False
@@ -203,13 +202,13 @@ class StreamingService:
                         WindowRecord(
                             index=window.index,
                             num_events=window.num_events,
-                            latency_s=time.perf_counter() - window.closed_at,
+                            latency_s=wall_clock() - window.closed_at,
                             cycles=result.execution_cycles,
                             plan_decision=decision.value,
                         )
                     )
         ingest_thread.join()
-        stats.elapsed_s = time.perf_counter() - started
+        stats.elapsed_s = wall_clock() - started
         stats.windows = len(results)
         stats.events = ingestor.total_events
         stats.late_events = ingestor.late_events

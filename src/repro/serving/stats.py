@@ -7,10 +7,22 @@ service produces — results are reproducible, service timings are not.
 
 from __future__ import annotations
 
+import time
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional
+from typing import Dict, List
 
-__all__ = ["WindowRecord", "ServiceStats"]
+__all__ = ["wall_clock", "WindowRecord", "ServiceStats"]
+
+
+def wall_clock() -> float:
+    """Monotonic wall-clock reference for service telemetry, in seconds.
+
+    The single sanctioned wall-clock read of the serving layer: latency
+    and throughput numbers are timed against this, never the simulated
+    results.  Keeping it here (and nowhere else) is enforced by the
+    ``DET001`` lint rule — see ``docs/static-analysis.md``.
+    """
+    return time.perf_counter()
 
 
 def _percentile(values: List[float], q: float) -> float:

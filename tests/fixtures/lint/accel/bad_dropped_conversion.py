@@ -1,0 +1,7 @@
+"""Lint fixture: assignment that drops the pJ -> J conversion (UNIT002)."""
+
+
+def report(sram_pj: float) -> dict:
+    """Broken on purpose: a ``*_joules`` name is bound to a raw pJ value."""
+    total_joules = sram_pj
+    return {"total": total_joules}

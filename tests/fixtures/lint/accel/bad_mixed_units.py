@@ -1,0 +1,6 @@
+"""Lint fixture: a pJ quantity added to a joule quantity (UNIT001)."""
+
+
+def dynamic_energy(compute_pj: float, dram_joules: float) -> float:
+    """Broken on purpose: the pJ term needs the 1e-12 conversion first."""
+    return compute_pj + dram_joules

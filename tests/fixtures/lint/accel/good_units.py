@@ -1,0 +1,8 @@
+"""Lint fixture: the corrected counterpart of ``bad_mixed_units.py``."""
+
+JOULES_PER_PJ = 1e-12
+
+
+def dynamic_energy_joules(compute_pj: float, dram_joules: float) -> float:
+    """Clean: the pJ term is converted before the addition."""
+    return compute_pj * JOULES_PER_PJ + dram_joules

@@ -1,0 +1,10 @@
+"""Lint fixture: float fold over a set (DET003)."""
+
+
+def fold_weights(weights_by_vertex: dict, vertices) -> float:
+    """Broken on purpose: the fold order follows the process hash seed."""
+    frontier = set(vertices)
+    total = 0.0
+    for vertex in frontier:
+        total += weights_by_vertex[vertex]
+    return total

@@ -1,0 +1,9 @@
+"""Lint fixture: unseeded RNG inside a planning helper (DET002)."""
+
+import numpy as np
+
+
+def perturb_schedule(slots):
+    """Broken on purpose: ``default_rng()`` without a seed varies per run."""
+    rng = np.random.default_rng()
+    return [slot + rng.uniform() for slot in slots]

@@ -1,0 +1,9 @@
+"""Lint fixture: wall-clock read in a planning path (DET001)."""
+
+import time
+
+
+def stamp_plan(plan: dict) -> dict:
+    """Broken on purpose: plan content must not depend on wall-clock."""
+    plan["stamp"] = time.time()
+    return plan

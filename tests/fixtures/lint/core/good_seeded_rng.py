@@ -1,0 +1,9 @@
+"""Lint fixture: the corrected counterpart of ``bad_unseeded_rng.py``."""
+
+import numpy as np
+
+
+def perturb_schedule(slots, seed: int):
+    """Clean: the generator is constructed from an explicit seed."""
+    rng = np.random.default_rng(seed)
+    return [slot + rng.uniform() for slot in slots]

@@ -1,0 +1,23 @@
+"""Lint fixture: cross-thread attribute mutation without a lock (THR001)."""
+
+import threading
+
+
+class ResultSink:
+    """Broken on purpose: ``results`` is written from the worker thread in
+    ``_run`` and from the caller thread in ``publish``, with no lock."""
+
+    def __init__(self):
+        self._lock = threading.Lock()
+        self.results = []
+        self._thread = threading.Thread(target=self._run, daemon=True)
+
+    def _run(self):
+        while True:
+            self.results.append(self._poll())
+
+    def publish(self, item):
+        self.results.append(item)
+
+    def _poll(self):
+        return None

@@ -1,0 +1,24 @@
+"""Lint fixture: the corrected counterpart of ``bad_unlocked.py``."""
+
+import threading
+
+
+class ResultSink:
+    """Clean: every mutation of the shared list holds the lock."""
+
+    def __init__(self):
+        self._lock = threading.Lock()
+        self.results = []
+        self._thread = threading.Thread(target=self._run, daemon=True)
+
+    def _run(self):
+        while True:
+            with self._lock:
+                self.results.append(self._poll())
+
+    def publish(self, item):
+        with self._lock:
+            self.results.append(item)
+
+    def _poll(self):
+        return None

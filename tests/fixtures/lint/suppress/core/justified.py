@@ -1,0 +1,11 @@
+"""Lint fixture: a finding silenced by a justified suppression (clean)."""
+
+import time
+
+
+def trace_overhead() -> float:
+    return time.perf_counter()  # repro: noqa[DET001] fixture exercising a justified suppression
+
+
+def nothing_to_silence() -> int:
+    return 1

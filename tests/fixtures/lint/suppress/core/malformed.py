@@ -1,0 +1,15 @@
+"""Lint fixture: every way a suppression itself can be a finding."""
+
+import time
+
+
+def no_justification() -> float:
+    return time.perf_counter()  # repro: noqa[DET001]
+
+
+def bare_noqa() -> float:
+    return time.perf_counter()  # repro: noqa timing helper
+
+
+def unused() -> int:
+    return 1  # repro: noqa[UNIT001] nothing fires on this line

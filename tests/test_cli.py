@@ -1,8 +1,13 @@
 """Unit tests for the command-line interface."""
 
+import json
+from pathlib import Path
+
 import pytest
 
 from repro.cli import build_parser, main
+
+LINT_FIXTURES = Path(__file__).parent / "fixtures" / "lint"
 
 
 class TestParser:
@@ -83,3 +88,49 @@ class TestCommands:
     def test_serve_rejects_bad_dataset(self):
         with pytest.raises(KeyError):
             main(["serve", "no-such-dataset"])
+
+
+class TestLint:
+    def test_clean_path_exits_zero(self, capsys):
+        target = LINT_FIXTURES / "accel" / "good_units.py"
+        assert main(["lint", str(target)]) == 0
+        out = capsys.readouterr().out
+        assert "clean: 1 files, 0 findings" in out
+
+    def test_findings_exit_one(self, capsys):
+        target = LINT_FIXTURES / "accel" / "bad_mixed_units.py"
+        assert main(["lint", str(target)]) == 1
+        out = capsys.readouterr().out
+        assert "UNIT001" in out
+        assert "1 finding in 1 file" in out
+
+    def test_missing_path_exits_two(self, capsys):
+        assert main(["lint", "does/not/exist.py"]) == 2
+        assert "error:" in capsys.readouterr().out
+
+    def test_unknown_rule_exits_two(self, capsys):
+        target = LINT_FIXTURES / "accel" / "good_units.py"
+        assert main(["lint", str(target), "--select", "NOPE999"]) == 2
+        out = capsys.readouterr().out
+        assert "error:" in out and "NOPE999" in out
+
+    def test_select_restricts_to_named_rule(self, capsys):
+        target = LINT_FIXTURES / "core"
+        assert main(["lint", str(target), "--select", "DET002"]) == 1
+        out = capsys.readouterr().out
+        assert "DET002" in out
+        assert "DET001" not in out
+
+    def test_json_format(self, capsys):
+        target = LINT_FIXTURES / "serving" / "bad_unlocked.py"
+        assert main(["lint", str(target), "--format", "json"]) == 1
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["version"] == 1
+        assert payload["summary"]["by_rule"] == {"THR001": 1}
+
+    def test_list_rules(self, capsys):
+        assert main(["lint", "--list-rules"]) == 0
+        out = capsys.readouterr().out
+        for rule_id in ("DET001", "DET002", "DET003",
+                        "UNIT001", "UNIT002", "UNIT003", "THR001"):
+            assert rule_id in out

@@ -8,7 +8,7 @@ from repro.accel.energy import EnergyBreakdown, EnergyModel, EnergyParams
 class TestEnergyParams:
     def test_mac_energy_is_mult_plus_add(self):
         params = EnergyParams()
-        assert params.mac_pj == pytest.approx(3.7 + 0.9)
+        assert params.pj_per_mac == pytest.approx(3.7 + 0.9)
 
     def test_sram_sqrt_scaling(self):
         params = EnergyParams()

@@ -1,0 +1,36 @@
+"""The repo's own tree must pass its own lint suite.
+
+This is the check CI runs (``repro lint src/repro``); keeping it in the
+tier-1 suite means a determinism/unit/thread regression fails fast in
+local runs too, with the offending findings in the assertion message.
+"""
+
+from pathlib import Path
+
+from repro.analysis import run_lint
+
+SRC = Path(__file__).parent.parent / "src" / "repro"
+
+
+def test_source_tree_exists():
+    assert (SRC / "analysis").is_dir()
+
+
+def test_src_repro_lints_clean():
+    report = run_lint([SRC])
+    rendered = "\n".join(f.format() for f in report.findings)
+    assert report.findings == [], f"lint findings in src/repro:\n{rendered}"
+    assert report.exit_code == 0
+    assert report.files_checked > 50  # the whole package, not a subset
+
+
+def test_every_suppression_in_tree_is_justified():
+    """Belt and braces: NOQA001 findings would also fail the clean run."""
+    from repro.analysis import SourceFile, iter_python_files
+
+    for path in iter_python_files([SRC]):
+        source = SourceFile.load(path)
+        for suppression in source.suppressions.values():
+            assert suppression.justification, (
+                f"{path}:{suppression.line}: suppression without justification"
+            )

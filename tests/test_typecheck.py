@@ -1,0 +1,31 @@
+"""Static type check of the lint suite and the unit-suffix-heavy modules.
+
+Runs the same command as the CI ``lint`` job.  Skipped when mypy is not
+installed (it is not a runtime dependency; the container image may omit
+it), so the tier-1 suite stays self-contained.
+"""
+
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+pytest.importorskip("mypy", reason="mypy not installed; checked in CI")
+
+REPO = Path(__file__).parent.parent
+TARGETS = [
+    "src/repro/analysis",
+    "src/repro/accel/energy.py",
+    "src/repro/accel/metrics.py",
+]
+
+
+def test_mypy_passes_on_checked_surface():
+    proc = subprocess.run(
+        [sys.executable, "-m", "mypy", *TARGETS],
+        cwd=REPO,
+        capture_output=True,
+        text=True,
+    )
+    assert proc.returncode == 0, f"mypy failed:\n{proc.stdout}\n{proc.stderr}"
