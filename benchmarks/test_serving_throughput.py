@@ -1,72 +1,58 @@
 """Serving-layer benchmark: events/sec and window-latency percentiles.
 
-Serves a synthetic power-law event stream through the full online
-pipeline (threaded ingest, plan cache, batched worker-pool execution) and
-records throughput plus p50/p95 window latency.  The measured service
-statistics are exported to ``BENCH_serving.json`` next to the working
-directory, so runs can be compared across commits.
+Runs the ``serving/throughput[standard]`` bench case (the full online
+pipeline: threaded ingest, plan cache, batched worker-pool execution)
+through :class:`repro.bench.BenchRunner` and refreshes the committed
+``BENCH_serving.json`` record.  The same record is reproducible from the
+CLI::
+
+    repro bench run --case "serving/throughput[standard]" --json BENCH_serving.json
+
+The committed ``benchmarks/baselines/full.json`` entry for the case acts
+as the baseline: deterministic counters (events, windows, plan-cache
+behaviour, modelled cycles) must match it exactly; wall-clock timings
+are reported but not gated here — the ``repro bench compare`` tolerance
+band handles those in CI.
 """
 
-import json
 from pathlib import Path
 
-from repro.core.plan import DGNNSpec
-from repro.ditile import DiTileAccelerator
-from repro.serving import ServiceConfig, StreamingService, synthetic_event_stream
+from repro.bench import BenchRecord, BenchRunner, compare_records
 
-#: stream shape: large enough to exercise batching, backpressure, and the
-#: plan cache, small enough to stay laptop-friendly
-NUM_EVENTS = 12_000
-NUM_VERTICES = 256
-NUM_WINDOWS = 48
+CASE = "serving/throughput[standard]"
 
-OUTPUT = Path("BENCH_serving.json")
+ROOT = Path(__file__).resolve().parent.parent
+BASELINE = ROOT / "benchmarks" / "baselines" / "full.json"
+OUTPUT = ROOT / "BENCH_serving.json"
 
 
-def _serve_once():
-    stream = synthetic_event_stream(
-        num_vertices=NUM_VERTICES, num_events=NUM_EVENTS, seed=7
+def test_serving_throughput():
+    full_baseline = BenchRecord.load(BASELINE)
+    baseline = BenchRecord(
+        cases=[full_baseline.case(CASE)],
+        suite=full_baseline.suite,
+        environment=full_baseline.environment,
     )
-    first, last = stream.time_span
-    config = ServiceConfig(
-        window=(last - first) / NUM_WINDOWS,
-        workers=2,
-        max_batch_windows=4,
-        queue_capacity=8,
-    )
-    spec = DGNNSpec.classic(64)
-    return StreamingService(DiTileAccelerator(), config).serve(stream, spec)
-
-
-def test_serving_throughput(benchmark):
-    report = benchmark.pedantic(_serve_once, rounds=1, iterations=1)
-    stats = report.stats
+    record = BenchRunner(repeats=3, warmup=1).run(names=[CASE])
 
     # Emit the machine-readable record before asserting anything, so a
-    # regression still leaves the measurements on disk.
-    payload = {
-        "stream": {
-            "num_events": NUM_EVENTS,
-            "num_vertices": NUM_VERTICES,
-            "num_windows": stats.windows,
-        },
-        "service": stats.as_dict(),
-        "total_cycles": report.total_cycles,
-    }
-    OUTPUT.write_text(json.dumps(payload, indent=2, sort_keys=True))
+    # regression still leaves the fresh measurements on disk.
+    record.save(OUTPUT)
+    case = record.case(CASE)
     print(
-        f"\nserving: {stats.events_per_sec:,.0f} events/s, "
-        f"p50={1e3 * stats.p50_latency_s:.2f} ms, "
-        f"p95={1e3 * stats.p95_latency_s:.2f} ms "
-        f"(plan hit rate {stats.plan_hit_rate:.1%}) -> {OUTPUT}"
+        f"\nserving: {case.timings['events_per_sec']:,.0f} events/s, "
+        f"p50={1e3 * case.timings['p50_latency_s']:.2f} ms, "
+        f"p95={1e3 * case.timings['p95_latency_s']:.2f} ms -> {OUTPUT.name}"
     )
 
-    assert stats.events == NUM_EVENTS
-    assert stats.windows == NUM_WINDOWS
-    assert stats.late_events == 0
-    assert stats.events_per_sec > 1_000  # generous floor: the analytic
-    # simulator prices a window in milliseconds, so tens of thousands of
-    # events/sec is typical even on slow CI machines
-    assert 0 < stats.p50_latency_s <= stats.p95_latency_s
-    assert stats.plan_hit_rate > 0
-    assert report.total_cycles > 0
+    report = compare_records(baseline, record)
+    assert not report.counter_failures, report.render_text()
+
+    assert case.counters["events"] == 12_000
+    assert case.counters["windows"] == 48
+    assert case.counters["late_events"] == 0
+    assert case.counters["total_cycles"] > 0
+    assert case.timings["events_per_sec"] > 1_000  # generous floor: the
+    # analytic simulator prices a window in milliseconds, so tens of
+    # thousands of events/sec is typical even on slow CI machines
+    assert 0 < case.timings["p50_latency_s"] <= case.timings["p95_latency_s"]

@@ -121,6 +121,7 @@ DETERMINISTIC_PATHS = PathScope(
         "graphs/",
         "baselines/",
         "models/",
+        "bench/",
         "ditile.py",
         "caching.py",
     ),

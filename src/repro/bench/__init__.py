@@ -1,0 +1,60 @@
+"""Deterministic benchmark subsystem (``repro bench``).
+
+A registry of named, parameterized benchmark cases wrapping the repo's
+planner, simulator, baseline, and serving scenarios; a runner with a
+warmup/repeat/median timing protocol and a cross-repeat determinism
+check; and a baseline comparator that gates **deterministic counters**
+(cycles, DRAM bytes, NoC byte-hops, MACs, plan-cache behaviour) at
+exact equality while holding **timings** to a configurable tolerance
+band.  See ``docs/benchmarks.md`` for the suite catalog and the
+baseline-update workflow.
+"""
+
+from .compare import (
+    EXIT_CLEAN,
+    EXIT_REGRESSIONS,
+    EXIT_USAGE,
+    ComparisonReport,
+    MetricDelta,
+    compare_records,
+)
+from .record import (
+    SCHEMA_VERSION,
+    BenchRecord,
+    CaseRecord,
+    RecordError,
+    environment_metadata,
+    git_revision,
+)
+from .registry import (
+    SUITES,
+    BenchCase,
+    BenchRegistry,
+    CaseOutput,
+    UnknownCaseError,
+    default_registry,
+)
+from .runner import BenchRunner, NondeterministicCaseError
+
+__all__ = [
+    "SCHEMA_VERSION",
+    "SUITES",
+    "EXIT_CLEAN",
+    "EXIT_REGRESSIONS",
+    "EXIT_USAGE",
+    "BenchCase",
+    "BenchRecord",
+    "BenchRegistry",
+    "BenchRunner",
+    "CaseOutput",
+    "CaseRecord",
+    "ComparisonReport",
+    "MetricDelta",
+    "NondeterministicCaseError",
+    "RecordError",
+    "UnknownCaseError",
+    "compare_records",
+    "default_registry",
+    "environment_metadata",
+    "git_revision",
+]

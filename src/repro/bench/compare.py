@@ -1,0 +1,250 @@
+"""Baseline comparison with per-metric-class tolerances.
+
+Comparison semantics mirror the two metric classes of
+:mod:`repro.bench.record`:
+
+* **counters** are gated at exact equality — they are deterministic
+  analytic quantities, so *any* drift is a real behaviour change and the
+  compare fails (exit 1).  Missing or extra cases/counters also fail:
+  they mean the catalog changed and the committed baselines must be
+  regenerated deliberately (``repro bench run --update-baselines``).
+* **timings** are compared against a relative tolerance band.
+  Slowdowns beyond the band are reported as violations but only affect
+  the exit code when ``gate_timings`` is set — shared CI runners are too
+  noisy to gate wall-clock by default.
+
+Exit-code contract (mirrors ``repro lint``): 0 clean, 1 regressions,
+2 usage error (unreadable/invalid record files — raised as
+:class:`~repro.bench.record.RecordError` by the loaders and mapped by
+the CLI).
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from .record import BenchRecord
+
+__all__ = [
+    "EXIT_CLEAN",
+    "EXIT_REGRESSIONS",
+    "EXIT_USAGE",
+    "MetricDelta",
+    "ComparisonReport",
+    "compare_records",
+]
+
+EXIT_CLEAN = 0
+EXIT_REGRESSIONS = 1
+EXIT_USAGE = 2
+
+#: statuses that gate the exit code unconditionally
+_COUNTER_FAILURES = {"regressed", "missing", "extra"}
+
+
+@dataclass(frozen=True)
+class MetricDelta:
+    """One compared metric (or case-presence check) and its verdict."""
+
+    case: str
+    metric: str  # "" for case-presence deltas
+    kind: str  # "case" | "counter" | "timing"
+    status: str  # ok | regressed | missing | extra | slower | faster | new
+    baseline: Optional[float] = None
+    current: Optional[float] = None
+
+    @property
+    def relative_change(self) -> Optional[float]:
+        """``current / baseline - 1`` where well-defined."""
+        if self.baseline is None or self.current is None or self.baseline == 0:
+            return None
+        return self.current / self.baseline - 1.0
+
+    def describe(self) -> str:
+        """One formatted report line."""
+        label = f"{self.case}" + (f" :: {self.metric}" if self.metric else "")
+        rel = self.relative_change
+        change = f" ({rel:+.2%})" if rel is not None else ""
+        values = ""
+        if self.baseline is not None or self.current is not None:
+            values = f": {self.baseline!r} -> {self.current!r}{change}"
+        return f"[{self.kind}] {self.status:<9} {label}{values}"
+
+
+@dataclass
+class ComparisonReport:
+    """Outcome of one baseline/current comparison."""
+
+    deltas: List[MetricDelta] = field(default_factory=list)
+    timing_tolerance: float = 0.25
+    gate_timings: bool = False
+    cases_compared: int = 0
+    counters_compared: int = 0
+    timings_compared: int = 0
+
+    @property
+    def counter_failures(self) -> List[MetricDelta]:
+        """Deterministic-counter and case-presence failures (always gate)."""
+        return [
+            d
+            for d in self.deltas
+            if d.kind in ("counter", "case") and d.status in _COUNTER_FAILURES
+        ]
+
+    @property
+    def timing_violations(self) -> List[MetricDelta]:
+        """Timings slower than the tolerance band (gate only if asked)."""
+        return [d for d in self.deltas if d.kind == "timing" and d.status == "slower"]
+
+    @property
+    def exit_code(self) -> int:
+        """The 0/1 verdict (2 is reserved for usage errors in the CLI)."""
+        if self.counter_failures:
+            return EXIT_REGRESSIONS
+        if self.gate_timings and self.timing_violations:
+            return EXIT_REGRESSIONS
+        return EXIT_CLEAN
+
+    # ------------------------------------------------------------------
+    # Rendering
+    # ------------------------------------------------------------------
+    def render_text(self) -> str:
+        """Human-readable multi-line report."""
+        lines = [
+            f"bench compare: {self.cases_compared} cases, "
+            f"{self.counters_compared} counters exact-checked, "
+            f"{self.timings_compared} timings "
+            f"(tolerance {self.timing_tolerance:.0%}, "
+            f"{'gated' if self.gate_timings else 'not gated'})"
+        ]
+        notable = [d for d in self.deltas if d.status != "ok"]
+        for delta in notable:
+            lines.append("  " + delta.describe())
+        if self.counter_failures:
+            lines.append(
+                f"FAIL: {len(self.counter_failures)} deterministic-counter "
+                "regression(s); if the change is intended, regenerate with "
+                "`repro bench run --update-baselines`"
+            )
+        elif self.gate_timings and self.timing_violations:
+            lines.append(
+                f"FAIL: {len(self.timing_violations)} timing regression(s) "
+                f"beyond the {self.timing_tolerance:.0%} band"
+            )
+        else:
+            suffix = ""
+            if self.timing_violations:
+                suffix = (
+                    f" ({len(self.timing_violations)} timing slowdown(s) "
+                    "reported, not gated)"
+                )
+            lines.append("OK: deterministic counters match the baseline" + suffix)
+        return "\n".join(lines)
+
+    def render_json(self) -> str:
+        """Machine-readable report (stable key order)."""
+        payload = {
+            "cases_compared": self.cases_compared,
+            "counters_compared": self.counters_compared,
+            "timings_compared": self.timings_compared,
+            "timing_tolerance": self.timing_tolerance,
+            "gate_timings": self.gate_timings,
+            "exit_code": self.exit_code,
+            "deltas": [
+                {
+                    "case": d.case,
+                    "metric": d.metric,
+                    "kind": d.kind,
+                    "status": d.status,
+                    "baseline": d.baseline,
+                    "current": d.current,
+                }
+                for d in self.deltas
+                if d.status != "ok"
+            ],
+        }
+        return json.dumps(payload, indent=2, sort_keys=True)
+
+
+def _compare_counters(
+    case: str,
+    baseline: Dict[str, float],
+    current: Dict[str, float],
+    report: ComparisonReport,
+) -> None:
+    for metric in sorted(set(baseline) | set(current)):
+        base, cur = baseline.get(metric), current.get(metric)
+        if base is None:
+            status = "extra"
+        elif cur is None:
+            status = "missing"
+        elif base == cur:
+            status = "ok"
+            report.counters_compared += 1
+        else:
+            status = "regressed"
+            report.counters_compared += 1
+        report.deltas.append(
+            MetricDelta(case, metric, "counter", status, base, cur)
+        )
+
+
+def _compare_timings(
+    case: str,
+    baseline: Dict[str, float],
+    current: Dict[str, float],
+    tolerance: float,
+    report: ComparisonReport,
+) -> None:
+    for metric in sorted(set(baseline) | set(current)):
+        base, cur = baseline.get(metric), current.get(metric)
+        if base is None or cur is None:
+            # The timing metric set changed with the code; informational.
+            report.deltas.append(
+                MetricDelta(case, metric, "timing", "new", base, cur)
+            )
+            continue
+        report.timings_compared += 1
+        if base <= 0:
+            status = "ok"
+        elif cur > base * (1.0 + tolerance):
+            status = "slower"
+        elif cur < base * (1.0 - tolerance):
+            status = "faster"
+        else:
+            status = "ok"
+        report.deltas.append(MetricDelta(case, metric, "timing", status, base, cur))
+
+
+def compare_records(
+    baseline: BenchRecord,
+    current: BenchRecord,
+    *,
+    timing_tolerance: float = 0.25,
+    gate_timings: bool = False,
+) -> ComparisonReport:
+    """Compare ``current`` against ``baseline`` per the class semantics."""
+    if timing_tolerance < 0:
+        raise ValueError("timing_tolerance must be >= 0")
+    report = ComparisonReport(
+        timing_tolerance=timing_tolerance, gate_timings=gate_timings
+    )
+    base_names = set(baseline.case_names)
+    cur_names = set(current.case_names)
+    for name in sorted(base_names | cur_names):
+        base_case = baseline.case(name)
+        cur_case = current.case(name)
+        if cur_case is None:
+            report.deltas.append(MetricDelta(name, "", "case", "missing"))
+            continue
+        if base_case is None:
+            report.deltas.append(MetricDelta(name, "", "case", "extra"))
+            continue
+        report.cases_compared += 1
+        _compare_counters(name, base_case.counters, cur_case.counters, report)
+        _compare_timings(
+            name, base_case.timings, cur_case.timings, timing_tolerance, report
+        )
+    return report

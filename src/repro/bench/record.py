@@ -1,0 +1,222 @@
+"""Structured benchmark records: metrics, environment metadata, JSON I/O.
+
+A bench run produces one :class:`BenchRecord` holding one
+:class:`CaseRecord` per executed case.  Every case separates its metrics
+into two classes with different comparison semantics
+(:mod:`repro.bench.compare`):
+
+* **counters** — deterministic analytic quantities (cycles, DRAM bytes,
+  NoC byte-hops, MACs, plan-cache hits/misses/evictions).  Pure functions
+  of the workload, so baselines gate them at exact equality.
+* **timings** — wall-clock measurements (medians over the run's repeats).
+  Machine-dependent; compared against a configurable tolerance band and
+  never exact-gated.
+
+Records serialize to stable JSON (sorted keys, fixed indent) so committed
+baselines diff cleanly and two runs differ only in their timings.
+"""
+
+from __future__ import annotations
+
+import json
+import platform
+import subprocess
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Any, Dict, List, Mapping, Optional, Tuple
+
+import numpy as np
+
+__all__ = [
+    "SCHEMA_VERSION",
+    "RecordError",
+    "git_revision",
+    "environment_metadata",
+    "CaseRecord",
+    "BenchRecord",
+]
+
+#: bump when the record layout changes incompatibly
+SCHEMA_VERSION = 1
+
+
+class RecordError(ValueError):
+    """A record file could not be read or does not follow the schema."""
+
+
+def git_revision(cwd: Optional[Path] = None) -> Optional[str]:
+    """The current git commit sha, or ``None`` outside a checkout."""
+    try:
+        proc = subprocess.run(
+            ["git", "rev-parse", "HEAD"],
+            cwd=cwd,
+            capture_output=True,
+            text=True,
+            timeout=10,
+        )
+    except (OSError, subprocess.TimeoutExpired):
+        return None
+    if proc.returncode != 0:
+        return None
+    sha = proc.stdout.strip()
+    return sha or None
+
+
+def environment_metadata() -> Dict[str, Optional[str]]:
+    """Provenance of a bench run: interpreter, numpy, platform, commit."""
+    return {
+        "python": platform.python_version(),
+        "implementation": platform.python_implementation(),
+        "numpy": np.__version__,
+        "platform": platform.platform(),
+        "git_sha": git_revision(Path(__file__).resolve().parent),
+    }
+
+
+def _require(mapping: Mapping[str, Any], key: str, context: str) -> Any:
+    if key not in mapping:
+        raise RecordError(f"{context} is missing required key {key!r}")
+    return mapping[key]
+
+
+def _metric_map(raw: Any, context: str) -> Dict[str, float]:
+    if not isinstance(raw, Mapping):
+        raise RecordError(f"{context} must be an object of name -> number")
+    metrics: Dict[str, float] = {}
+    for name, value in raw.items():
+        if not isinstance(value, (int, float)) or isinstance(value, bool):
+            raise RecordError(
+                f"{context}[{name!r}] must be a number, got {type(value).__name__}"
+            )
+        metrics[str(name)] = float(value)
+    return metrics
+
+
+@dataclass(frozen=True)
+class CaseRecord:
+    """One benchmark case's measured metrics plus its run parameters."""
+
+    name: str
+    suites: Tuple[str, ...]
+    params: Dict[str, Any] = field(default_factory=dict)
+    counters: Dict[str, float] = field(default_factory=dict)
+    timings: Dict[str, float] = field(default_factory=dict)
+    repeats: int = 1
+    warmup: int = 0
+
+    def to_dict(self) -> Dict[str, Any]:
+        """JSON-ready mapping (inverse of :meth:`from_dict`)."""
+        return {
+            "name": self.name,
+            "suites": sorted(self.suites),
+            "params": dict(self.params),
+            "counters": dict(self.counters),
+            "timings": dict(self.timings),
+            "repeats": self.repeats,
+            "warmup": self.warmup,
+        }
+
+    @classmethod
+    def from_dict(cls, raw: Mapping[str, Any]) -> "CaseRecord":
+        """Validate and rebuild a case record from parsed JSON."""
+        name = str(_require(raw, "name", "case record"))
+        context = f"case {name!r}"
+        return cls(
+            name=name,
+            suites=tuple(raw.get("suites", ())),
+            params=dict(raw.get("params", {})),
+            counters=_metric_map(_require(raw, "counters", context), f"{context} counters"),
+            timings=_metric_map(raw.get("timings", {}), f"{context} timings"),
+            repeats=int(raw.get("repeats", 1)),
+            warmup=int(raw.get("warmup", 0)),
+        )
+
+
+@dataclass
+class BenchRecord:
+    """Everything one ``repro bench run`` invocation measured."""
+
+    cases: List[CaseRecord]
+    suite: Optional[str] = None
+    environment: Dict[str, Optional[str]] = field(default_factory=environment_metadata)
+    schema: int = SCHEMA_VERSION
+
+    @property
+    def case_names(self) -> List[str]:
+        """Case names, in record order."""
+        return [case.name for case in self.cases]
+
+    def case(self, name: str) -> Optional[CaseRecord]:
+        """Look one case up by name (``None`` when absent)."""
+        for case in self.cases:
+            if case.name == name:
+                return case
+        return None
+
+    # ------------------------------------------------------------------
+    # Serialization
+    # ------------------------------------------------------------------
+    def to_dict(self) -> Dict[str, Any]:
+        """JSON-ready mapping (inverse of :meth:`from_dict`)."""
+        return {
+            "schema": self.schema,
+            "suite": self.suite,
+            "environment": dict(self.environment),
+            "cases": [case.to_dict() for case in self.cases],
+        }
+
+    def to_json(self) -> str:
+        """Stable JSON text: sorted keys, two-space indent, trailing newline."""
+        return json.dumps(self.to_dict(), indent=2, sort_keys=True) + "\n"
+
+    def save(self, path: "Path | str") -> Path:
+        """Write the record to ``path`` and return it."""
+        path = Path(path)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        path.write_text(self.to_json())
+        return path
+
+    @classmethod
+    def from_dict(cls, raw: Mapping[str, Any]) -> "BenchRecord":
+        """Validate and rebuild a record from parsed JSON."""
+        if not isinstance(raw, Mapping):
+            raise RecordError("bench record must be a JSON object")
+        schema = raw.get("schema")
+        if schema != SCHEMA_VERSION:
+            raise RecordError(
+                f"unsupported bench record schema {schema!r} "
+                f"(this toolkit reads schema {SCHEMA_VERSION})"
+            )
+        raw_cases = _require(raw, "cases", "bench record")
+        if not isinstance(raw_cases, list):
+            raise RecordError("bench record 'cases' must be a list")
+        cases = [CaseRecord.from_dict(entry) for entry in raw_cases]
+        seen = set()
+        for case in cases:
+            if case.name in seen:
+                raise RecordError(f"duplicate case {case.name!r} in record")
+            seen.add(case.name)
+        suite = raw.get("suite")
+        environment = raw.get("environment", {})
+        if not isinstance(environment, Mapping):
+            raise RecordError("bench record 'environment' must be an object")
+        return cls(
+            cases=cases,
+            suite=None if suite is None else str(suite),
+            environment={str(k): v for k, v in environment.items()},
+            schema=int(schema),
+        )
+
+    @classmethod
+    def load(cls, path: "Path | str") -> "BenchRecord":
+        """Read a record file, raising :class:`RecordError` on any problem."""
+        path = Path(path)
+        try:
+            text = path.read_text()
+        except OSError as exc:
+            raise RecordError(f"cannot read bench record {path}: {exc}") from exc
+        try:
+            raw = json.loads(text)
+        except json.JSONDecodeError as exc:
+            raise RecordError(f"{path} is not valid JSON: {exc}") from exc
+        return cls.from_dict(raw)

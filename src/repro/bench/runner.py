@@ -1,0 +1,135 @@
+"""The benchmark runner: warmup / repeat / median, determinism-checked.
+
+Execution protocol per case:
+
+1. ``warmup`` untimed executions (the first one pays dataset synthesis,
+   which the experiment runner caches process-wide);
+2. ``repeats`` timed executions via
+   :func:`repro.serving.stats.timed_call` — the serving layer's
+   sanctioned wall-clock read;
+3. the counters of every execution (warmup included) are compared for
+   exact equality — a case whose "deterministic" counters drift within
+   one process is broken, and the run fails loudly with
+   :class:`NondeterministicCaseError` rather than recording garbage;
+4. ``run_s`` is the nearest-rank median of the timed executions, and any
+   case-provided timing metrics are medianed the same way.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, Iterable, List, Optional
+
+from ..serving.stats import median, timed_call
+from .record import BenchRecord, CaseRecord, environment_metadata
+from .registry import BenchCase, BenchRegistry, CaseOutput, default_registry
+
+__all__ = ["NondeterministicCaseError", "BenchRunner"]
+
+
+class NondeterministicCaseError(RuntimeError):
+    """A case produced different deterministic counters across executions."""
+
+    def __init__(self, case: str, metric: str, first: float, other: float):
+        super().__init__(
+            f"case {case!r} is not deterministic: counter {metric!r} "
+            f"changed between executions ({first!r} != {other!r})"
+        )
+        self.case = case
+        self.metric = metric
+
+
+def _check_counters(case: str, first: Dict[str, float], other: Dict[str, float]) -> None:
+    """Exact cross-execution equality of the deterministic counters."""
+    for metric in sorted(set(first) | set(other)):
+        a, b = first.get(metric), other.get(metric)
+        if a is None or b is None or a != b:
+            raise NondeterministicCaseError(
+                case, metric, float("nan") if a is None else a,
+                float("nan") if b is None else b,
+            )
+
+
+class BenchRunner:
+    """Runs a case selection and assembles a :class:`BenchRecord`."""
+
+    def __init__(
+        self,
+        registry: Optional[BenchRegistry] = None,
+        *,
+        repeats: int = 3,
+        warmup: int = 1,
+        progress: Optional[Callable[[str], None]] = None,
+    ):
+        if repeats < 1:
+            raise ValueError("repeats must be >= 1")
+        if warmup < 0:
+            raise ValueError("warmup must be >= 0")
+        self.registry = registry if registry is not None else default_registry()
+        self.repeats = repeats
+        self.warmup = warmup
+        self._progress = progress
+
+    def _note(self, message: str) -> None:
+        if self._progress is not None:
+            self._progress(message)
+
+    def run_case(self, case: BenchCase) -> CaseRecord:
+        """Execute one case under the warmup/repeat/median protocol."""
+        reference: Optional[CaseOutput] = None
+        for _ in range(self.warmup):
+            output = case.fn()
+            if reference is None:
+                reference = output
+            else:
+                _check_counters(case.name, reference.counters, output.counters)
+        samples: List[float] = []
+        timing_series: Dict[str, List[float]] = {}
+        for _ in range(self.repeats):
+            output, seconds = timed_call(case.fn)
+            if reference is None:
+                reference = output
+            else:
+                _check_counters(case.name, reference.counters, output.counters)
+            samples.append(seconds)
+            for metric, value in output.timings.items():
+                timing_series.setdefault(metric, []).append(value)
+        assert reference is not None  # repeats >= 1
+        timings = {"run_s": median(samples)}
+        for metric, series in sorted(timing_series.items()):
+            timings[metric] = median(series)
+        return CaseRecord(
+            name=case.name,
+            suites=case.suites,
+            params=dict(case.params),
+            counters=dict(reference.counters),
+            timings=timings,
+            repeats=self.repeats,
+            warmup=self.warmup,
+        )
+
+    def run(
+        self,
+        suite: Optional[str] = None,
+        names: Optional[Iterable[str]] = None,
+    ) -> BenchRecord:
+        """Execute a selection and return the structured record."""
+        cases = self.registry.select(suite=suite, names=names)
+        if not cases:
+            raise ValueError(
+                f"no benchmark cases selected (suite={suite!r}, names={names!r})"
+            )
+        records: List[CaseRecord] = []
+        for i, case in enumerate(cases, 1):
+            self._note(f"[{i}/{len(cases)}] {case.name} ...")
+            record = self.run_case(case)
+            self._note(
+                f"[{i}/{len(cases)}] {case.name}: "
+                f"{len(record.counters)} counters, "
+                f"run_s={record.timings['run_s']:.4f}"
+            )
+            records.append(record)
+        return BenchRecord(
+            cases=records,
+            suite=suite,
+            environment=environment_metadata(),
+        )

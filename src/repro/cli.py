@@ -16,6 +16,10 @@ Commands
 ``lint [PATH ...]``
     Run the repo's static-analysis suite (determinism, unit-safety,
     thread-safety — see ``docs/static-analysis.md``) over source paths.
+``bench {run,compare,list}``
+    The deterministic benchmark subsystem (see ``docs/benchmarks.md``):
+    run a suite, compare a record against a committed baseline, or list
+    the case catalog.
 ``area``
     Print the Fig. 14 area breakdown.
 """
@@ -129,6 +133,64 @@ def build_parser() -> argparse.ArgumentParser:
         "--no-unused-suppressions", action="store_true",
         help="do not report suppressions whose rules never fired (NOQA003)",
     )
+
+    bench = sub.add_parser(
+        "bench", help="deterministic benchmark suite (run/compare/list)"
+    )
+    bench_sub = bench.add_subparsers(dest="bench_command", required=True)
+
+    bench_run = bench_sub.add_parser(
+        "run", help="run a benchmark suite and record the results"
+    )
+    bench_run.add_argument(
+        "--suite", choices=["smoke", "full"], default="smoke",
+        help="case selection (default: smoke, the CI gate)",
+    )
+    bench_run.add_argument(
+        "--case", action="append", default=None, metavar="NAME", dest="cases",
+        help="run only this case (repeatable; overrides --suite)",
+    )
+    bench_run.add_argument(
+        "--json", default=None, metavar="OUT",
+        help="write the structured record to OUT",
+    )
+    bench_run.add_argument(
+        "--repeats", type=int, default=3,
+        help="timed executions per case (median is recorded; default: 3)",
+    )
+    bench_run.add_argument(
+        "--warmup", type=int, default=1,
+        help="untimed executions per case before timing (default: 1)",
+    )
+    bench_run.add_argument(
+        "--update-baselines", action="store_true",
+        help="also write the record as the suite's committed baseline",
+    )
+    bench_run.add_argument(
+        "--baseline-dir", default="benchmarks/baselines", metavar="DIR",
+        help="baseline directory for --update-baselines "
+        "(default: benchmarks/baselines)",
+    )
+
+    bench_compare = bench_sub.add_parser(
+        "compare", help="compare a bench record against a baseline"
+    )
+    bench_compare.add_argument("baseline", help="baseline record JSON path")
+    bench_compare.add_argument("current", help="current record JSON path")
+    bench_compare.add_argument(
+        "--timing-tolerance", type=float, default=0.25, metavar="FRAC",
+        help="relative timing band (default: 0.25 = 25%%)",
+    )
+    bench_compare.add_argument(
+        "--gate-timings", action="store_true",
+        help="fail (exit 1) on timing regressions too, not only counters",
+    )
+    bench_compare.add_argument(
+        "--format", choices=["text", "json"], default="text",
+        help="report format (default: text)",
+    )
+
+    bench_sub.add_parser("list", help="print the benchmark case catalog")
 
     sub.add_parser("area", help="print the Fig. 14 area breakdown")
     return parser
@@ -315,6 +377,72 @@ def _cmd_lint(args: argparse.Namespace) -> int:
     return report.exit_code
 
 
+def _cmd_bench(args: argparse.Namespace) -> int:
+    from pathlib import Path
+
+    from .bench import (
+        EXIT_REGRESSIONS,
+        EXIT_USAGE,
+        BenchRecord,
+        BenchRunner,
+        NondeterministicCaseError,
+        RecordError,
+        UnknownCaseError,
+        compare_records,
+        default_registry,
+    )
+
+    if args.bench_command == "list":
+        for case in default_registry().select():
+            suites = ",".join(case.suites)
+            print(f"{case.name:<34} [{suites}]  {case.description}")
+        return 0
+
+    if args.bench_command == "compare":
+        try:
+            baseline = BenchRecord.load(args.baseline)
+            current = BenchRecord.load(args.current)
+            report = compare_records(
+                baseline,
+                current,
+                timing_tolerance=args.timing_tolerance,
+                gate_timings=args.gate_timings,
+            )
+        except (RecordError, ValueError) as exc:
+            print(f"error: {exc}")
+            return EXIT_USAGE
+        print(report.render_json() if args.format == "json" else report.render_text())
+        return report.exit_code
+
+    # bench run
+    try:
+        runner = BenchRunner(
+            repeats=args.repeats, warmup=args.warmup, progress=print
+        )
+        record = runner.run(
+            suite=None if args.cases else args.suite, names=args.cases
+        )
+    except (UnknownCaseError, ValueError) as exc:
+        print(f"error: {exc}")
+        return EXIT_USAGE
+    except NondeterministicCaseError as exc:
+        print(f"error: {exc}")
+        return EXIT_REGRESSIONS
+    for case in record.cases:
+        print(
+            f"{case.name:<34} run_s={case.timings['run_s']:.4f}  "
+            f"({len(case.counters)} counters)"
+        )
+    if args.json:
+        path = record.save(args.json)
+        print(f"record written to {path}")
+    if args.update_baselines:
+        suite = record.suite if record.suite is not None else "custom"
+        path = record.save(Path(args.baseline_dir) / f"{suite}.json")
+        print(f"baseline updated: {path}")
+    return 0
+
+
 def ditile_model():
     """The service's accelerator model (one seam for tests to patch)."""
     from .ditile import DiTileAccelerator
@@ -341,6 +469,8 @@ def main(argv: Optional[List[str]] = None) -> int:
         _cmd_serve(args)
     elif args.command == "lint":
         return _cmd_lint(args)
+    elif args.command == "bench":
+        return _cmd_bench(args)
     elif args.command == "area":
         _cmd_area()
     else:  # pragma: no cover - argparse enforces choices

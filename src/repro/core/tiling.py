@@ -14,6 +14,8 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Optional
 
+import numpy as np
+
 from ..graphs.dynamic import DynamicGraph, DynamicGraphStats
 
 __all__ = ["TilingResult", "dram_access", "subgraph_data_volume", "subgraph_tiling"]
@@ -110,22 +112,40 @@ def subgraph_tiling(
     )
     if buffer_bytes <= 0:
         raise ValueError("buffer_bytes must be positive")
+    feature_dim = feature_dim if feature_dim is not None else stats.feature_dim
+    output_dim = output_dim if output_dim is not None else feature_dim
     limit = max_alpha if max_alpha is not None else max(int(stats.avg_vertices), 1)
-    best: Optional[TilingResult] = None
-    for alpha in range(1, limit + 1):
-        volume = subgraph_data_volume(stats, alpha, feature_dim, output_dim)
-        if volume > buffer_bytes:
+    # The candidate scan is vectorized over the alpha axis: the working-set
+    # and Eq. 6 models are evaluated for every alpha at once, accumulating
+    # over snapshots in the same order — and therefore to bit-identical
+    # values — as the scalar subgraph_data_volume / dram_access helpers,
+    # which remain the reference implementations.
+    alphas = np.arange(1, limit + 1, dtype=np.float64)
+    worst = np.zeros(limit, dtype=np.float64)
+    access = np.zeros(limit, dtype=np.float64)
+    for v_i, e_i in zip(stats.num_vertices, stats.num_edges):
+        sv = v_i / alphas
+        volume = (
+            sv * (feature_dim + output_dim) * _BYTES_PER_VALUE  # repro: noqa[UNIT001] both terms are bytes: the per-value/per-edge ratios cancel against the untyped sv/se counts
+            + (e_i / alphas) * _BYTES_PER_EDGE
+        )
+        np.maximum(worst, volume, out=worst)
+        if v_i == 0:
             continue
-        access = dram_access(stats, alpha)
-        candidate = TilingResult(
-            alpha=alpha,
-            dram_access=access,
-            subgraph_vertices=stats.avg_vertices / alpha,
-            data_volume_bytes=volume,
+        access += v_i + alphas * (e_i * sv * (v_i - sv)) / (v_i * v_i)
+    feasible = np.flatnonzero(worst <= buffer_bytes)
+    best: Optional[TilingResult] = None
+    if len(feasible):
+        # np.argmin keeps the first minimum — the same strictly-less
+        # tie-break as the scalar scan.
+        chosen = int(feasible[np.argmin(access[feasible])])
+        best = TilingResult(
+            alpha=chosen + 1,
+            dram_access=float(access[chosen]),
+            subgraph_vertices=stats.avg_vertices / (chosen + 1),
+            data_volume_bytes=float(worst[chosen]),
             buffer_bytes=buffer_bytes,
         )
-        if best is None or candidate.dram_access < best.dram_access:
-            best = candidate
     if best is None:
         # Even the finest tiling overflows the buffer; return the finest
         # feasible granularity and let the caller see fits_buffer == False.

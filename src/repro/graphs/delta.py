@@ -25,6 +25,8 @@ from .snapshot import GraphSnapshot
 __all__ = [
     "SnapshotDelta",
     "snapshot_delta",
+    "snapshot_edge_keys",
+    "delta_counts",
     "apply_delta",
     "common_core",
     "AdditionOnlyStep",
@@ -36,6 +38,46 @@ def _edge_keys(snapshot: GraphSnapshot, id_space: int) -> np.ndarray:
     """Edges of ``snapshot`` encoded as sorted int64 keys ``dst*N + src``."""
     src, dst = snapshot.edge_arrays()
     return dst * id_space + src  # CSR order is already sorted by (dst, src)
+
+
+def snapshot_edge_keys(snapshot: GraphSnapshot, id_space: int) -> np.ndarray:
+    """Public :func:`_edge_keys`: sorted int64 edge keys under ``id_space``.
+
+    Any ``id_space > max vertex id`` gives an injective, order-preserving
+    encoding, so callers diffing a whole snapshot sequence can compute one
+    key array per snapshot against a shared id space instead of one per
+    transition (see :func:`repro.baselines.algorithms.measure_quantities`).
+    """
+    if id_space < max(snapshot.num_vertices, 1):
+        raise ValueError(
+            f"id_space {id_space} cannot encode {snapshot.num_vertices} vertices"
+        )
+    return _edge_keys(snapshot, id_space)
+
+
+def _sorted_isin(values: np.ndarray, table: np.ndarray) -> np.ndarray:
+    """Membership of each element of sorted ``values`` in sorted ``table``.
+
+    Both arrays are sorted and duplicate-free (CSR edge keys), so a
+    binary-search probe replaces ``np.setdiff1d``'s concatenate-and-sort
+    pass — the measured hot path of snapshot-delta extraction.
+    """
+    if len(table) == 0:
+        return np.zeros(len(values), dtype=bool)
+    pos = np.searchsorted(table, values)
+    pos[pos == len(table)] = len(table) - 1
+    return table[pos] == values
+
+
+def delta_counts(prev_keys: np.ndarray, cur_keys: np.ndarray) -> Tuple[int, int]:
+    """``(added, removed)`` edge counts between two sorted key arrays.
+
+    The count-only fast path for callers that need delta *sizes* but not
+    the edge endpoints: one membership probe yields the intersection
+    cardinality, from which both counts follow.
+    """
+    shared = int(np.count_nonzero(_sorted_isin(cur_keys, prev_keys)))
+    return len(cur_keys) - shared, len(prev_keys) - shared
 
 
 def _keys_to_arrays(keys: np.ndarray, id_space: int) -> Tuple[np.ndarray, np.ndarray]:
@@ -85,8 +127,11 @@ def snapshot_delta(prev: GraphSnapshot, cur: GraphSnapshot) -> SnapshotDelta:
     id_space = max(prev.num_vertices, cur.num_vertices, 1)
     prev_keys = _edge_keys(prev, id_space)
     cur_keys = _edge_keys(cur, id_space)
-    added = np.setdiff1d(cur_keys, prev_keys, assume_unique=True)
-    removed = np.setdiff1d(prev_keys, cur_keys, assume_unique=True)
+    # Both key arrays are sorted and unique, so a searchsorted probe beats
+    # np.setdiff1d (which concatenates, re-sorts, and hashes); the output
+    # keeps the same ascending (dst, src) order setdiff1d produced.
+    added = cur_keys[~_sorted_isin(cur_keys, prev_keys)]
+    removed = prev_keys[~_sorted_isin(prev_keys, cur_keys)]
     a_src, a_dst = _keys_to_arrays(added, id_space)
     r_src, r_dst = _keys_to_arrays(removed, id_space)
     return SnapshotDelta(a_src, a_dst, r_src, r_dst)

@@ -11,7 +11,7 @@ import time
 from dataclasses import dataclass, field
 from typing import Dict, List
 
-__all__ = ["wall_clock", "WindowRecord", "ServiceStats"]
+__all__ = ["wall_clock", "timed_call", "median", "WindowRecord", "ServiceStats"]
 
 
 def wall_clock() -> float:
@@ -25,6 +25,18 @@ def wall_clock() -> float:
     return time.perf_counter()
 
 
+def timed_call(fn):
+    """Run ``fn()`` and return ``(result, seconds)`` against :func:`wall_clock`.
+
+    The one-shot building block of the benchmark runner's
+    warmup/repeat/median protocol (:mod:`repro.bench.runner`): timing goes
+    through the same sanctioned wall-clock read as service telemetry.
+    """
+    start = wall_clock()
+    result = fn()
+    return result, wall_clock() - start
+
+
 def _percentile(values: List[float], q: float) -> float:
     """Nearest-rank percentile (0 for an empty sample)."""
     if not values:
@@ -32,6 +44,15 @@ def _percentile(values: List[float], q: float) -> float:
     ordered = sorted(values)
     rank = min(len(ordered) - 1, max(0, int(round(q * (len(ordered) - 1)))))
     return ordered[rank]
+
+
+def median(values: List[float]) -> float:
+    """Nearest-rank median (0 for an empty sample).
+
+    Nearest-rank rather than interpolated: a median that is one of the
+    measured samples is easier to reason about in benchmark records.
+    """
+    return _percentile(values, 0.50)
 
 
 @dataclass

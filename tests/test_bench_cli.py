@@ -1,0 +1,108 @@
+"""End-to-end tests for ``repro bench`` (list/run/compare, exit codes).
+
+The run tests use the real case catalog on the smallest dataset
+(``planner/tiling[pm]``) with ``--repeats 1 --warmup 0`` so they stay
+fast while still exercising graph synthesis and the full record path.
+"""
+
+import json
+from pathlib import Path
+
+from repro.bench import EXIT_CLEAN, EXIT_REGRESSIONS, EXIT_USAGE
+from repro.cli import main
+
+SMOKE_BASELINE = (
+    Path(__file__).resolve().parent.parent / "benchmarks" / "baselines" / "smoke.json"
+)
+
+FAST = ["--case", "planner/tiling[pm]", "--repeats", "1", "--warmup", "0"]
+
+
+def _run(tmp_path, stem):
+    path = tmp_path / f"{stem}.json"
+    assert main(["bench", "run", *FAST, "--json", str(path)]) == EXIT_CLEAN
+    return path
+
+
+class TestList:
+    def test_catalog(self, capsys):
+        assert main(["bench", "list"]) == 0
+        out = capsys.readouterr().out
+        assert "planner/tiling[pm]" in out
+        assert "serving/throughput[smoke]" in out
+        assert "[smoke,full]" in out or "[full,smoke]" in out
+
+
+class TestRun:
+    def test_writes_record(self, tmp_path, capsys):
+        path = _run(tmp_path, "record")
+        out = capsys.readouterr().out
+        assert "record written to" in out
+        record = json.loads(path.read_text())
+        assert record["schema"] == 1
+        (case,) = record["cases"]
+        assert case["name"] == "planner/tiling[pm]"
+        assert case["counters"]["alpha"] >= 1
+
+    def test_two_runs_identical_counters(self, tmp_path):
+        """Acceptance: back-to-back runs agree on every deterministic counter."""
+        first = json.loads(_run(tmp_path, "first").read_text())
+        second = json.loads(_run(tmp_path, "second").read_text())
+        for a, b in zip(first["cases"], second["cases"]):
+            assert a["name"] == b["name"]
+            assert a["counters"] == b["counters"]
+
+    def test_update_baselines(self, tmp_path, capsys):
+        code = main(
+            ["bench", "run", *FAST, "--baseline-dir", str(tmp_path), "--update-baselines"]
+        )
+        assert code == EXIT_CLEAN
+        assert "baseline updated" in capsys.readouterr().out
+        # explicit --case selection has no suite, so the baseline is "custom"
+        assert (tmp_path / "custom.json").exists()
+
+    def test_unknown_case_is_usage_error(self, capsys):
+        assert main(["bench", "run", "--case", "no/such[case]"]) == EXIT_USAGE
+        assert "error:" in capsys.readouterr().out
+
+
+class TestCompare:
+    def test_self_compare_clean(self, tmp_path, capsys):
+        path = _run(tmp_path, "base")
+        code = main(["bench", "compare", str(path), str(path)])
+        assert code == EXIT_CLEAN
+        assert "OK" in capsys.readouterr().out
+
+    def test_injected_regression_fails(self, tmp_path, capsys):
+        """Acceptance: a perturbed deterministic counter flips the gate."""
+        base = _run(tmp_path, "base")
+        record = json.loads(base.read_text())
+        record["cases"][0]["counters"]["alpha"] += 1
+        drifted = tmp_path / "drifted.json"
+        drifted.write_text(json.dumps(record))
+        code = main(["bench", "compare", str(base), str(drifted)])
+        assert code == EXIT_REGRESSIONS
+        assert "FAIL" in capsys.readouterr().out
+
+    def test_json_format(self, tmp_path, capsys):
+        path = _run(tmp_path, "base")
+        capsys.readouterr()  # drop the run output
+        code = main(["bench", "compare", str(path), str(path), "--format", "json"])
+        assert code == EXIT_CLEAN
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["exit_code"] == EXIT_CLEAN
+        assert payload["deltas"] == []
+
+    def test_missing_file_is_usage_error(self, tmp_path, capsys):
+        code = main(
+            ["bench", "compare", str(tmp_path / "a.json"), str(tmp_path / "b.json")]
+        )
+        assert code == EXIT_USAGE
+        assert "error:" in capsys.readouterr().out
+
+    def test_committed_smoke_baseline_matches_fresh_run(self, tmp_path):
+        """The committed smoke baseline gates a fresh smoke run cleanly."""
+        fresh = tmp_path / "smoke.json"
+        assert main(["bench", "run", "--suite", "smoke", "--json", str(fresh)]) == 0
+        code = main(["bench", "compare", str(SMOKE_BASELINE), str(fresh)])
+        assert code == EXIT_CLEAN

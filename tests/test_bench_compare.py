@@ -1,0 +1,145 @@
+"""Unit tests for the baseline comparator and its exit-code contract."""
+
+import json
+
+import pytest
+
+from repro.bench import (
+    EXIT_CLEAN,
+    EXIT_REGRESSIONS,
+    BenchRecord,
+    CaseRecord,
+    compare_records,
+)
+
+
+def _record(counters=None, timings=None, name="case/a"):
+    return BenchRecord(
+        cases=[
+            CaseRecord(
+                name=name,
+                suites=("smoke",),
+                counters=dict(counters or {"cycles": 100.0}),
+                timings=dict(timings or {"run_s": 1.0}),
+            )
+        ],
+        suite="smoke",
+    )
+
+
+def _statuses(report, kind):
+    return {
+        (d.case, d.metric): d.status for d in report.deltas if d.kind == kind
+    }
+
+
+class TestCounterGate:
+    def test_identical_is_clean(self):
+        report = compare_records(_record(), _record())
+        assert report.exit_code == EXIT_CLEAN
+        assert report.counter_failures == []
+        assert report.cases_compared == 1
+        assert report.counters_compared == 1
+
+    def test_any_drift_fails(self):
+        report = compare_records(
+            _record({"cycles": 100.0}), _record({"cycles": 100.0000001})
+        )
+        assert report.exit_code == EXIT_REGRESSIONS
+        assert _statuses(report, "counter")[("case/a", "cycles")] == "regressed"
+
+    def test_missing_counter_fails(self):
+        report = compare_records(
+            _record({"cycles": 100.0, "bytes": 5.0}), _record({"cycles": 100.0})
+        )
+        assert report.exit_code == EXIT_REGRESSIONS
+        assert _statuses(report, "counter")[("case/a", "bytes")] == "missing"
+
+    def test_extra_counter_fails(self):
+        report = compare_records(
+            _record({"cycles": 100.0}), _record({"cycles": 100.0, "bytes": 5.0})
+        )
+        assert report.exit_code == EXIT_REGRESSIONS
+        assert _statuses(report, "counter")[("case/a", "bytes")] == "extra"
+
+    def test_missing_case_fails(self):
+        report = compare_records(_record(name="case/a"), _record(name="case/b"))
+        assert report.exit_code == EXIT_REGRESSIONS
+        statuses = _statuses(report, "case")
+        assert statuses[("case/a", "")] == "missing"
+        assert statuses[("case/b", "")] == "extra"
+
+
+class TestTimingBand:
+    def test_within_band_is_ok(self):
+        report = compare_records(
+            _record(timings={"run_s": 1.0}),
+            _record(timings={"run_s": 1.2}),
+            timing_tolerance=0.25,
+        )
+        assert report.exit_code == EXIT_CLEAN
+        assert _statuses(report, "timing")[("case/a", "run_s")] == "ok"
+
+    def test_slower_reported_not_gated(self):
+        report = compare_records(
+            _record(timings={"run_s": 1.0}), _record(timings={"run_s": 2.0})
+        )
+        assert _statuses(report, "timing")[("case/a", "run_s")] == "slower"
+        assert report.timing_violations and report.exit_code == EXIT_CLEAN
+
+    def test_slower_gated_on_request(self):
+        report = compare_records(
+            _record(timings={"run_s": 1.0}),
+            _record(timings={"run_s": 2.0}),
+            gate_timings=True,
+        )
+        assert report.exit_code == EXIT_REGRESSIONS
+
+    def test_faster_never_gates(self):
+        report = compare_records(
+            _record(timings={"run_s": 1.0}),
+            _record(timings={"run_s": 0.1}),
+            gate_timings=True,
+        )
+        assert _statuses(report, "timing")[("case/a", "run_s")] == "faster"
+        assert report.exit_code == EXIT_CLEAN
+
+    def test_new_timing_metric_is_informational(self):
+        report = compare_records(
+            _record(timings={"run_s": 1.0}),
+            _record(timings={"run_s": 1.0, "p95_s": 0.5}),
+            gate_timings=True,
+        )
+        assert _statuses(report, "timing")[("case/a", "p95_s")] == "new"
+        assert report.exit_code == EXIT_CLEAN
+
+    def test_zero_baseline_is_ok(self):
+        report = compare_records(
+            _record(timings={"run_s": 0.0}), _record(timings={"run_s": 5.0})
+        )
+        assert _statuses(report, "timing")[("case/a", "run_s")] == "ok"
+
+    def test_negative_tolerance_rejected(self):
+        with pytest.raises(ValueError, match="timing_tolerance"):
+            compare_records(_record(), _record(), timing_tolerance=-0.1)
+
+
+class TestRendering:
+    def test_text_clean(self):
+        text = compare_records(_record(), _record()).render_text()
+        assert "OK: deterministic counters match" in text
+
+    def test_text_failure_mentions_update_flow(self):
+        text = compare_records(
+            _record({"cycles": 1.0}), _record({"cycles": 2.0})
+        ).render_text()
+        assert "FAIL" in text
+        assert "--update-baselines" in text
+
+    def test_json_lists_only_notable_deltas(self):
+        report = compare_records(
+            _record({"cycles": 1.0, "bytes": 2.0}), _record({"cycles": 9.0, "bytes": 2.0})
+        )
+        payload = json.loads(report.render_json())
+        assert payload["exit_code"] == EXIT_REGRESSIONS
+        assert [d["metric"] for d in payload["deltas"]] == ["cycles"]

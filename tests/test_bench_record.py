@@ -1,0 +1,119 @@
+"""Unit tests for benchmark records: schema, validation, JSON round-trip."""
+
+import json
+
+import pytest
+
+from repro.bench import (
+    SCHEMA_VERSION,
+    BenchRecord,
+    CaseRecord,
+    RecordError,
+    environment_metadata,
+    git_revision,
+)
+
+
+def _case(name="planner/tiling[pm]", **overrides):
+    fields = dict(
+        name=name,
+        suites=("full", "smoke"),  # pre-sorted: to_dict normalizes suite order
+        params={"dataset": "pubmed"},
+        counters={"alpha": 4.0, "data_volume_bytes": 1024.0},
+        timings={"run_s": 0.01},
+        repeats=3,
+        warmup=1,
+    )
+    fields.update(overrides)
+    return CaseRecord(**fields)
+
+
+class TestEnvironmentMetadata:
+    def test_keys(self):
+        env = environment_metadata()
+        assert set(env) == {
+            "python", "implementation", "numpy", "platform", "git_sha"
+        }
+        assert env["python"].count(".") == 2
+
+    def test_git_revision_in_checkout(self):
+        sha = git_revision()
+        assert sha is None or (len(sha) == 40 and set(sha) <= set("0123456789abcdef"))
+
+    def test_git_revision_outside_checkout(self, tmp_path):
+        assert git_revision(tmp_path) is None
+
+
+class TestCaseRecord:
+    def test_round_trip(self):
+        case = _case()
+        rebuilt = CaseRecord.from_dict(case.to_dict())
+        assert rebuilt == case
+
+    def test_suites_sorted_in_dict(self):
+        case = _case(suites=("smoke", "full"))
+        assert case.to_dict()["suites"] == ["full", "smoke"]
+
+    def test_missing_counters_rejected(self):
+        raw = _case().to_dict()
+        del raw["counters"]
+        with pytest.raises(RecordError, match="counters"):
+            CaseRecord.from_dict(raw)
+
+    def test_non_numeric_metric_rejected(self):
+        raw = _case().to_dict()
+        raw["counters"]["alpha"] = "four"
+        with pytest.raises(RecordError, match="must be a number"):
+            CaseRecord.from_dict(raw)
+
+    def test_bool_metric_rejected(self):
+        raw = _case().to_dict()
+        raw["timings"]["run_s"] = True
+        with pytest.raises(RecordError, match="must be a number"):
+            CaseRecord.from_dict(raw)
+
+
+class TestBenchRecord:
+    def test_round_trip_via_file(self, tmp_path):
+        record = BenchRecord(cases=[_case()], suite="smoke")
+        path = record.save(tmp_path / "nested" / "record.json")
+        rebuilt = BenchRecord.load(path)
+        assert rebuilt.suite == "smoke"
+        assert rebuilt.schema == SCHEMA_VERSION
+        assert rebuilt.cases == record.cases
+        assert rebuilt.environment == record.environment
+
+    def test_json_is_stable(self):
+        record = BenchRecord(cases=[_case()], suite="smoke")
+        text = record.to_json()
+        assert text == record.to_json()
+        assert text.endswith("\n")
+        parsed = json.loads(text)
+        assert list(parsed) == sorted(parsed)
+
+    def test_case_lookup(self):
+        record = BenchRecord(cases=[_case()])
+        assert record.case("planner/tiling[pm]") is record.cases[0]
+        assert record.case("nope") is None
+        assert record.case_names == ["planner/tiling[pm]"]
+
+    def test_unsupported_schema_rejected(self):
+        raw = BenchRecord(cases=[_case()]).to_dict()
+        raw["schema"] = 99
+        with pytest.raises(RecordError, match="schema"):
+            BenchRecord.from_dict(raw)
+
+    def test_duplicate_case_rejected(self):
+        raw = BenchRecord(cases=[_case(), _case()]).to_dict()
+        with pytest.raises(RecordError, match="duplicate"):
+            BenchRecord.from_dict(raw)
+
+    def test_load_missing_file(self, tmp_path):
+        with pytest.raises(RecordError, match="cannot read"):
+            BenchRecord.load(tmp_path / "absent.json")
+
+    def test_load_invalid_json(self, tmp_path):
+        path = tmp_path / "broken.json"
+        path.write_text("{not json")
+        with pytest.raises(RecordError, match="not valid JSON"):
+            BenchRecord.load(path)

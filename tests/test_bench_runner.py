@@ -1,0 +1,136 @@
+"""Unit tests for the bench registry and the determinism-checked runner."""
+
+import pytest
+
+from repro.bench import (
+    BenchRegistry,
+    BenchRunner,
+    CaseOutput,
+    NondeterministicCaseError,
+    UnknownCaseError,
+    default_registry,
+)
+
+
+def _registry():
+    registry = BenchRegistry()
+    registry.register(
+        "toy/steady",
+        lambda: CaseOutput(counters={"n": 3.0}, timings={"speed": 10.0}),
+        suites=("smoke", "full"),
+        params={"size": 3},
+    )
+    registry.register(
+        "toy/full-only",
+        lambda: CaseOutput(counters={"n": 7.0}),
+        suites=("full",),
+    )
+    return registry
+
+
+class TestRegistry:
+    def test_names_sorted(self):
+        assert _registry().names == ["toy/full-only", "toy/steady"]
+
+    def test_duplicate_rejected(self):
+        registry = _registry()
+        with pytest.raises(ValueError, match="already registered"):
+            registry.register("toy/steady", lambda: CaseOutput(counters={}))
+
+    def test_unknown_suite_on_case_rejected(self):
+        with pytest.raises(ValueError, match="unknown suites"):
+            _registry().register(
+                "toy/bad", lambda: CaseOutput(counters={}), suites=("nightly",)
+            )
+
+    def test_select_by_suite(self):
+        registry = _registry()
+        assert [c.name for c in registry.select(suite="smoke")] == ["toy/steady"]
+        assert [c.name for c in registry.select(suite="full")] == [
+            "toy/full-only", "toy/steady"
+        ]
+
+    def test_select_names_wins_over_suite(self):
+        selected = _registry().select(suite="smoke", names=["toy/full-only"])
+        assert [c.name for c in selected] == ["toy/full-only"]
+
+    def test_unknown_lookups(self):
+        registry = _registry()
+        with pytest.raises(UnknownCaseError, match="unknown benchmark case"):
+            registry.get("toy/absent")
+        with pytest.raises(UnknownCaseError, match="unknown suite"):
+            registry.select(suite="nightly")
+
+    def test_default_registry_catalog(self):
+        registry = default_registry()
+        assert registry is default_registry()  # cached
+        smoke = {c.name for c in registry.select(suite="smoke")}
+        assert "planner/tiling[pm]" in smoke
+        assert "serving/throughput[smoke]" in smoke
+        assert smoke < set(registry.names)  # smoke is a strict subset
+
+
+class TestRunner:
+    def test_record_shape(self):
+        record = BenchRunner(_registry(), repeats=3, warmup=1).run(suite="smoke")
+        assert record.suite == "smoke"
+        assert record.case_names == ["toy/steady"]
+        case = record.cases[0]
+        assert case.counters == {"n": 3.0}
+        assert case.timings["speed"] == 10.0
+        assert case.timings["run_s"] >= 0
+        assert case.repeats == 3 and case.warmup == 1
+        assert case.params == {"size": 3}
+
+    def test_case_timings_are_medianed(self):
+        samples = iter([5.0, 1.0, 9.0])
+        registry = BenchRegistry()
+        registry.register(
+            "toy/latency",
+            lambda: CaseOutput(counters={"n": 1.0}, timings={"lat": next(samples)}),
+            suites=("smoke",),
+        )
+        record = BenchRunner(registry, repeats=3, warmup=0).run(suite="smoke")
+        assert record.cases[0].timings["lat"] == 5.0
+
+    def test_nondeterministic_counter_raises(self):
+        ticks = iter(range(10))
+        registry = BenchRegistry()
+        registry.register(
+            "toy/drifting",
+            lambda: CaseOutput(counters={"n": float(next(ticks))}),
+            suites=("smoke",),
+        )
+        runner = BenchRunner(registry, repeats=2, warmup=1)
+        with pytest.raises(NondeterministicCaseError, match="not deterministic"):
+            runner.run(suite="smoke")
+
+    def test_warmup_executions_also_checked(self):
+        ticks = iter(range(10))
+        registry = BenchRegistry()
+        registry.register(
+            "toy/drifting",
+            lambda: CaseOutput(counters={"n": float(next(ticks))}),
+            suites=("smoke",),
+        )
+        runner = BenchRunner(registry, repeats=1, warmup=2)
+        with pytest.raises(NondeterministicCaseError):
+            runner.run(suite="smoke")
+
+    def test_empty_selection_rejected(self):
+        registry = BenchRegistry()
+        with pytest.raises(ValueError, match="no benchmark cases"):
+            BenchRunner(registry).run()
+
+    def test_invalid_protocol_rejected(self):
+        with pytest.raises(ValueError, match="repeats"):
+            BenchRunner(_registry(), repeats=0)
+        with pytest.raises(ValueError, match="warmup"):
+            BenchRunner(_registry(), warmup=-1)
+
+    def test_progress_callback(self):
+        notes = []
+        BenchRunner(
+            _registry(), repeats=1, warmup=0, progress=notes.append
+        ).run(suite="smoke")
+        assert any("toy/steady" in note for note in notes)
