@@ -22,6 +22,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Optional
 
+from ..obs import span as obs_span
 from .config import HardwareConfig
 from .dram import DRAMModel
 from .energy import EnergyBreakdown, EnergyModel, EnergyParams
@@ -89,16 +90,64 @@ class AcceleratorSimulator:
         ideal = self.tile_model.total_cycles(work)
         return ideal / max(utilization, 1e-9)
 
+    def _trace_kernels(self, snapshot: SnapshotCosts) -> None:
+        """Per-kernel child spans of ``compute`` (traced runs only).
+
+        ``tile_cycles`` is each kernel's un-overlapped per-tile time; the
+        parent ``compute`` span's ``cycles`` counter is the authoritative
+        (overlapped, imbalance-stretched) figure that reconciles with
+        :class:`SimulationResult` totals.
+        """
+        per_pe = self.hardware.total_tiles * self.tile_model.config.num_pes
+        pe = self.tile_model.pe_model
+        with obs_span("aggregation") as sp:
+            sp.add("macs", snapshot.gnn_aggregation_macs)
+            sp.add("tile_cycles", pe.sparse_cycles(snapshot.gnn_aggregation_macs / per_pe))
+        with obs_span("combination") as sp:
+            sp.add("macs", snapshot.gnn_combination_macs)
+            sp.add("tile_cycles", pe.dense_cycles(snapshot.gnn_combination_macs / per_pe))
+        with obs_span("rnn") as sp:
+            sp.add("macs", snapshot.rnn_macs)
+            sp.add("tile_cycles", pe.dense_cycles(snapshot.rnn_macs / per_pe))
+
     def _snapshot_cycles(
         self, snapshot: SnapshotCosts, utilization: float
     ) -> CycleBreakdown:
-        compute = self._compute_cycles(snapshot, utilization)
-        on_chip_comm = self.noc_model.transfer_cycles(snapshot.noc)
-        off_chip = self.dram_model.transfer_cycles(snapshot.dram)
-        overhead = (
-            snapshot.sync_events * self.params.sync_latency_cycles
-            + snapshot.config_events * self.params.config_latency_cycles
-        )
+        with obs_span("compute") as sp:
+            compute = self._compute_cycles(snapshot, utilization)
+            if sp.enabled:
+                sp.add("cycles", compute)
+                self._trace_kernels(snapshot)
+        with obs_span("noc") as sp:
+            on_chip_comm = self.noc_model.transfer_cycles(snapshot.noc)
+            if sp.enabled:
+                sp.add("cycles", on_chip_comm)
+                sp.add("temporal_bytes", snapshot.noc.temporal_bytes)
+                sp.add("spatial_bytes", snapshot.noc.spatial_bytes)
+                sp.add("reuse_bytes", snapshot.noc.reuse_bytes)
+                sp.add("byte_hops", self.noc_model.byte_hops(snapshot.noc))
+        with obs_span("dram") as sp:
+            off_chip = self.dram_model.transfer_cycles(snapshot.dram)
+            if sp.enabled:
+                sp.add("cycles", off_chip)
+                sp.add("bytes", snapshot.dram.total_bytes)
+                sp.add(
+                    "streaming_bytes",
+                    snapshot.dram.streaming_read + snapshot.dram.streaming_write,
+                )
+                sp.add(
+                    "random_bytes",
+                    snapshot.dram.random_read + snapshot.dram.random_write,
+                )
+        with obs_span("overhead") as sp:
+            overhead = (
+                snapshot.sync_events * self.params.sync_latency_cycles
+                + snapshot.config_events * self.params.config_latency_cycles
+            )
+            if sp.enabled:
+                sp.add("cycles", overhead)
+                sp.add("sync_events", snapshot.sync_events)
+                sp.add("config_events", snapshot.config_events)
         residual = self.params.overlap_residual
         on_chip_exec = max(compute, on_chip_comm) + residual * min(
             compute, on_chip_comm
@@ -121,12 +170,24 @@ class AcceleratorSimulator:
     # ------------------------------------------------------------------
     def run(self, costs: CostSummary) -> SimulationResult:
         """Simulate one full DGNN execution."""
+        with obs_span(
+            "simulate",
+            accelerator=self.name,
+            algorithm=costs.algorithm,
+            snapshots=len(costs.snapshots),
+        ) as sim_sp:
+            return self._run(costs, sim_sp)
+
+    def _run(self, costs: CostSummary, sim_sp) -> SimulationResult:
         total = CycleBreakdown()
         per_snapshot = []
         noc_byte_hops = 0.0
         config_events = 0.0
         for snapshot in costs.snapshots:
-            breakdown = self._snapshot_cycles(snapshot, costs.load_utilization)
+            with obs_span("snapshot", index=snapshot.timestamp) as snap_sp:
+                breakdown = self._snapshot_cycles(snapshot, costs.load_utilization)
+                if snap_sp.enabled:
+                    snap_sp.add("cycles", breakdown.total)
             per_snapshot.append(breakdown.total)
             total.compute += breakdown.compute
             total.on_chip += breakdown.on_chip
@@ -142,6 +203,13 @@ class AcceleratorSimulator:
         # synchronization, and communication stalls all erode it.
         ideal_compute = total.compute * costs.load_utilization
         utilization = ideal_compute / total.total if total.total > 0 else 0.0
+        if sim_sp.enabled:
+            sim_sp.add("cycles", total.total)
+            sim_sp.add("total_macs", costs.total_macs)
+            sim_sp.add("dram_bytes", costs.dram_bytes)
+            sim_sp.add("noc_bytes", costs.noc_bytes)
+            sim_sp.add("noc_byte_hops", noc_byte_hops)
+            sim_sp.set_attr("pe_utilization", utilization)
         return SimulationResult(
             accelerator=self.name,
             algorithm=costs.algorithm,

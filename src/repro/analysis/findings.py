@@ -122,6 +122,7 @@ DETERMINISTIC_PATHS = PathScope(
         "baselines/",
         "models/",
         "bench/",
+        "obs/",
         "ditile.py",
         "caching.py",
     ),

@@ -17,13 +17,21 @@ Execution protocol per case:
 
 from __future__ import annotations
 
-from typing import Callable, Dict, Iterable, List, Optional
+import re
+from pathlib import Path
+from typing import Callable, Dict, Iterable, List, Optional, Union
 
+from ..obs import TraceSession
 from ..serving.stats import median, timed_call
 from .record import BenchRecord, CaseRecord, environment_metadata
 from .registry import BenchCase, BenchRegistry, CaseOutput, default_registry
 
-__all__ = ["NondeterministicCaseError", "BenchRunner"]
+__all__ = ["NondeterministicCaseError", "BenchRunner", "case_stem"]
+
+
+def case_stem(name: str) -> str:
+    """A filesystem-safe stem for a case name (``planner/tiling[pm]`` ...)."""
+    return re.sub(r"[^A-Za-z0-9._-]+", "_", name).strip("_")
 
 
 class NondeterministicCaseError(RuntimeError):
@@ -59,6 +67,7 @@ class BenchRunner:
         repeats: int = 3,
         warmup: int = 1,
         progress: Optional[Callable[[str], None]] = None,
+        trace_dir: Optional[Union[str, Path]] = None,
     ):
         if repeats < 1:
             raise ValueError("repeats must be >= 1")
@@ -68,13 +77,31 @@ class BenchRunner:
         self.repeats = repeats
         self.warmup = warmup
         self._progress = progress
+        self.trace_dir = Path(trace_dir) if trace_dir is not None else None
 
     def _note(self, message: str) -> None:
         if self._progress is not None:
             self._progress(message)
 
     def run_case(self, case: BenchCase) -> CaseRecord:
-        """Execute one case under the warmup/repeat/median protocol."""
+        """Execute one case under the warmup/repeat/median protocol.
+
+        With ``trace_dir`` set the whole case (warmup included) runs under
+        a :class:`~repro.obs.TraceSession`, leaving a per-case Chrome
+        trace, span log, and phase report behind.  Tracing never feeds the
+        record: the deterministic counters are bit-identical either way
+        (asserted by ``tests/test_obs_integration.py``).
+        """
+        if self.trace_dir is None:
+            return self._run_case(case)
+        with TraceSession(
+            self.trace_dir, name=case.name, stem=case_stem(case.name)
+        ) as session:
+            record = self._run_case(case)
+        self._note(f"    trace: {session.written['trace']}")
+        return record
+
+    def _run_case(self, case: BenchCase) -> CaseRecord:
         reference: Optional[CaseOutput] = None
         for _ in range(self.warmup):
             output = case.fn()

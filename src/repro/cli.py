@@ -13,6 +13,12 @@ Commands
 ``serve [DATASET]``
     Run the online streaming-inference service over a dataset replay or a
     synthetic event stream and print the service statistics.
+``trace {plan,compare,serve}``
+    Run a workload under the tracer (see ``docs/observability.md``) and
+    print the phase breakdown; ``--out DIR`` exports a Perfetto-loadable
+    Chrome trace, the raw span log, and the phase report.  ``plan``,
+    ``compare``, ``serve``, and ``bench run`` take the same exports via
+    their ``--trace DIR`` flag.
 ``lint [PATH ...]``
     Run the repo's static-analysis suite (determinism, unit-safety,
     thread-safety — see ``docs/static-analysis.md``) over source paths.
@@ -50,6 +56,7 @@ def build_parser() -> argparse.ArgumentParser:
 
     plan = sub.add_parser("plan", help="show the DiTile scheduler's plan")
     _add_workload_args(plan)
+    _add_trace_arg(plan)
     plan.add_argument(
         "--explain", action="store_true",
         help="print the full decision trace (every grid shape's cost)",
@@ -57,6 +64,7 @@ def build_parser() -> argparse.ArgumentParser:
 
     compare = sub.add_parser("compare", help="simulate all five accelerators")
     _add_workload_args(compare)
+    _add_trace_arg(compare)
 
     reproduce = sub.add_parser(
         "reproduce", help="regenerate evaluation tables/figures"
@@ -78,37 +86,33 @@ def build_parser() -> argparse.ArgumentParser:
     serve = sub.add_parser(
         "serve", help="run the online streaming-inference service"
     )
-    serve.add_argument(
-        "dataset", nargs="?", default=None,
-        help="Table 1 dataset to replay as an event stream "
-        "(omit to serve a synthetic stream)",
+    _add_serve_args(serve)
+    _add_trace_arg(serve)
+
+    trace = sub.add_parser(
+        "trace",
+        help="run a workload under the tracer and print its phase breakdown",
     )
-    serve.add_argument("--scale", type=float, default=0.0625,
-                       help="dataset synthesis scale (dataset mode)")
-    serve.add_argument("--snapshots", type=int, default=None,
-                       help="dataset snapshot count (dataset mode)")
-    serve.add_argument("--seed", type=int, default=7)
-    serve.add_argument("--vertices", type=int, default=256,
-                       help="synthetic stream vertex count")
-    serve.add_argument("--events", type=int, default=10_000,
-                       help="synthetic stream event count")
-    serve.add_argument("--remove-fraction", type=float, default=0.15,
-                       help="synthetic stream edge-removal share")
-    serve.add_argument("--window", type=float, default=None,
-                       help="window width in stream time (default: 1.0 for "
-                       "dataset replays, span/32 for synthetic streams)")
-    serve.add_argument("--drift-threshold", type=float, default=0.25,
-                       help="relative workload change that forces a re-plan")
-    serve.add_argument("--workers", type=int, default=2,
-                       help="simulation worker threads (0 = inline)")
-    serve.add_argument("--batch", type=int, default=4,
-                       help="max windows grouped per executor batch")
-    serve.add_argument("--queue-capacity", type=int, default=8,
-                       help="ingest queue bound (backpressure)")
-    serve.add_argument("--plan-cache-capacity", type=int, default=32,
-                       help="LRU bound of the execution-plan cache")
-    serve.add_argument("--hidden-dim", type=int, default=64,
-                       help="DGNN hidden width (synthetic mode)")
+    trace_sub = trace.add_subparsers(dest="trace_command", required=True)
+    trace_plan = trace_sub.add_parser(
+        "plan", help="trace the DiTile scheduler (Alg. 1/2 phases)"
+    )
+    _add_workload_args(trace_plan)
+    trace_plan.add_argument("--explain", action="store_true",
+                            help=argparse.SUPPRESS)
+    trace_compare = trace_sub.add_parser(
+        "compare", help="trace the five-accelerator comparison"
+    )
+    _add_workload_args(trace_compare)
+    trace_serve = trace_sub.add_parser(
+        "serve", help="trace the streaming-inference service"
+    )
+    _add_serve_args(trace_serve)
+    for p in (trace_plan, trace_compare, trace_serve):
+        p.add_argument(
+            "--out", default=None, metavar="DIR",
+            help="also write trace.json / spans.jsonl / phases.json to DIR",
+        )
 
     lint = sub.add_parser(
         "lint", help="run the static-analysis suite over source paths"
@@ -163,6 +167,11 @@ def build_parser() -> argparse.ArgumentParser:
         help="untimed executions per case before timing (default: 1)",
     )
     bench_run.add_argument(
+        "--trace", default=None, metavar="DIR", dest="trace",
+        help="trace every case; writes <case>.trace.json / .spans.jsonl / "
+        ".phases.json into DIR",
+    )
+    bench_run.add_argument(
         "--update-baselines", action="store_true",
         help="also write the record as the suite's committed baseline",
     )
@@ -201,6 +210,48 @@ def _add_workload_args(parser: argparse.ArgumentParser) -> None:
     parser.add_argument("--scale", type=float, default=0.0625)
     parser.add_argument("--snapshots", type=int, default=None)
     parser.add_argument("--seed", type=int, default=7)
+
+
+def _add_trace_arg(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--trace", default=None, metavar="DIR",
+        help="run under the tracer: print the phase breakdown and write "
+        "trace.json / spans.jsonl / phases.json to DIR",
+    )
+
+
+def _add_serve_args(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "dataset", nargs="?", default=None,
+        help="Table 1 dataset to replay as an event stream "
+        "(omit to serve a synthetic stream)",
+    )
+    parser.add_argument("--scale", type=float, default=0.0625,
+                        help="dataset synthesis scale (dataset mode)")
+    parser.add_argument("--snapshots", type=int, default=None,
+                        help="dataset snapshot count (dataset mode)")
+    parser.add_argument("--seed", type=int, default=7)
+    parser.add_argument("--vertices", type=int, default=256,
+                        help="synthetic stream vertex count")
+    parser.add_argument("--events", type=int, default=10_000,
+                        help="synthetic stream event count")
+    parser.add_argument("--remove-fraction", type=float, default=0.15,
+                        help="synthetic stream edge-removal share")
+    parser.add_argument("--window", type=float, default=None,
+                        help="window width in stream time (default: 1.0 for "
+                        "dataset replays, span/32 for synthetic streams)")
+    parser.add_argument("--drift-threshold", type=float, default=0.25,
+                        help="relative workload change that forces a re-plan")
+    parser.add_argument("--workers", type=int, default=2,
+                        help="simulation worker threads (0 = inline)")
+    parser.add_argument("--batch", type=int, default=4,
+                        help="max windows grouped per executor batch")
+    parser.add_argument("--queue-capacity", type=int, default=8,
+                        help="ingest queue bound (backpressure)")
+    parser.add_argument("--plan-cache-capacity", type=int, default=32,
+                        help="LRU bound of the execution-plan cache")
+    parser.add_argument("--hidden-dim", type=int, default=64,
+                        help="DGNN hidden width (synthetic mode)")
 
 
 def _runner(args: argparse.Namespace) -> ExperimentRunner:
@@ -417,7 +468,10 @@ def _cmd_bench(args: argparse.Namespace) -> int:
     # bench run
     try:
         runner = BenchRunner(
-            repeats=args.repeats, warmup=args.warmup, progress=print
+            repeats=args.repeats,
+            warmup=args.warmup,
+            progress=print,
+            trace_dir=args.trace,
         )
         record = runner.run(
             suite=None if args.cases else args.suite, names=args.cases
@@ -450,6 +504,29 @@ def ditile_model():
     return DiTileAccelerator()
 
 
+def _run_traced(fn, args: argparse.Namespace, out_dir, name: str) -> int:
+    """Run a command handler under a :class:`~repro.obs.TraceSession`.
+
+    Prints the phase-breakdown table after the command's own output and,
+    with an output directory, the exported artifact paths.
+    """
+    from .obs import TraceSession
+
+    with TraceSession(out_dir, name=name) as session:
+        fn(args)
+    print()
+    print(session.report.render_text())
+    for kind in sorted(session.written):
+        print(f"trace {kind}: {session.written[kind]}")
+    return 0
+
+
+def _cmd_trace(args: argparse.Namespace) -> int:
+    handlers = {"plan": _cmd_plan, "compare": _cmd_compare, "serve": _cmd_serve}
+    fn = handlers[args.trace_command]
+    return _run_traced(fn, args, args.out, f"trace-{args.trace_command}")
+
+
 def _cmd_area() -> None:
     print(figure14(HardwareConfig.small()).to_text())
 
@@ -460,13 +537,21 @@ def main(argv: Optional[List[str]] = None) -> int:
     if args.command == "datasets":
         _cmd_datasets()
     elif args.command == "plan":
+        if args.trace:
+            return _run_traced(_cmd_plan, args, args.trace, "plan")
         _cmd_plan(args)
     elif args.command == "compare":
+        if args.trace:
+            return _run_traced(_cmd_compare, args, args.trace, "compare")
         _cmd_compare(args)
     elif args.command == "reproduce":
         _cmd_reproduce(args)
     elif args.command == "serve":
+        if args.trace:
+            return _run_traced(_cmd_serve, args, args.trace, "serve")
         _cmd_serve(args)
+    elif args.command == "trace":
+        return _cmd_trace(args)
     elif args.command == "lint":
         return _cmd_lint(args)
     elif args.command == "bench":

@@ -13,6 +13,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 
 from ..graphs.dynamic import DynamicGraph
+from ..obs import span as obs_span
 from .balance import balance_workload, natural_workload
 from .comm_model import CommunicationModel, WorkloadProfile
 from .parallelism import ParallelismOptimizer, temporal_factors
@@ -69,24 +70,34 @@ class DiTileScheduler:
 
     def plan(self, graph: DynamicGraph, spec: DGNNSpec) -> ExecutionPlan:
         """Produce the full execution plan for ``graph`` under ``spec``."""
+        with obs_span("plan", graph=graph.name, tiles=self.total_tiles):
+            return self._plan(graph, spec)
+
+    def _plan(self, graph: DynamicGraph, spec: DGNNSpec) -> ExecutionPlan:
         stats = graph.stats()
 
         # Stage 1 — subgraph tiling (Algorithm 1, lines 2-9).
-        if self.options.enable_tiling:
-            tiling = subgraph_tiling(
-                stats,
-                self.distributed_buffer_bytes,
-                feature_dim=spec.feature_dim,
-                output_dim=spec.embedding_dim,
-            )
-        else:
-            tiling = TilingResult(
-                alpha=1,
-                dram_access=dram_access(stats, 1),
-                subgraph_vertices=stats.avg_vertices,
-                data_volume_bytes=float("nan"),
-                buffer_bytes=self.distributed_buffer_bytes,
-            )
+        with obs_span("tiling", enabled=self.options.enable_tiling) as sp:
+            if self.options.enable_tiling:
+                tiling = subgraph_tiling(
+                    stats,
+                    self.distributed_buffer_bytes,
+                    feature_dim=spec.feature_dim,
+                    output_dim=spec.embedding_dim,
+                )
+            else:
+                tiling = TilingResult(
+                    alpha=1,
+                    dram_access=dram_access(stats, 1),
+                    subgraph_vertices=stats.avg_vertices,
+                    data_volume_bytes=float("nan"),
+                    buffer_bytes=self.distributed_buffer_bytes,
+                )
+            if sp.enabled:
+                sp.set_attr("alpha", tiling.alpha)
+                sp.add("dram_access_rows", tiling.dram_access)
+                if tiling.data_volume_bytes == tiling.data_volume_bytes:
+                    sp.add("data_volume_bytes", tiling.data_volume_bytes)
 
         profile = WorkloadProfile.from_graph(
             graph, spec.num_gnn_layers, alpha=tiling.alpha
@@ -103,27 +114,46 @@ class DiTileScheduler:
             )
 
         # Stage 2 — parallelization optimization (Algorithm 1, lines 10-15).
-        optimizer = ParallelismOptimizer(profile, self.total_tiles)
-        if self.options.enable_parallelism:
-            strategy = optimizer.optimize()
-        else:
-            factors = temporal_factors(profile, self.total_tiles)
-            strategy = optimizer.evaluate(
-                factors.snapshot_groups, factors.vertex_groups
-            )
+        with obs_span(
+            "parallelism", enabled=self.options.enable_parallelism
+        ) as sp:
+            optimizer = ParallelismOptimizer(profile, self.total_tiles)
+            if self.options.enable_parallelism:
+                strategy = optimizer.optimize()
+            else:
+                factors = temporal_factors(profile, self.total_tiles)
+                strategy = optimizer.evaluate(
+                    factors.snapshot_groups, factors.vertex_groups
+                )
+            if sp.enabled:
+                sp.set_attr("Ps", strategy.factors.snapshot_groups)
+                sp.set_attr("Pv", strategy.factors.vertex_groups)
+                sp.add("total_comm_rows", strategy.total_comm)
+                sp.add("temporal_comm_rows", strategy.breakdown.temporal)
+                sp.add("rf_spatial_comm_rows", strategy.breakdown.rf_spatial)
+                sp.add("reuse_comm_rows", strategy.breakdown.reuse)
 
         # Stage 3 — balance-aware workload generation (Algorithm 2).
-        if self.options.enable_balance:
-            workload = balance_workload(graph, spec.num_gnn_layers, strategy.factors)
-        else:
-            workload = natural_workload(graph, spec.num_gnn_layers, strategy.factors)
+        with obs_span("balance", enabled=self.options.enable_balance) as sp:
+            if self.options.enable_balance:
+                workload = balance_workload(
+                    graph, spec.num_gnn_layers, strategy.factors
+                )
+            else:
+                workload = natural_workload(
+                    graph, spec.num_gnn_layers, strategy.factors
+                )
+            if sp.enabled:
+                sp.add("utilization", workload.utilization)
+                sp.add("imbalance", workload.imbalance)
 
         # Stage 4 — redundancy measurement (the Redundant-Free Unit's input).
-        redundancy = (
-            RedundancyAnalysis.analyze(graph, spec.num_gnn_layers)
-            if self.options.enable_reuse
-            else None
-        )
+        with obs_span("redundancy", enabled=self.options.enable_reuse):
+            redundancy = (
+                RedundancyAnalysis.analyze(graph, spec.num_gnn_layers)
+                if self.options.enable_reuse
+                else None
+            )
 
         return ExecutionPlan(
             graph=graph,

@@ -1,0 +1,74 @@
+"""``repro.obs`` — tracing, metrics, and phase-breakdown profiling.
+
+A deterministic-safe instrumentation layer over the planner, the
+accelerator simulator, and the serving pipeline (see
+``docs/observability.md``):
+
+* **Spans** (:mod:`repro.obs.span` / :mod:`repro.obs.tracer`) — nested,
+  per-thread phases with identifying attributes (snapshot index,
+  ``alpha``/``Ps``/``Pv``, plan decision) and *deterministic counters*
+  (cycles, bytes, MACs) kept strictly apart from wall-clock telemetry.
+* **Metrics** (:mod:`repro.obs.metrics`) — counter/gauge registry
+  (queue depth, plan-cache hit rate).
+* **Exporters** (:mod:`repro.obs.export`) — Chrome trace-event JSON
+  (Perfetto / ``chrome://tracing``) and a JSONL span log, with a
+  dependency-free schema validator.
+* **Phase report** (:mod:`repro.obs.report`) — time and counters per
+  phase with %-of-parent, mirroring the paper's Fig. 7-9 decomposition.
+
+With no tracer installed every instrumented call site is a no-op behind
+one global ``None`` check — bench counters are bit-identical with
+tracing on or off.
+"""
+
+from .export import (
+    chrome_trace_events,
+    validate_trace_events,
+    validate_trace_file,
+    write_chrome_trace,
+    write_span_jsonl,
+)
+from .metrics import Counter, Gauge, MetricsRegistry
+from .report import PhaseNode, PhaseReport, build_phase_report
+from .session import TraceSession, export_all
+from .span import NOOP_SPAN, NoopSpan, Span, SpanRecord
+from .tracer import (
+    Tracer,
+    active_tracer,
+    counter_add,
+    gauge_set,
+    install,
+    span,
+    tracing,
+    tracing_enabled,
+    uninstall,
+)
+
+__all__ = [
+    "Span",
+    "SpanRecord",
+    "NoopSpan",
+    "NOOP_SPAN",
+    "Tracer",
+    "active_tracer",
+    "tracing_enabled",
+    "install",
+    "uninstall",
+    "tracing",
+    "span",
+    "counter_add",
+    "gauge_set",
+    "Counter",
+    "Gauge",
+    "MetricsRegistry",
+    "chrome_trace_events",
+    "write_chrome_trace",
+    "write_span_jsonl",
+    "validate_trace_events",
+    "validate_trace_file",
+    "PhaseNode",
+    "PhaseReport",
+    "build_phase_report",
+    "TraceSession",
+    "export_all",
+]

@@ -1,0 +1,137 @@
+"""Trace exporters: Chrome trace-event JSON and JSONL span logs.
+
+The Chrome format is the ``chrome://tracing`` / Perfetto interchange
+format — a ``traceEvents`` list of complete (``"ph": "X"``) duration
+events plus thread-name metadata (``"ph": "M"``) events.  Open the file
+at https://ui.perfetto.dev (or ``chrome://tracing``) to see the planner,
+simulator, and serving phases on their threads' timelines.
+
+:func:`validate_trace_events` is a dependency-free structural check of
+that schema; CI runs it on the smoke trace artifact so an exporter
+regression cannot silently produce files Perfetto rejects.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Dict, List, Optional, Union
+
+from .span import SpanRecord
+from .tracer import Tracer
+
+__all__ = [
+    "chrome_trace_events",
+    "write_chrome_trace",
+    "write_span_jsonl",
+    "validate_trace_events",
+    "validate_trace_file",
+]
+
+#: the one process all spans belong to in the Chrome trace
+_PID = 1
+
+
+def chrome_trace_events(tracer: Tracer) -> Dict[str, object]:
+    """The tracer's spans as a Chrome trace-event JSON object."""
+    events: List[Dict[str, object]] = []
+    for index, name in enumerate(tracer.thread_names()):
+        events.append(
+            {
+                "name": "thread_name",
+                "ph": "M",
+                "pid": _PID,
+                "tid": index,
+                "args": {"name": name},
+            }
+        )
+    for record in tracer.records:
+        args: Dict[str, object] = dict(record.attrs)
+        # Namespaced so a counter can never shadow a same-named attribute.
+        for counter, value in sorted(record.counters.items()):
+            args[f"counter.{counter}"] = value
+        events.append(
+            {
+                "name": record.name,
+                "cat": "repro",
+                "ph": "X",
+                "pid": _PID,
+                "tid": record.thread,
+                "ts": record.start_us,
+                "dur": record.duration_us,
+                "args": args,
+            }
+        )
+    return {
+        "traceEvents": events,
+        "displayTimeUnit": "ms",
+        "otherData": {"tracer": tracer.name, "spans": len(tracer.records)},
+    }
+
+
+def write_chrome_trace(tracer: Tracer, path: Union[str, Path]) -> Path:
+    """Write the Chrome trace-event JSON for ``tracer`` to ``path``."""
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    path.write_text(json.dumps(chrome_trace_events(tracer), indent=1))
+    return path
+
+
+def write_span_jsonl(tracer: Tracer, path: Union[str, Path]) -> Path:
+    """Write one JSON object per finished span to ``path``."""
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    lines = [json.dumps(r.as_dict()) for r in tracer.records]
+    path.write_text("\n".join(lines) + ("\n" if lines else ""))
+    return path
+
+
+# ---------------------------------------------------------------------------
+# Schema validation
+# ---------------------------------------------------------------------------
+def _check_event(event: object, index: int, errors: List[str]) -> None:
+    where = f"traceEvents[{index}]"
+    if not isinstance(event, dict):
+        errors.append(f"{where}: not an object")
+        return
+    phase = event.get("ph")
+    if phase not in ("X", "M"):
+        errors.append(f"{where}: unsupported or missing phase {phase!r}")
+        return
+    if not isinstance(event.get("name"), str) or not event["name"]:
+        errors.append(f"{where}: missing/empty name")
+    for key in ("pid", "tid"):
+        if not isinstance(event.get(key), int):
+            errors.append(f"{where}: {key} must be an integer")
+    if "args" in event and not isinstance(event["args"], dict):
+        errors.append(f"{where}: args must be an object")
+    if phase == "X":
+        for key in ("ts", "dur"):
+            value = event.get(key)
+            if not isinstance(value, (int, float)) or isinstance(value, bool):
+                errors.append(f"{where}: {key} must be a number")
+            elif value < 0:
+                errors.append(f"{where}: {key} must be >= 0, got {value}")
+
+
+def validate_trace_events(payload: object) -> List[str]:
+    """Structural errors in a Chrome trace-event payload (empty = valid)."""
+    errors: List[str] = []
+    if not isinstance(payload, dict):
+        return ["top level must be an object with a traceEvents list"]
+    events = payload.get("traceEvents")
+    if not isinstance(events, list):
+        return ["traceEvents must be a list"]
+    for index, event in enumerate(events):
+        _check_event(event, index, errors)
+    return errors
+
+
+def validate_trace_file(path: Union[str, Path]) -> List[str]:
+    """Validate a trace-event JSON file on disk (empty list = valid)."""
+    path = Path(path)
+    try:
+        payload: Optional[object] = json.loads(path.read_text())
+    except (OSError, json.JSONDecodeError) as exc:
+        return [f"{path}: unreadable trace ({exc})"]
+    return validate_trace_events(payload)

@@ -1,0 +1,135 @@
+"""Counter / gauge registry of the observability layer.
+
+Counters accumulate deterministic event counts (plans computed, cache
+hits); gauges sample instantaneous levels (queue depth, plan-cache hit
+rate).  Neither carries timestamps — sampled values are pure functions of
+the workload, so traced and untraced runs agree on them exactly.  The
+registry is thread-safe: serving samples gauges from the dispatch loop
+while workers execute.
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import Dict, List
+
+__all__ = ["Counter", "Gauge", "MetricsRegistry"]
+
+
+class Counter:
+    """A monotonically accumulating named count."""
+
+    __slots__ = ("name", "total", "events", "_lock")
+
+    def __init__(self, name: str):
+        self.name = name
+        self.total = 0.0
+        self.events = 0
+        self._lock = threading.Lock()
+
+    def add(self, value: float = 1.0) -> None:
+        """Accumulate ``value`` (one event)."""
+        with self._lock:
+            self.total += float(value)
+            self.events += 1
+
+    def as_dict(self) -> Dict[str, float]:
+        """Flat representation for reports."""
+        with self._lock:
+            return {"total": self.total, "events": float(self.events)}
+
+
+class Gauge:
+    """A sampled level: remembers last/min/max/mean over its samples."""
+
+    __slots__ = ("name", "last", "min", "max", "sum", "samples", "_lock")
+
+    def __init__(self, name: str):
+        self.name = name
+        self.last = 0.0
+        self.min = 0.0
+        self.max = 0.0
+        self.sum = 0.0
+        self.samples = 0
+        self._lock = threading.Lock()
+
+    def set(self, value: float) -> None:
+        """Record one sample of the level."""
+        value = float(value)
+        with self._lock:
+            if self.samples == 0:
+                self.min = value
+                self.max = value
+            else:
+                self.min = min(self.min, value)
+                self.max = max(self.max, value)
+            self.last = value
+            self.sum += value
+            self.samples += 1
+
+    @property
+    def mean(self) -> float:
+        """Average over all samples (0 with no samples)."""
+        with self._lock:
+            return self.sum / self.samples if self.samples else 0.0
+
+    def as_dict(self) -> Dict[str, float]:
+        """Flat representation for reports."""
+        with self._lock:
+            mean = self.sum / self.samples if self.samples else 0.0
+            return {
+                "last": self.last,
+                "min": self.min,
+                "max": self.max,
+                "mean": mean,
+                "samples": float(self.samples),
+            }
+
+
+class MetricsRegistry:
+    """Name-keyed counters and gauges for one traced run."""
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._counters: Dict[str, Counter] = {}
+        self._gauges: Dict[str, Gauge] = {}
+
+    def counter(self, name: str) -> Counter:
+        """The counter called ``name`` (created on first use)."""
+        with self._lock:
+            counter = self._counters.get(name)
+            if counter is None:
+                counter = Counter(name)
+                self._counters[name] = counter
+            return counter
+
+    def gauge(self, name: str) -> Gauge:
+        """The gauge called ``name`` (created on first use)."""
+        with self._lock:
+            gauge = self._gauges.get(name)
+            if gauge is None:
+                gauge = Gauge(name)
+                self._gauges[name] = gauge
+            return gauge
+
+    def counter_names(self) -> List[str]:
+        """Registered counter names, sorted."""
+        with self._lock:
+            return sorted(self._counters)
+
+    def gauge_names(self) -> List[str]:
+        """Registered gauge names, sorted."""
+        with self._lock:
+            return sorted(self._gauges)
+
+    def as_dict(self) -> Dict[str, Dict[str, Dict[str, float]]]:
+        """``{"counters": {...}, "gauges": {...}}``, names sorted."""
+        return {
+            "counters": {
+                name: self.counter(name).as_dict()
+                for name in self.counter_names()
+            },
+            "gauges": {
+                name: self.gauge(name).as_dict() for name in self.gauge_names()
+            },
+        }

@@ -1,0 +1,163 @@
+"""Span model of the tracing layer.
+
+A *span* is one timed phase of work — a planner stage, one snapshot's
+simulation, a serving window's plan resolution.  Spans nest (per thread)
+and carry two distinct payloads that the rest of the layer keeps strictly
+apart:
+
+* ``attrs`` — identifying attributes (snapshot index, tile-group id,
+  ``alpha``/``Ps``/``Pv``, plan decision, ...);
+* ``counters`` — *deterministic* quantities attributed to the phase
+  (cycles, bytes moved, MACs).  Counters are pure functions of the
+  workload: the phase-breakdown report sums them per phase and the
+  attribution tests check they reconcile with the simulator's totals.
+
+Wall-clock timestamps (``start_us`` / ``duration_us``) are telemetry.
+They are read through :func:`repro.serving.stats.wall_clock` — the repo's
+single sanctioned wall-clock seam — and never mix into ``counters``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Union
+
+__all__ = ["AttrValue", "SpanRecord", "Span", "NoopSpan", "NOOP_SPAN"]
+
+#: attribute values allowed on a span (kept JSON-serializable by design)
+AttrValue = Union[str, int, float, bool, None]
+
+
+@dataclass
+class SpanRecord:
+    """One finished span, as stored by the tracer and fed to exporters."""
+
+    name: str
+    span_id: int
+    parent_id: Optional[int]
+    thread: int  # stable per-thread index assigned by the tracer
+    depth: int  # nesting depth on its thread (0 = thread root)
+    start_us: int  # microseconds since the tracer's epoch (telemetry)
+    duration_us: int  # telemetry; never a deterministic quantity
+    attrs: Dict[str, AttrValue] = field(default_factory=dict)
+    counters: Dict[str, float] = field(default_factory=dict)
+
+    def as_dict(self) -> Dict[str, object]:
+        """JSONL-exporter representation (one line per span)."""
+        return {
+            "name": self.name,
+            "span_id": self.span_id,
+            "parent_id": self.parent_id,
+            "thread": self.thread,
+            "depth": self.depth,
+            "start_us": self.start_us,
+            "duration_us": self.duration_us,
+            "attrs": dict(self.attrs),
+            "counters": dict(self.counters),
+        }
+
+
+class Span:
+    """A live span; use as a context manager (``with tracer.span(...)``)."""
+
+    __slots__ = ("_tracer", "name", "attrs", "counters", "_start_us", "_open")
+
+    #: live spans record; the no-op twin reports False so call sites can
+    #: guard expensive attribute computation behind one boolean check
+    enabled = True
+
+    def __init__(self, tracer, name: str, attrs: Dict[str, AttrValue]):
+        self._tracer = tracer
+        self.name = name
+        self.attrs = attrs
+        self.counters: Dict[str, float] = {}
+        self._start_us = 0
+        self._open = False
+
+    # ------------------------------------------------------------------
+    # Payload
+    # ------------------------------------------------------------------
+    def set_attr(self, key: str, value: AttrValue) -> "Span":
+        """Attach one identifying attribute."""
+        self.attrs[key] = value
+        return self
+
+    def add(self, counter: str, value: float) -> "Span":
+        """Accumulate a deterministic counter attributed to this phase."""
+        self.counters[counter] = self.counters.get(counter, 0.0) + float(value)
+        return self
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+    def __enter__(self) -> "Span":
+        self._start_us = self._tracer._begin(self)
+        self._open = True
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> bool:
+        if exc_type is not None:
+            self.attrs.setdefault("error", exc_type.__name__)
+        self._tracer._end(self, self._start_us)
+        self._open = False
+        return False
+
+    def __repr__(self) -> str:
+        return f"Span({self.name!r}, attrs={self.attrs!r}, counters={self.counters!r})"
+
+
+class NoopSpan:
+    """The disabled-mode span: every operation is a cheap no-op.
+
+    A single shared instance (:data:`NOOP_SPAN`) is handed out by
+    :func:`repro.obs.span` when no tracer is installed, so a disabled hot
+    path pays one module-global ``None`` check plus two trivial method
+    calls — and allocates nothing.
+    """
+
+    __slots__ = ()
+
+    enabled = False
+
+    def set_attr(self, key: str, value: AttrValue) -> "NoopSpan":
+        return self
+
+    def add(self, counter: str, value: float) -> "NoopSpan":
+        return self
+
+    def __enter__(self) -> "NoopSpan":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> bool:
+        return False
+
+    def __repr__(self) -> str:
+        return "NoopSpan()"
+
+
+#: the shared disabled-mode span
+NOOP_SPAN = NoopSpan()
+
+
+def span_paths(records: List[SpanRecord]) -> Dict[int, str]:
+    """``span_id -> "a/b/c"`` ancestry paths for a record set.
+
+    The phase-breakdown report and exporters aggregate by path so that a
+    ``compute`` span under ``simulate/snapshot`` never merges with an
+    unrelated ``compute`` elsewhere.
+    """
+    by_id = {r.span_id: r for r in records}
+    paths: Dict[int, str] = {}
+
+    def resolve(record: SpanRecord) -> str:
+        cached = paths.get(record.span_id)
+        if cached is not None:
+            return cached
+        parent = by_id.get(record.parent_id) if record.parent_id else None
+        path = record.name if parent is None else f"{resolve(parent)}/{record.name}"
+        paths[record.span_id] = path
+        return path
+
+    for record in records:
+        resolve(record)
+    return paths

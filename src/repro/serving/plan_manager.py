@@ -26,6 +26,8 @@ from ..caching import LRUCache
 from ..core.plan import DGNNSpec, ExecutionPlan
 from ..ditile import DiTileAccelerator
 from ..graphs.dynamic import DynamicGraph
+from ..obs import counter_add as obs_counter_add
+from ..obs import span as obs_span
 from .signature import DriftDetector, WindowProfile, WorkloadSignature
 
 __all__ = ["PlanDecision", "PlanEntry", "PlanManager"]
@@ -80,6 +82,19 @@ class PlanManager:
         one for the first window).  A fresh plan is computed on exactly
         this graph; a cached plan is applied to it unchanged.
         """
+        with obs_span("resolve") as sp:
+            plan, decision = self._resolve(transition, spec, profile)
+            if sp.enabled:
+                sp.set_attr("decision", decision.value)
+                obs_counter_add(f"plan_cache.{decision.value}", 1)
+            return plan, decision
+
+    def _resolve(
+        self,
+        transition: DynamicGraph,
+        spec: DGNNSpec,
+        profile: Optional[WindowProfile],
+    ) -> Tuple[ExecutionPlan, PlanDecision]:
         current = profile or WindowProfile.from_snapshot(transition[-1])
         signature = WorkloadSignature.from_profile(current, spec)
         entry = self._cache.get(signature)

@@ -40,10 +40,12 @@ from ..core.plan import DGNNSpec
 from ..ditile import DiTileAccelerator
 from ..graphs.continuous import ContinuousDynamicGraph
 from ..graphs.snapshot import GraphSnapshot
+from ..obs import gauge_set as obs_gauge_set
+from ..obs import span as obs_span
 from .executor import WindowExecutor, simulate_window, transition_graph
 from .ingest import Window, WindowedIngestor
 from .plan_manager import PlanManager
-from .stats import ServiceStats, WindowRecord, wall_clock
+from .stats import ServiceStats, WindowRecord, timed_call, wall_clock
 
 __all__ = ["ServiceConfig", "ServingReport", "StreamingService", "serve_offline"]
 
@@ -125,6 +127,17 @@ class StreamingService:
         self, stream: ContinuousDynamicGraph, spec: DGNNSpec
     ) -> ServingReport:
         """Serve ``stream`` end to end and return results plus stats."""
+        with obs_span(
+            "serve",
+            stream=stream.name,
+            workers=self.config.workers,
+            max_batch_windows=self.config.max_batch_windows,
+        ):
+            return self._serve(stream, spec)
+
+    def _serve(
+        self, stream: ContinuousDynamicGraph, spec: DGNNSpec
+    ) -> ServingReport:
         cfg = self.config
         ingestor = WindowedIngestor.for_stream(
             stream,
@@ -138,7 +151,12 @@ class StreamingService:
         def _ingest() -> None:
             try:
                 for window in ingestor.windows(stream.events):
-                    window_queue.put(window)
+                    # The span covers the queue hand-off, so its duration
+                    # shows backpressure stalls (a full queue) directly.
+                    with obs_span("ingest", window=window.index) as sp:
+                        if sp.enabled:
+                            sp.add("events", window.num_events)
+                        window_queue.put(window)
                 window_queue.put(_SENTINEL)
             except BaseException as exc:  # propagate into the dispatch loop
                 window_queue.put(exc)
@@ -155,7 +173,9 @@ class StreamingService:
         with WindowExecutor(cfg.workers) as pool:
             done = False
             while not done:
-                stats.record_queue_depth(window_queue.qsize())
+                depth = window_queue.qsize()
+                stats.record_queue_depth(depth)
+                obs_gauge_set("serve.queue_depth", depth)
                 batch: List[Window] = []
                 item = window_queue.get()
                 while True:
@@ -179,24 +199,32 @@ class StreamingService:
                 # on worker timing.
                 futures = []
                 for window in batch:
-                    transition = transition_graph(
-                        prev, window.snapshot, name=f"window-{window.index}"
-                    )
-                    plan, decision = manager.resolve(transition, spec)
+                    with obs_span("window", index=window.index) as sp:
+                        transition = transition_graph(
+                            prev, window.snapshot, name=f"window-{window.index}"
+                        )
+                        (plan, decision), resolve_s = timed_call(
+                            lambda t=transition: manager.resolve(t, spec)
+                        )
+                        stats.plan_resolve_s += resolve_s
+                        if sp.enabled:
+                            sp.set_attr("decision", decision.value)
+                            sp.add("events", window.num_events)
                     futures.append(
                         (
                             window,
                             decision,
                             pool.submit(
-                                lambda t=transition, p=plan: simulate_window(
-                                    self.model, spec, t, p
+                                lambda t=transition, p=plan, i=window.index: (
+                                    self._execute(spec, t, p, i)
                                 )
                             ),
                         )
                     )
                     prev = window.snapshot
                 for window, decision, future in futures:
-                    result = future.result()
+                    result, execute_s = future.result()
+                    stats.execute_s += execute_s
                     results.append(result)
                     stats.records.append(
                         WindowRecord(
@@ -213,7 +241,23 @@ class StreamingService:
         stats.events = ingestor.total_events
         stats.late_events = ingestor.late_events
         stats.from_plan_manager(manager)
+        obs_gauge_set("serve.plan_cache_hit_rate", stats.plan_hit_rate)
         return ServingReport(results=results, stats=stats)
+
+    def _execute(self, spec, transition, plan, index):
+        """Simulate one window in a worker thread, timing the execution.
+
+        Returns ``(result, seconds)``; the dispatch thread accumulates the
+        seconds into ``stats.execute_s`` so no stats object is mutated
+        concurrently.
+        """
+        with obs_span("execute", window=index) as sp:
+            result, seconds = timed_call(
+                lambda: simulate_window(self.model, spec, transition, plan)
+            )
+            if sp.enabled:
+                sp.add("cycles", result.execution_cycles)
+            return result, seconds
 
 
 def serve_offline(

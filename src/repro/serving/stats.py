@@ -7,6 +7,7 @@ service produces — results are reproducible, service timings are not.
 
 from __future__ import annotations
 
+import math
 import time
 from dataclasses import dataclass, field
 from typing import Dict, List
@@ -38,19 +39,32 @@ def timed_call(fn):
 
 
 def _percentile(values: List[float], q: float) -> float:
-    """Nearest-rank percentile (0 for an empty sample)."""
+    """Nearest-rank percentile: the smallest sample covering a ``q`` fraction.
+
+    The convention, uniformly (tested by ``tests/test_stats.py``):
+
+    * empty sample -> ``0.0`` (telemetry for a run that served nothing);
+    * single sample -> that sample, for every ``q``;
+    * otherwise ``sorted(values)[ceil(q * n) - 1]`` (with the rank clamped
+      to at least 1, so ``q = 0`` means the minimum), i.e. always one of
+      the measured samples, never an interpolation — a percentile you can
+      find in the raw records is easier to reason about;
+    * ``q`` outside ``[0, 1]`` is clamped.
+    """
     if not values:
         return 0.0
     ordered = sorted(values)
-    rank = min(len(ordered) - 1, max(0, int(round(q * (len(ordered) - 1)))))
-    return ordered[rank]
+    q = min(1.0, max(0.0, q))
+    rank = math.ceil(q * len(ordered))
+    return ordered[max(rank, 1) - 1]
 
 
 def median(values: List[float]) -> float:
     """Nearest-rank median (0 for an empty sample).
 
     Nearest-rank rather than interpolated: a median that is one of the
-    measured samples is easier to reason about in benchmark records.
+    measured samples is easier to reason about in benchmark records.  For
+    an even sample size this is the lower middle sample.
     """
     return _percentile(values, 0.50)
 
@@ -80,6 +94,12 @@ class ServiceStats:
     plan_evictions: int = 0
     plan_cache_size: int = 0
     batches: int = 0
+    #: dispatch-thread seconds spent resolving plans (cache lookups + any
+    #: scheduler invocations) — high with low hit rate = a replan storm
+    plan_resolve_s: float = 0.0
+    #: worker seconds spent simulating windows — high with a healthy hit
+    #: rate = execution itself is the bottleneck
+    execute_s: float = 0.0
     max_queue_depth: int = 0
     queue_depth_samples: List[int] = field(default_factory=list, repr=False)
     records: List[WindowRecord] = field(default_factory=list, repr=False)
@@ -141,6 +161,11 @@ class ServiceStats:
         return sum(self.queue_depth_samples) / len(self.queue_depth_samples)
 
     @property
+    def p95_queue_depth(self) -> float:
+        """95th-percentile ingest-queue depth (sustained backlog signal)."""
+        return _percentile([float(d) for d in self.queue_depth_samples], 0.95)
+
+    @property
     def mean_batch_windows(self) -> float:
         """Average windows grouped per executor batch."""
         if self.batches == 0:
@@ -170,8 +195,11 @@ class ServiceStats:
             "plan_hit_rate": self.plan_hit_rate,
             "batches": self.batches,
             "mean_batch_windows": self.mean_batch_windows,
+            "plan_resolve_s": self.plan_resolve_s,
+            "execute_s": self.execute_s,
             "max_queue_depth": self.max_queue_depth,
             "mean_queue_depth": self.mean_queue_depth,
+            "p95_queue_depth": self.p95_queue_depth,
         }
 
     def summary(self) -> str:
@@ -191,8 +219,10 @@ class ServiceStats:
             f"{self.plan_evictions} evictions, {self.plan_cache_size} resident)",
             f"batching           {self.batches} batches, "
             f"{self.mean_batch_windows:.1f} windows/batch",
+            f"phase time         plan={1e3 * self.plan_resolve_s:.2f} ms  "
+            f"execute={1e3 * self.execute_s:.2f} ms",
             f"ingest queue       depth max={self.max_queue_depth} "
-            f"mean={self.mean_queue_depth:.1f}",
+            f"mean={self.mean_queue_depth:.1f} p95={self.p95_queue_depth:.1f}",
         ]
         return "\n".join(lines)
 

@@ -106,3 +106,31 @@ class TestCompare:
         assert main(["bench", "run", "--suite", "smoke", "--json", str(fresh)]) == 0
         code = main(["bench", "compare", str(SMOKE_BASELINE), str(fresh)])
         assert code == EXIT_CLEAN
+
+
+class TestRunTrace:
+    def test_trace_flag_writes_per_case_artifacts(self, tmp_path, capsys):
+        trace_dir = tmp_path / "traces"
+        assert main(["bench", "run", *FAST, "--trace", str(trace_dir)]) == 0
+        out = capsys.readouterr().out
+        assert "trace:" in out
+        from repro.obs import validate_trace_file
+
+        trace = trace_dir / "planner_tiling_pm.trace.json"
+        assert validate_trace_file(trace) == []
+        assert (trace_dir / "planner_tiling_pm.phases.json").exists()
+        assert (trace_dir / "planner_tiling_pm.spans.jsonl").exists()
+
+    def test_traced_record_matches_untraced_record(self, tmp_path):
+        plain = tmp_path / "plain.json"
+        traced = tmp_path / "traced.json"
+        assert main(["bench", "run", *FAST, "--json", str(plain)]) == 0
+        assert main(
+            ["bench", "run", *FAST, "--json", str(traced),
+             "--trace", str(tmp_path / "tr")]
+        ) == 0
+        import json as _json
+
+        a = _json.loads(plain.read_text())["cases"][0]["counters"]
+        b = _json.loads(traced.read_text())["cases"][0]["counters"]
+        assert a == b

@@ -134,3 +134,63 @@ class TestLint:
         for rule_id in ("DET001", "DET002", "DET003",
                         "UNIT001", "UNIT002", "UNIT003", "THR001"):
             assert rule_id in out
+
+
+class TestTrace:
+    WORKLOAD = ["TW", "--scale", "0.02", "--snapshots", "3"]
+
+    def test_trace_plan_prints_phase_breakdown(self, capsys):
+        assert main(["trace", "plan", *self.WORKLOAD]) == 0
+        out = capsys.readouterr().out
+        assert "%parent" in out
+        assert "tiling" in out and "parallelism" in out
+
+    def test_trace_plan_exports_artifacts(self, tmp_path, capsys):
+        out_dir = tmp_path / "traces"
+        assert main(
+            ["trace", "plan", *self.WORKLOAD, "--out", str(out_dir)]
+        ) == 0
+        from repro.obs import validate_trace_file
+
+        assert validate_trace_file(out_dir / "trace.json") == []
+        assert (out_dir / "spans.jsonl").exists()
+        assert (out_dir / "phases.json").exists()
+
+    def test_trace_compare_covers_simulator_phases(self, capsys):
+        assert main(["trace", "compare", *self.WORKLOAD]) == 0
+        out = capsys.readouterr().out
+        for phase in ("simulate", "snapshot", "noc", "dram"):
+            assert phase in out
+
+    def test_trace_serve_synthetic(self, capsys):
+        assert main(
+            ["trace", "serve", "--events", "200", "--vertices", "48",
+             "--workers", "0"]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "windows served" in out
+        assert "serve" in out and "resolve" in out
+
+    def test_trace_flag_on_plan(self, tmp_path, capsys):
+        out_dir = tmp_path / "t"
+        assert main(
+            ["plan", *self.WORKLOAD, "--trace", str(out_dir)]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "alpha=" in out  # the command's own output still prints
+        assert "%parent" in out
+        assert (out_dir / "trace.json").exists()
+
+    def test_trace_flag_on_serve(self, tmp_path, capsys):
+        out_dir = tmp_path / "t"
+        assert main(
+            ["serve", "--events", "200", "--vertices", "48", "--workers", "0",
+             "--trace", str(out_dir)]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "windows served" in out
+        assert (out_dir / "trace.json").exists()
+
+    def test_trace_requires_mode(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["trace"])

@@ -1,0 +1,286 @@
+"""Unit tests for the repro.obs tracing/metrics/export/report stack."""
+
+import json
+import threading
+
+import pytest
+
+from repro.obs import (
+    NOOP_SPAN,
+    MetricsRegistry,
+    Tracer,
+    active_tracer,
+    build_phase_report,
+    chrome_trace_events,
+    counter_add,
+    gauge_set,
+    install,
+    span,
+    tracing,
+    tracing_enabled,
+    uninstall,
+    validate_trace_events,
+    validate_trace_file,
+    write_chrome_trace,
+    write_span_jsonl,
+)
+from repro.obs.session import TraceSession, export_all
+from repro.obs.span import span_paths
+
+
+class TestGlobalSwitch:
+    def test_disabled_by_default(self):
+        assert active_tracer() is None
+        assert not tracing_enabled()
+
+    def test_span_returns_shared_noop_when_off(self):
+        assert span("anything", attr=1) is NOOP_SPAN
+        assert not NOOP_SPAN.enabled
+
+    def test_noop_span_absorbs_everything(self):
+        with span("phase") as sp:
+            sp.set_attr("k", "v")
+            sp.add("cycles", 10.0)
+        assert sp is NOOP_SPAN
+
+    def test_counter_and_gauge_are_noops_when_off(self):
+        counter_add("c", 1.0)  # must not raise
+        gauge_set("g", 2.0)
+
+    def test_install_uninstall_roundtrip(self):
+        tracer = install(Tracer("t"))
+        try:
+            assert tracing_enabled()
+            assert active_tracer() is tracer
+        finally:
+            assert uninstall() is tracer
+        assert not tracing_enabled()
+
+    def test_double_install_rejected(self):
+        install(Tracer("first"))
+        try:
+            with pytest.raises(RuntimeError, match="already installed"):
+                install(Tracer("second"))
+        finally:
+            uninstall()
+
+    def test_tracing_context_manager_uninstalls_on_error(self):
+        with pytest.raises(ValueError):
+            with tracing():
+                raise ValueError("boom")
+        assert not tracing_enabled()
+
+
+class TestSpans:
+    def test_nesting_and_parenting(self):
+        with tracing() as tracer:
+            with span("outer"):
+                with span("inner"):
+                    pass
+                with span("inner"):
+                    pass
+        records = tracer.records
+        assert [r.name for r in records] == ["outer", "inner", "inner"]
+        outer = tracer.find("outer")[0]
+        for inner in tracer.find("inner"):
+            assert inner.parent_id == outer.span_id
+            assert inner.depth == 1
+        assert outer.parent_id is None and outer.depth == 0
+
+    def test_attrs_and_counters_accumulate(self):
+        with tracing() as tracer:
+            with span("phase", alpha=2, dataset="pubmed") as sp:
+                sp.add("cycles", 5.0)
+                sp.add("cycles", 7.0)
+                sp.set_attr("Ps", 4)
+        (rec,) = tracer.records
+        assert rec.attrs == {"alpha": 2, "dataset": "pubmed", "Ps": 4}
+        assert rec.counters == {"cycles": 12.0}
+
+    def test_exception_marks_error_and_closes(self):
+        with tracing() as tracer:
+            with pytest.raises(RuntimeError):
+                with span("failing"):
+                    raise RuntimeError("x")
+        (rec,) = tracer.records
+        assert rec.attrs["error"] == "RuntimeError"
+
+    def test_span_paths_ancestry(self):
+        with tracing() as tracer:
+            with span("a"):
+                with span("b"):
+                    with span("c"):
+                        pass
+        paths = span_paths(tracer.records)
+        assert sorted(paths.values()) == ["a", "a/b", "a/b/c"]
+
+    def test_threads_get_independent_stacks(self):
+        with tracing() as tracer:
+            barrier = threading.Barrier(2)
+
+            def work(name):
+                barrier.wait()
+                with span(name):
+                    pass
+
+            threads = [
+                threading.Thread(target=work, args=(f"t{i}",), name=f"w{i}")
+                for i in range(2)
+            ]
+            for t in threads:
+                t.start()
+            for t in threads:
+                t.join()
+        records = tracer.records
+        assert len(records) == 2
+        # both spans are thread roots, on distinct stable thread indices
+        assert all(r.parent_id is None for r in records)
+        assert len({r.thread for r in records}) == 2
+
+    def test_durations_are_nonnegative_and_monotonic(self):
+        with tracing() as tracer:
+            with span("outer"):
+                with span("inner"):
+                    pass
+        outer = tracer.find("outer")[0]
+        inner = tracer.find("inner")[0]
+        assert inner.duration_us >= 0
+        assert outer.duration_us >= inner.duration_us
+        assert outer.start_us <= inner.start_us
+
+
+class TestMetrics:
+    def test_counter_totals_and_events(self):
+        reg = MetricsRegistry()
+        reg.counter("hits").add(1)
+        reg.counter("hits").add(2)
+        c = reg.as_dict()["counters"]["hits"]
+        assert c == {"total": 3.0, "events": 2}
+
+    def test_gauge_tracks_extremes_and_mean(self):
+        reg = MetricsRegistry()
+        for v in (3.0, 1.0, 2.0):
+            reg.gauge("depth").set(v)
+        g = reg.as_dict()["gauges"]["depth"]
+        assert g["last"] == 2.0 and g["min"] == 1.0 and g["max"] == 3.0
+        assert g["mean"] == 2.0
+
+    def test_registry_helpers_route_to_active_tracer(self):
+        with tracing() as tracer:
+            counter_add("c", 2.0)
+            gauge_set("g", 5.0)
+        snap = tracer.metrics.as_dict()
+        assert snap["counters"]["c"]["total"] == 2.0
+        assert snap["gauges"]["g"]["last"] == 5.0
+
+
+class TestExport:
+    def _traced(self):
+        with tracing() as tracer:
+            with span("root", dataset="pubmed") as sp:
+                sp.add("cycles", 3.0)
+                with span("leaf"):
+                    pass
+        return tracer
+
+    def test_chrome_trace_schema(self):
+        payload = chrome_trace_events(self._traced())
+        assert validate_trace_events(payload) == []
+        kinds = {e["ph"] for e in payload["traceEvents"]}
+        assert kinds == {"M", "X"}
+        complete = [e for e in payload["traceEvents"] if e["ph"] == "X"]
+        assert {e["name"] for e in complete} == {"root", "leaf"}
+        root = next(e for e in complete if e["name"] == "root")
+        assert root["args"]["dataset"] == "pubmed"
+        assert root["args"]["counter.cycles"] == 3.0
+
+    def test_validator_rejects_malformed_payloads(self):
+        assert validate_trace_events([]) != []
+        assert validate_trace_events({"traceEvents": "nope"}) != []
+        bad_event = {"traceEvents": [{"ph": "Q", "name": 3}]}
+        errors = validate_trace_events(bad_event)
+        assert errors
+
+    def test_file_roundtrip_and_jsonl(self, tmp_path):
+        tracer = self._traced()
+        trace_path = write_chrome_trace(tracer, tmp_path / "trace.json")
+        assert validate_trace_file(trace_path) == []
+        jsonl_path = write_span_jsonl(tracer, tmp_path / "spans.jsonl")
+        lines = jsonl_path.read_text().strip().splitlines()
+        assert len(lines) == 2
+        names = {json.loads(line)["name"] for line in lines}
+        assert names == {"root", "leaf"}
+
+
+class TestPhaseReport:
+    def test_aggregation_by_path_with_counters(self):
+        with tracing() as tracer:
+            for i in range(3):
+                with span("simulate"):
+                    with span("snapshot", index=i) as sp:
+                        sp.add("cycles", 10.0)
+        report = build_phase_report(tracer)
+        sim = report.phase("simulate")
+        snap = report.phase("simulate/snapshot")
+        assert sim.count == 3 and snap.count == 3
+        assert snap.counters == {"cycles": 30.0}
+        assert report.counter_total("simulate/snapshot", "cycles") == 30.0
+        assert report.counter_total("simulate/absent", "cycles") == 0.0
+
+    def test_render_text_contains_percent_of_parent(self):
+        with tracing() as tracer:
+            with span("a"):
+                with span("b"):
+                    pass
+        text = build_phase_report(tracer).render_text()
+        assert "%parent" in text
+        assert "a" in text and "b" in text
+
+    def test_render_json_parses(self):
+        with tracing() as tracer:
+            with span("a") as sp:
+                sp.add("x", 1.0)
+            gauge_set("g", 4.0)
+        payload = json.loads(build_phase_report(tracer).render_json())
+        assert payload["phases"]["children"][0]["name"] == "a"
+        assert payload["metrics"]["gauges"]["g"]["last"] == 4.0
+
+
+class TestTraceSession:
+    def test_exports_all_artifacts(self, tmp_path):
+        with TraceSession(tmp_path) as session:
+            with span("work"):
+                pass
+        assert session.report is not None
+        assert sorted(session.written) == ["phases", "spans", "trace"]
+        for path in session.written.values():
+            assert path.exists()
+        assert validate_trace_file(session.written["trace"]) == []
+
+    def test_stem_prefixes_filenames(self, tmp_path):
+        tracer = Tracer()
+        install(tracer)
+        try:
+            with span("w"):
+                pass
+        finally:
+            uninstall()
+        written = export_all(tracer, tmp_path, stem="case_x")
+        assert written["trace"].name == "case_x.trace.json"
+        assert written["spans"].name == "case_x.spans.jsonl"
+        assert written["phases"].name == "case_x.phases.json"
+
+    def test_no_export_on_error(self, tmp_path):
+        out = tmp_path / "traces"
+        with pytest.raises(RuntimeError):
+            with TraceSession(out):
+                raise RuntimeError("boom")
+        assert not tracing_enabled()
+        assert not out.exists()
+
+    def test_session_without_out_dir_builds_report_only(self):
+        with TraceSession() as session:
+            with span("w"):
+                pass
+        assert session.report is not None
+        assert session.written == {}
