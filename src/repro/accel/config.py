@@ -17,8 +17,17 @@ enforces.
 from __future__ import annotations
 
 from dataclasses import dataclass, replace
+from typing import List, Tuple
 
 __all__ = ["PEConfig", "TileConfig", "NoCConfig", "DRAMConfig", "HardwareConfig"]
+
+#: An undirected physical link between two adjacent (or ring-wrapped)
+#: routers, stored as an ordered ``(low_tile, high_tile)`` pair.
+Link = Tuple[int, int]
+
+
+def _link(a: int, b: int) -> Link:
+    return (a, b) if a <= b else (b, a)
 
 
 @dataclass(frozen=True)
@@ -142,6 +151,65 @@ class HardwareConfig:
             + self.tile.num_pes * self.tile.pe.local_buffer_bytes
         )
         return self.distributed_buffer_bytes + self.total_tiles * per_tile
+
+    # ------------------------------------------------------------------
+    # Physical link inventory (shared by routing, NoC and fault models)
+    # ------------------------------------------------------------------
+    def tile_at(self, row: int, col: int) -> int:
+        """Row-major tile index of grid position ``(row, col)``."""
+        return row * self.grid_cols + col
+
+    def row_ring_links(self, row: int) -> List[Link]:
+        """Undirected links of one horizontal ring (wrap link included)."""
+        cols = self.grid_cols
+        if cols < 2:
+            return []
+        links = [
+            _link(self.tile_at(row, c), self.tile_at(row, c + 1))
+            for c in range(cols - 1)
+        ]
+        if cols > 2:
+            links.append(_link(self.tile_at(row, 0), self.tile_at(row, cols - 1)))
+        return links
+
+    def column_ring_links(self, col: int) -> List[Link]:
+        """Undirected links of one vertical ring (wrap link included)."""
+        rows = self.grid_rows
+        if rows < 2:
+            return []
+        links = [
+            _link(self.tile_at(r, col), self.tile_at(r + 1, col))
+            for r in range(rows - 1)
+        ]
+        if rows > 2:
+            links.append(_link(self.tile_at(0, col), self.tile_at(rows - 1, col)))
+        return links
+
+    def mesh_links(self) -> List[Link]:
+        """Undirected links of the conventional mesh (no wrap links)."""
+        links: List[Link] = []
+        for r in range(self.grid_rows):
+            for c in range(self.grid_cols):
+                if c + 1 < self.grid_cols:
+                    links.append(_link(self.tile_at(r, c), self.tile_at(r, c + 1)))
+                if r + 1 < self.grid_rows:
+                    links.append(_link(self.tile_at(r, c), self.tile_at(r + 1, c)))
+        return links
+
+    def all_links(self) -> List[Link]:
+        """Every physical link of any modeled topology, sorted and unique.
+
+        The union of the mesh adjacency and the ring wrap links — the
+        element universe a :class:`~repro.resilience.faults.FaultModel`
+        samples link failures from, so the same seeded fault set applies
+        to every topology under comparison.
+        """
+        links = set(self.mesh_links())
+        for row in range(self.grid_rows):
+            links.update(self.row_ring_links(row))
+        for col in range(self.grid_cols):
+            links.update(self.column_ring_links(col))
+        return sorted(links)
 
     # ------------------------------------------------------------------
     # Named configurations

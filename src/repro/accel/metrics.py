@@ -17,7 +17,13 @@ from .dram import DRAMTraffic
 from .energy import EnergyBreakdown
 from .noc import NoCTraffic
 
-__all__ = ["SnapshotCosts", "CostSummary", "CycleBreakdown", "SimulationResult"]
+__all__ = [
+    "SnapshotCosts",
+    "CostSummary",
+    "CycleBreakdown",
+    "DegradedModeReport",
+    "SimulationResult",
+]
 
 
 @dataclass
@@ -100,6 +106,57 @@ class CycleBreakdown:
 
 
 @dataclass
+class DegradedModeReport:
+    """How a fault model degraded one simulation (``None`` when fault-free).
+
+    ``reroute_penalty_cycles`` attributes the on-chip slowdown to the
+    paper's three traffic classes by diffing the degraded NoC model's
+    per-class transfer cycles against a fault-free model's on the same
+    traffic; ``compute_stretch`` is the factor by which per-tile work grew
+    when failed tiles' shares were remapped onto the survivors.
+    """
+
+    failed_tiles: int = 0
+    failed_links: int = 0
+    failed_relinks: int = 0
+    live_tiles: int = 0
+    #: total tiles / live tiles — how much per-survivor compute grew
+    compute_stretch: float = 1.0
+    #: extra on-chip cycles vs the fault-free NoC, per traffic class
+    reroute_penalty_cycles: Dict[str, float] = field(default_factory=dict)
+    #: cycles the same workload takes on the fault-free array
+    baseline_cycles: float = 0.0
+    #: cycles under the fault model (== the result's ``execution_cycles``)
+    degraded_cycles: float = 0.0
+
+    @property
+    def total_reroute_penalty(self) -> float:
+        """Extra on-chip cycles across all traffic classes."""
+        return sum(self.reroute_penalty_cycles.values())
+
+    @property
+    def slowdown(self) -> float:
+        """``degraded / baseline`` cycles (1.0 when nothing degraded)."""
+        if self.baseline_cycles == 0:
+            return 1.0
+        return self.degraded_cycles / self.baseline_cycles
+
+    def as_dict(self) -> Dict[str, object]:
+        """Flat JSON-ready mapping for reports."""
+        return {
+            "failed_tiles": self.failed_tiles,
+            "failed_links": self.failed_links,
+            "failed_relinks": self.failed_relinks,
+            "live_tiles": self.live_tiles,
+            "compute_stretch": self.compute_stretch,
+            "reroute_penalty_cycles": dict(self.reroute_penalty_cycles),
+            "baseline_cycles": self.baseline_cycles,
+            "degraded_cycles": self.degraded_cycles,
+            "slowdown": self.slowdown,
+        }
+
+
+@dataclass
 class SimulationResult:
     """Outcome of simulating one algorithm/accelerator on one workload."""
 
@@ -114,6 +171,8 @@ class SimulationResult:
     pe_utilization: float
     frequency_hz: float
     per_snapshot_cycles: Optional[List[float]] = None
+    #: present only when the simulation ran under a fault model
+    degraded: Optional[DegradedModeReport] = None
 
     @property
     def execution_cycles(self) -> float:

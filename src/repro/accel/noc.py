@@ -16,9 +16,12 @@ traffic class plus the average routing latency.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict
+from typing import Dict, Optional, TYPE_CHECKING
 
 from .config import HardwareConfig, NoCConfig
+
+if TYPE_CHECKING:  # pragma: no cover - type-only; avoids an import cycle
+    from ..resilience.faults import FaultModel
 
 __all__ = ["TrafficClass", "NoCTraffic", "NoCModel", "ring_hops", "mesh_hops"]
 
@@ -93,17 +96,162 @@ class NoCModel:
     * ``crossbar`` — single hop for everything, but one shared exchange
       whose aggregate throughput equals the port bandwidth; arbitration
       adds latency with port count.
+
+    With a :class:`~repro.resilience.faults.FaultModel` the structural
+    parameters degrade: cut rings lose a direction (fewer parallel paths)
+    and detour the long way (longer average hops), a downed Re-Link
+    bypass falls back to the plain vertical ring, mesh hop/path estimates
+    scale with the failed-link fraction, and a crossbar loses the ports
+    of dead tiles.  Every degradation is monotone — adding a fault never
+    shortens hops or adds paths — which underwrites the fault-sweep
+    monotonicity guarantee.  ``faults=None`` (or a clean model) leaves
+    the fault-free arithmetic untouched, bit for bit.
     """
 
-    def __init__(self, config: HardwareConfig):
+    def __init__(
+        self,
+        config: HardwareConfig,
+        faults: Optional["FaultModel"] = None,
+    ):
         self.hw = config
         self.noc: NoCConfig = config.noc
+        # Drop a clean model so the fault-free path never consults it.
+        self.faults = (
+            faults if faults is not None and not faults.is_clean else None
+        )
+        self._degraded: Optional[Dict[str, float]] = (
+            self._degradation() if self.faults is not None else None
+        )
+
+    # ------------------------------------------------------------------
+    # Fault degradation
+    # ------------------------------------------------------------------
+    def _degradation(self) -> Dict[str, float]:
+        """Structural parameters of the degraded array (faults present).
+
+        Only reached when a non-clean fault model was supplied; every
+        value is clamped so it is never *better* than its fault-free
+        counterpart (monotone degradation).
+        """
+        assert self.faults is not None
+        faults = self.faults
+        rows, cols = self.hw.grid_rows, self.hw.grid_cols
+        topology = self.noc.topology
+        if topology == "ditile":
+            # Horizontal rings: each cut segment makes its neighbour pair
+            # detour the long way around (``cols - 1`` hops instead of 1)
+            # and removes that segment's share of the row's capacity; the
+            # remaining neighbour transfers are untouched — this per-link
+            # (not per-ring) accounting is what keeps degradation
+            # proportional to the damage.
+            row_hops_sum = 0.0
+            regular_paths = 0.0
+            for r in range(rows):
+                links = self.hw.row_ring_links(r)
+                cuts = min(
+                    sum(1 for a, b in links if faults.link_failed(a, b)),
+                    cols,
+                )
+                if cols > 1:
+                    row_hops_sum += (
+                        (cols - cuts) * 1.0 + cuts * (cols - 1.0)
+                    ) / cols
+                else:
+                    row_hops_sum += 1.0
+                surviving = (len(links) - cuts) / len(links) if links else 1.0
+                regular_paths += 2.0 * surviving
+            regular_hops = row_hops_sum / rows
+            regular_paths = max(regular_paths, 1.0)
+            # Vertical rings + Re-Link: a live bypass keeps its column's
+            # irregular route near-constant regardless of ring damage;
+            # with the bypass down (or disabled) traffic rides the plain
+            # ring, whose cuts force chain detours.
+            plain = max(rows / 4.0, 1.0)
+            irregular_hops_sum = 0.0
+            irregular_paths = 0.0
+            for c in range(cols):
+                links = self.hw.column_ring_links(c)
+                cuts = sum(1 for a, b in links if faults.link_failed(a, b))
+                bypass_up = self.noc.relink_enabled and not faults.relink_failed(c)
+                if bypass_up:
+                    irregular_hops_sum += 2.0
+                    irregular_paths += 2.0
+                    continue
+                if self.noc.relink_enabled:
+                    # Bypass down: fall back to the plain ring, but never
+                    # model the fallback as *better* than the bypass it
+                    # replaces (small arrays have rows/4 < 2, which would
+                    # otherwise invert the sweep).
+                    hops = max(plain, 2.0)
+                else:
+                    hops = plain
+                if cuts >= 1:
+                    hops = max(
+                        hops, min(rows / 2.0 + (cuts - 1), float(max(rows - 1, 1)))
+                    )
+                irregular_hops_sum += hops
+                surviving = (len(links) - min(cuts, len(links))) / len(links) if links else 1.0
+                irregular_paths += 2.0 * surviving
+            irregular_hops = irregular_hops_sum / cols
+            irregular_paths = max(irregular_paths, 1.0)
+            return {
+                "regular_hops": regular_hops,
+                "irregular_hops": irregular_hops,
+                "regular_paths": regular_paths,
+                "irregular_paths": irregular_paths,
+            }
+        if topology == "mesh":
+            mesh_links = self.hw.mesh_links()
+            failed = sum(
+                1 for a, b in mesh_links if faults.link_failed(a, b)
+            )
+            frac = failed / len(mesh_links) if mesh_links else 0.0
+            hops = max((rows + cols) / 3.0, 1.0) * (1.0 + frac)
+            paths = max(float(2 * min(rows, cols)) * (1.0 - frac), 1.0)
+            return {
+                "regular_hops": hops,
+                "irregular_hops": hops,
+                "regular_paths": paths,
+                "irregular_paths": paths,
+            }
+        if topology == "ring":
+            n = rows * cols
+            ring_links = (
+                [(i, i + 1) for i in range(n - 1)] + ([(0, n - 1)] if n > 2 else [])
+            )
+            cuts = sum(1 for a, b in ring_links if faults.link_failed(a, b))
+            if cuts == 0:
+                hops = max(n / 4.0, 1.0)
+                paths = 2.0
+            else:
+                # First cut turns the ring into a chain; each further cut
+                # forces longer blocked-direction charges, capped at the
+                # network diameter.
+                hops = min(max(n / 2.0, 1.0) + (cuts - 1), float(max(n - 1, 1)))
+                paths = 1.0
+            return {
+                "regular_hops": hops,
+                "irregular_hops": hops,
+                "regular_paths": paths,
+                "irregular_paths": paths,
+            }
+        if topology == "crossbar":
+            paths = float(faults.live_tiles(self.hw))
+            return {
+                "regular_hops": 1.0,
+                "irregular_hops": 1.0,
+                "regular_paths": paths,
+                "irregular_paths": paths,
+            }
+        raise ValueError(f"unknown topology {self.noc.topology!r}")
 
     # ------------------------------------------------------------------
     # Structural parameters per traffic class
     # ------------------------------------------------------------------
     def avg_hops(self, regular: bool) -> float:
         """Average route length for a traffic class on this topology."""
+        if self._degraded is not None:
+            return self._degraded["regular_hops" if regular else "irregular_hops"]
         rows, cols = self.hw.grid_rows, self.hw.grid_cols
         topology = self.noc.topology
         if topology == "ditile":
@@ -123,6 +271,10 @@ class NoCModel:
 
     def parallel_paths(self, regular: bool) -> float:
         """Independent links a traffic class can spread across."""
+        if self._degraded is not None:
+            return self._degraded[
+                "regular_paths" if regular else "irregular_paths"
+            ]
         rows, cols = self.hw.grid_rows, self.hw.grid_cols
         topology = self.noc.topology
         if topology == "ditile":
@@ -150,12 +302,12 @@ class NoCModel:
     # ------------------------------------------------------------------
     # Aggregate estimates
     # ------------------------------------------------------------------
-    def transfer_cycles(self, traffic: NoCTraffic) -> float:
-        """Cycles to drain ``traffic``.
+    def per_class_cycles(self, traffic: NoCTraffic) -> Dict[str, float]:
+        """Transfer cycles of each traffic class in isolation.
 
-        Regular and irregular classes occupy disjoint link sets on the
-        DiTile topology (they proceed concurrently); on shared topologies
-        all classes serialize over the same links.
+        The per-class breakdown behind :meth:`transfer_cycles`; the
+        simulator diffs it against a fault-free model's to attribute
+        reroute penalties to traffic classes.
         """
         link_bw = self.noc.link_bytes_per_cycle
         per_class = {}
@@ -169,6 +321,16 @@ class NoCModel:
             per_class[cls.name] = serialization + self.router_latency() * self.avg_hops(
                 cls.regular
             )
+        return per_class
+
+    def transfer_cycles(self, traffic: NoCTraffic) -> float:
+        """Cycles to drain ``traffic``.
+
+        Regular and irregular classes occupy disjoint link sets on the
+        DiTile topology (they proceed concurrently); on shared topologies
+        all classes serialize over the same links.
+        """
+        per_class = self.per_class_cycles(traffic)
         if self.noc.topology == "ditile":
             regular = per_class["temporal"] + per_class["reuse"]
             irregular = per_class["spatial"]

@@ -10,18 +10,31 @@ worst-case data transfers proportional to the network diameter" (§6.1.1).
 Links are identified by ``(src_tile, dst_tile)`` pairs of physically
 adjacent (or Re-Link-bypassed) routers.  Tiles are indexed row-major on
 the ``grid_rows x grid_cols`` array.
+
+Routing is fault-aware when a
+:class:`~repro.resilience.faults.FaultModel` is supplied: ring routes
+detour around dead links via the longer ring direction, a downed Re-Link
+bypass falls back to the plain vertical ring, and when a ring is cut on
+both sides the route escapes onto the mesh adjacency (the non-wrap subset
+of the ring links, which physically exists on the DiTile array).  Traffic
+whose endpoint tile has failed is remapped to the nearest surviving tile
+(:meth:`FaultModel.tile_remap`) before routing.  With ``faults=None`` the
+router behaves bit-identically to the fault-free model.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Tuple
+from typing import Dict, List, Optional, TYPE_CHECKING, Tuple
 
 import numpy as np
 
 from ..core.plan import ExecutionPlan
 from ..graphs.partition import VertexPartition
 from .config import HardwareConfig
+
+if TYPE_CHECKING:  # pragma: no cover - type-only; avoids an import cycle
+    from ..resilience.faults import FaultModel
 
 __all__ = ["LinkLoadReport", "TrafficMatrixRouter", "spatial_traffic_matrix"]
 
@@ -35,6 +48,8 @@ class LinkLoadReport:
     link_loads: Dict[Link, float]
     total_bytes: float
     total_byte_hops: float
+    #: bytes whose route differs from the fault-free route (0 without faults)
+    rerouted_bytes: float = 0.0
 
     @property
     def max_link_load(self) -> float:
@@ -61,36 +76,80 @@ class LinkLoadReport:
             loads,
             self.total_bytes + other.total_bytes,
             self.total_byte_hops + other.total_byte_hops,
+            self.rerouted_bytes + other.rerouted_bytes,
         )
 
 
 class TrafficMatrixRouter:
     """Routes tile-to-tile traffic over one topology's physical links."""
 
-    def __init__(self, hardware: HardwareConfig):
+    def __init__(
+        self,
+        hardware: HardwareConfig,
+        faults: Optional["FaultModel"] = None,
+    ):
         self.hardware = hardware
         self.rows = hardware.grid_rows
         self.cols = hardware.grid_cols
+        # A clean fault model is dropped so the fault-free path never pays
+        # (or observes) any fault machinery.
+        self.faults = faults if faults is not None and not faults.is_clean else None
 
     def _tile(self, row: int, col: int) -> int:
         return row * self.cols + col
 
     # ------------------------------------------------------------------
+    # Fault predicates
+    # ------------------------------------------------------------------
+    def _route_clear(self, route: List[int]) -> bool:
+        """Whether every link of ``route`` is usable under the fault model.
+
+        Links into or out of a failed tile count as failed, so a clear
+        route never transits a dead router (endpoints are assumed live —
+        :meth:`route_matrix` remaps dead endpoints before routing).
+        """
+        if self.faults is None:
+            return True
+        return all(
+            not self.faults.link_failed(a, b) for a, b in zip(route, route[1:])
+        )
+
+    # ------------------------------------------------------------------
     # Route primitives
     # ------------------------------------------------------------------
-    def _ring_route(self, positions: List[int], src: int, dst: int) -> List[int]:
-        """Shortest path around a ring of tile ids ``positions``."""
+    def _ring_path(
+        self, positions: List[int], i: int, j: int, step: int
+    ) -> List[int]:
+        """The route from index ``i`` to ``j`` walking ``step`` around."""
+        n = len(positions)
+        route = [positions[i]]
+        k = i
+        while k != j:
+            k = (k + step) % n
+            route.append(positions[k])
+        return route
+
+    def _ring_route(
+        self, positions: List[int], src: int, dst: int
+    ) -> Optional[List[int]]:
+        """Shortest usable path around a ring of tile ids ``positions``.
+
+        Fault-free this is the shorter direction (ties go forward).  With
+        faults, a blocked shorter direction detours the long way around;
+        ``None`` when the ring is cut on both sides.
+        """
         n = len(positions)
         i, j = positions.index(src), positions.index(dst)
         forward = (j - i) % n
         backward = (i - j) % n
         step = 1 if forward <= backward else -1
-        route = [src]
-        k = i
-        while positions[k] != dst:
-            k = (k + step) % n
-            route.append(positions[k])
-        return route
+        primary = self._ring_path(positions, i, j, step)
+        if self.faults is None or self._route_clear(primary):
+            return primary
+        secondary = self._ring_path(positions, i, j, -step)
+        if self._route_clear(secondary):
+            return secondary
+        return None
 
     def _mesh_route(self, src: int, dst: int) -> List[int]:
         """Dimension-ordered (XY) mesh route."""
@@ -107,6 +166,36 @@ class TrafficMatrixRouter:
             route.append(self._tile(r, dst_c))
         return route
 
+    def _mesh_route_yx(self, src: int, dst: int) -> List[int]:
+        """Dimension-ordered (YX) mesh route — the XY detour alternative."""
+        src_r, src_c = divmod(src, self.cols)
+        dst_r, dst_c = divmod(dst, self.cols)
+        route = [src]
+        r = src_r
+        while r != dst_r:
+            r += 1 if dst_r > r else -1
+            route.append(self._tile(r, src_c))
+        c = src_c
+        while c != dst_c:
+            c += 1 if dst_c > c else -1
+            route.append(self._tile(dst_r, c))
+        return route
+
+    def _mesh_escape(self, src: int, dst: int) -> List[int]:
+        """Best-effort mesh route under faults: XY, else YX, else XY.
+
+        The final fallback deliberately returns a route that may cross a
+        dead element: the analytic model still charges its hops, which
+        over-costs (never under-costs) an unroutable pattern.
+        """
+        xy = self._mesh_route(src, dst)
+        if self._route_clear(xy):
+            return xy
+        yx = self._mesh_route_yx(src, dst)
+        if self._route_clear(yx):
+            return yx
+        return xy
+
     def route(self, src: int, dst: int, regular: bool) -> List[int]:
         """The tile sequence a transfer follows on this topology."""
         if src == dst:
@@ -117,24 +206,47 @@ class TrafficMatrixRouter:
         if topology == "ditile":
             if regular and src_r == dst_r:
                 ring = [self._tile(src_r, c) for c in range(self.cols)]
-                return self._ring_route(ring, src, dst)
+                route = self._ring_route(ring, src, dst)
+                return route if route is not None else self._mesh_escape(src, dst)
             if not regular and src_c == dst_c:
-                if self.hardware.noc.relink_enabled:
+                if self.hardware.noc.relink_enabled and (
+                    self.faults is None
+                    or not (
+                        self.faults.relink_failed(src_c)
+                        or self.faults.tile_failed(src)
+                        or self.faults.tile_failed(dst)
+                    )
+                ):
                     return [src, dst]  # Re-Link bypass
                 ring = [self._tile(r, src_c) for r in range(self.rows)]
-                return self._ring_route(ring, src, dst)
+                route = self._ring_route(ring, src, dst)
+                return route if route is not None else self._mesh_escape(src, dst)
             # Off-dimension transfer: row ring then column.
             corner = self._tile(src_r, dst_c)
+            if self.faults is not None and self.faults.tile_failed(corner):
+                return self._mesh_escape(src, dst)
             row_ring = [self._tile(src_r, c) for c in range(self.cols)]
             first = self._ring_route(row_ring, src, corner)
+            if first is None:
+                return self._mesh_escape(src, dst)
             return first + self.route(corner, dst, regular=False)[1:]
         if topology == "mesh":
-            return self._mesh_route(src, dst)
+            if self.faults is None:
+                return self._mesh_route(src, dst)
+            return self._mesh_escape(src, dst)
         if topology == "crossbar":
             return [src, dst]
         if topology == "ring":
             ring = list(range(self.rows * self.cols))
-            return self._ring_route(ring, src, dst)
+            route = self._ring_route(ring, src, dst)
+            if route is not None:
+                return route
+            # A doubly-cut global ring has no alternative fabric; charge
+            # the (blocked) shorter direction rather than under-cost.
+            i, j = src, dst
+            n = len(ring)
+            step = 1 if (j - i) % n <= (i - j) % n else -1
+            return self._ring_path(ring, i, j, step)
         raise ValueError(f"unknown topology {topology!r}")
 
     # ------------------------------------------------------------------
@@ -143,26 +255,44 @@ class TrafficMatrixRouter:
     def route_matrix(
         self, traffic: np.ndarray, regular: bool
     ) -> LinkLoadReport:
-        """Route a ``tiles x tiles`` byte matrix; returns per-link loads."""
+        """Route a ``tiles x tiles`` byte matrix; returns per-link loads.
+
+        Under a fault model, traffic terminating on a failed tile is first
+        remapped to the nearest live tile; ``rerouted_bytes`` counts the
+        volume whose route differs from the fault-free baseline.
+        """
         tiles = self.rows * self.cols
         if traffic.shape != (tiles, tiles):
             raise ValueError(
                 f"traffic matrix must be {tiles}x{tiles}, got {traffic.shape}"
             )
+        remap: Dict[int, int] = (
+            self.faults.tile_remap(self.hardware) if self.faults else {}
+        )
+        clean = TrafficMatrixRouter(self.hardware) if self.faults else None
         loads: Dict[Link, float] = {}
         total_bytes = 0.0
         byte_hops = 0.0
+        rerouted = 0.0
         for src in range(tiles):
             for dst in range(tiles):
                 volume = float(traffic[src, dst])
                 if volume <= 0 or src == dst:
                     continue
-                route = self.route(src, dst, regular)
+                live_src = remap.get(src, src)
+                live_dst = remap.get(dst, dst)
+                if live_src == live_dst:
+                    # Remapped onto one tile: the transfer became local.
+                    total_bytes += volume
+                    continue
+                route = self.route(live_src, live_dst, regular)
                 total_bytes += volume
                 byte_hops += volume * (len(route) - 1)
                 for a, b in zip(route, route[1:]):
                     loads[(a, b)] = loads.get((a, b), 0.0) + volume
-        return LinkLoadReport(loads, total_bytes, byte_hops)
+                if clean is not None and route != clean.route(src, dst, regular):
+                    rerouted += volume
+        return LinkLoadReport(loads, total_bytes, byte_hops, rerouted)
 
 
 def spatial_traffic_matrix(

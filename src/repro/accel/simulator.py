@@ -20,16 +20,25 @@ the overheads cover synchronization and reconfiguration events.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Optional
+from typing import Dict, Optional, TYPE_CHECKING
 
 from ..obs import span as obs_span
 from .config import HardwareConfig
 from .dram import DRAMModel
 from .energy import EnergyBreakdown, EnergyModel, EnergyParams
-from .metrics import CostSummary, CycleBreakdown, SimulationResult, SnapshotCosts
+from .metrics import (
+    CostSummary,
+    CycleBreakdown,
+    DegradedModeReport,
+    SimulationResult,
+    SnapshotCosts,
+)
 from .noc import NoCModel
 from .pe import KernelEfficiency
 from .tile import TileModel, TileWork
+
+if TYPE_CHECKING:  # pragma: no cover - type-only; avoids an import cycle
+    from ..resilience.faults import FaultModel
 
 __all__ = ["SimulatorParams", "AcceleratorSimulator"]
 
@@ -63,6 +72,7 @@ class AcceleratorSimulator:
         params: SimulatorParams = SimulatorParams(),
         name: Optional[str] = None,
         energy_params: Optional[EnergyParams] = None,
+        faults: Optional["FaultModel"] = None,
     ):
         self.hardware = hardware
         self.params = params
@@ -70,18 +80,35 @@ class AcceleratorSimulator:
         self.tile_model = TileModel(
             hardware.tile, params.efficiency, params.pipeline_overlap
         )
-        self.noc_model = NoCModel(hardware)
+        # A clean fault model is dropped so the fault-free path is
+        # bit-identical to an unfaulted simulator.
+        self.faults = (
+            faults if faults is not None and not faults.is_clean else None
+        )
+        self.noc_model = NoCModel(hardware, faults=self.faults)
         self.dram_model = DRAMModel(hardware.dram)
         self.energy_model = EnergyModel(
             energy_params if energy_params is not None else EnergyParams()
         )
+        if self.faults is not None:
+            # Validates at least one survivor (raises otherwise) and
+            # fixes the compute-remap denominator for this run.
+            self._live_tiles = self.faults.live_tiles(hardware)
+            self._clean_noc: Optional[NoCModel] = NoCModel(hardware)
+        else:
+            self._live_tiles = hardware.total_tiles
+            self._clean_noc = None
 
     # ------------------------------------------------------------------
     # Timing
     # ------------------------------------------------------------------
     def _compute_cycles(self, snapshot: SnapshotCosts, utilization: float) -> float:
-        """Balanced per-tile compute time, stretched by load imbalance."""
-        tiles = self.hardware.total_tiles
+        """Balanced per-tile compute time, stretched by load imbalance.
+
+        Under a fault model the failed tiles' compute share is remapped
+        onto the survivors, so per-tile work grows by
+        ``total_tiles / live_tiles`` (fault-free the two are equal)."""
+        tiles = self._live_tiles
         work = TileWork(
             gnn_aggregation_macs=snapshot.gnn_aggregation_macs / tiles,
             gnn_combination_macs=snapshot.gnn_combination_macs / tiles,
@@ -165,6 +192,40 @@ class AcceleratorSimulator:
             total=total,
         )
 
+    def _fault_free_snapshot_total(
+        self, snapshot: SnapshotCosts, utilization: float
+    ) -> float:
+        """What :meth:`_snapshot_cycles` would return on the clean array.
+
+        Mirrors that method's composition rule exactly (no spans) using
+        the fault-free NoC model and the full tile count; only consulted
+        when a fault model is active, to fill the degraded-mode report's
+        baseline.
+        """
+        assert self._clean_noc is not None
+        tiles = self.hardware.total_tiles
+        work = TileWork(
+            gnn_aggregation_macs=snapshot.gnn_aggregation_macs / tiles,
+            gnn_combination_macs=snapshot.gnn_combination_macs / tiles,
+            rnn_macs=snapshot.rnn_macs / tiles,
+        )
+        compute = self.tile_model.total_cycles(work) / max(utilization, 1e-9)
+        on_chip_comm = self._clean_noc.transfer_cycles(snapshot.noc)
+        off_chip = self.dram_model.transfer_cycles(snapshot.dram)
+        overhead = (
+            snapshot.sync_events * self.params.sync_latency_cycles
+            + snapshot.config_events * self.params.config_latency_cycles
+        )
+        residual = self.params.overlap_residual
+        on_chip_exec = max(compute, on_chip_comm) + residual * min(
+            compute, on_chip_comm
+        )
+        return (
+            max(on_chip_exec, off_chip)
+            + residual * min(on_chip_exec, off_chip)
+            + overhead
+        )
+
     # ------------------------------------------------------------------
     # Entry point
     # ------------------------------------------------------------------
@@ -183,6 +244,8 @@ class AcceleratorSimulator:
         per_snapshot = []
         noc_byte_hops = 0.0
         config_events = 0.0
+        baseline_cycles = 0.0
+        reroute_penalty: Dict[str, float] = {}
         for snapshot in costs.snapshots:
             with obs_span("snapshot", index=snapshot.timestamp) as snap_sp:
                 breakdown = self._snapshot_cycles(snapshot, costs.load_utilization)
@@ -196,6 +259,18 @@ class AcceleratorSimulator:
             total.total += breakdown.total
             noc_byte_hops += self.noc_model.byte_hops(snapshot.noc)
             config_events += snapshot.config_events
+            if self.faults is not None:
+                assert self._clean_noc is not None
+                baseline_cycles += self._fault_free_snapshot_total(
+                    snapshot, costs.load_utilization
+                )
+                degraded_cls = self.noc_model.per_class_cycles(snapshot.noc)
+                clean_cls = self._clean_noc.per_class_cycles(snapshot.noc)
+                for name, cycles in degraded_cls.items():
+                    penalty = max(cycles - clean_cls[name], 0.0)
+                    reroute_penalty[name] = (
+                        reroute_penalty.get(name, 0.0) + penalty
+                    )
 
         energy = self._energy(costs, noc_byte_hops, config_events)
         # PE utilization (Fig. 11a): fraction of execution time the PE
@@ -210,6 +285,22 @@ class AcceleratorSimulator:
             sim_sp.add("noc_bytes", costs.noc_bytes)
             sim_sp.add("noc_byte_hops", noc_byte_hops)
             sim_sp.set_attr("pe_utilization", utilization)
+        degraded: Optional[DegradedModeReport] = None
+        if self.faults is not None:
+            fault_counts = self.faults.counts()
+            degraded = DegradedModeReport(
+                failed_tiles=fault_counts["failed_tiles"],
+                failed_links=fault_counts["failed_links"],
+                failed_relinks=fault_counts["failed_relinks"],
+                live_tiles=self._live_tiles,
+                compute_stretch=self.hardware.total_tiles / self._live_tiles,
+                reroute_penalty_cycles=reroute_penalty,
+                baseline_cycles=baseline_cycles,
+                degraded_cycles=total.total,
+            )
+            if sim_sp.enabled:
+                sim_sp.add("degraded_cycles", total.total)
+                sim_sp.add("baseline_cycles", baseline_cycles)
         return SimulationResult(
             accelerator=self.name,
             algorithm=costs.algorithm,
@@ -222,6 +313,7 @@ class AcceleratorSimulator:
             pe_utilization=utilization,
             frequency_hz=self.hardware.frequency_hz,
             per_snapshot_cycles=per_snapshot,
+            degraded=degraded,
         )
 
     def _energy(

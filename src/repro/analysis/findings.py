@@ -118,6 +118,7 @@ DETERMINISTIC_PATHS = PathScope(
         "core/",
         "accel/",
         "serving/",
+        "resilience/",
         "graphs/",
         "baselines/",
         "models/",

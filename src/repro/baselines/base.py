@@ -10,7 +10,7 @@ interconnect topology, and its secondary timing parameters.
 from __future__ import annotations
 
 import abc
-from typing import Optional
+from typing import Optional, TYPE_CHECKING
 
 from ..accel.config import HardwareConfig
 from ..accel.energy import EnergyParams
@@ -21,6 +21,9 @@ from ..core.comm_model import ParallelFactors
 from ..core.plan import DGNNSpec
 from ..graphs.dynamic import DynamicGraph
 from .algorithms import AlgorithmParams, Placement, build_costs
+
+if TYPE_CHECKING:  # pragma: no cover - type-only; avoids an import cycle
+    from ..resilience.faults import FaultModel
 
 __all__ = ["AcceleratorModel"]
 
@@ -114,13 +117,24 @@ class AcceleratorModel(abc.ABC):
             tiling_alpha=self.tiling_alpha(graph, spec),
         )
 
-    def simulate(self, graph: DynamicGraph, spec: DGNNSpec) -> SimulationResult:
-        """Full timing/energy simulation of this design on ``graph``."""
+    def simulate(
+        self,
+        graph: DynamicGraph,
+        spec: DGNNSpec,
+        faults: Optional["FaultModel"] = None,
+    ) -> SimulationResult:
+        """Full timing/energy simulation of this design on ``graph``.
+
+        With ``faults`` the simulator models the degraded array (see
+        :mod:`repro.resilience`); ``faults=None`` is the bit-identical
+        fault-free path.
+        """
         simulator = AcceleratorSimulator(
             self.hardware,
             self.simulator_params(),
             name=self.name,
             energy_params=self.energy_params(),
+            faults=faults,
         )
         return simulator.run(self.build_costs(graph, spec))
 

@@ -13,6 +13,13 @@ Commands
 ``serve [DATASET]``
     Run the online streaming-inference service over a dataset replay or a
     synthetic event stream and print the service statistics.
+``chaos {serve,sweep}``
+    Resilience tooling (see ``docs/resilience.md``): ``serve`` replays a
+    stream under seeded fault injection (worker crashes, latency, poison
+    events) and prints the deterministic chaos report; ``sweep`` produces
+    the slowdown-vs-fault-rate curve comparing the reconfigurable
+    ring+Re-Link NoC against a static mesh.  ``compare`` and ``serve``
+    accept ``--faults SPEC`` to simulate a degraded array.
 ``trace {plan,compare,serve}``
     Run a workload under the tracer (see ``docs/observability.md``) and
     print the phase breakdown; ``--out DIR`` exports a Perfetto-loadable
@@ -65,6 +72,7 @@ def build_parser() -> argparse.ArgumentParser:
     compare = sub.add_parser("compare", help="simulate all five accelerators")
     _add_workload_args(compare)
     _add_trace_arg(compare)
+    _add_faults_arg(compare)
 
     reproduce = sub.add_parser(
         "reproduce", help="regenerate evaluation tables/figures"
@@ -88,6 +96,56 @@ def build_parser() -> argparse.ArgumentParser:
     )
     _add_serve_args(serve)
     _add_trace_arg(serve)
+    _add_faults_arg(serve)
+
+    chaos = sub.add_parser(
+        "chaos", help="resilience tooling: chaos harness and fault sweeps"
+    )
+    chaos_sub = chaos.add_subparsers(dest="chaos_command", required=True)
+    chaos_serve = chaos_sub.add_parser(
+        "serve", help="serve a stream under seeded fault injection"
+    )
+    _add_serve_args(chaos_serve)
+    chaos_serve.add_argument(
+        "--chaos-seed", type=int, default=11,
+        help="chaos schedule seed (same seed -> byte-identical report)",
+    )
+    chaos_serve.add_argument(
+        "--crash-rate", type=float, default=0.2,
+        help="per-attempt worker-crash probability",
+    )
+    chaos_serve.add_argument(
+        "--latency-rate", type=float, default=0.1,
+        help="per-attempt injected-latency probability",
+    )
+    chaos_serve.add_argument(
+        "--latency-s", type=float, default=0.002,
+        help="injected latency duration in seconds",
+    )
+    chaos_serve.add_argument(
+        "--poison-rate", type=float, default=0.02,
+        help="per-event malformed-event injection probability",
+    )
+    chaos_serve.add_argument(
+        "--max-attempts", type=int, default=4,
+        help="retry budget per window (attempts, including the first)",
+    )
+    chaos_serve.add_argument(
+        "--json", default=None, metavar="OUT",
+        help="write the deterministic chaos report (JSON) to OUT",
+    )
+    chaos_sweep = chaos_sub.add_parser(
+        "sweep", help="slowdown-vs-fault-rate curve: ring+Re-Link vs mesh"
+    )
+    _add_workload_args(chaos_sweep)
+    chaos_sweep.add_argument(
+        "--rates", default="0,0.02,0.05,0.1,0.2", metavar="R,R,...",
+        help="comma-separated fault rates (default: 0,0.02,0.05,0.1,0.2)",
+    )
+    chaos_sweep.add_argument(
+        "--fault-seed", type=int, default=11,
+        help="fault-sampling seed (fault sets nest across rates)",
+    )
 
     trace = sub.add_parser(
         "trace",
@@ -212,6 +270,15 @@ def _add_workload_args(parser: argparse.ArgumentParser) -> None:
     parser.add_argument("--seed", type=int, default=7)
 
 
+def _add_faults_arg(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--faults", default=None, metavar="SPEC",
+        help="simulate a degraded array: 'rate=0.1,seed=11' (sampled) or "
+        "'tiles=3|7,links=0-1|4-8,relinks=2' (explicit) — "
+        "see docs/resilience.md",
+    )
+
+
 def _add_trace_arg(parser: argparse.ArgumentParser) -> None:
     parser.add_argument(
         "--trace", default=None, metavar="DIR",
@@ -293,9 +360,29 @@ def _cmd_plan(args: argparse.Namespace) -> None:
         print(model.scheduler.explain(graph, spec))
 
 
+def _parse_faults(args: argparse.Namespace, hardware=None):
+    """Resolve an optional ``--faults SPEC`` flag to a :class:`FaultModel`.
+
+    ``trace`` subcommands share the compare/serve handlers but do not take
+    the flag, hence the ``getattr``.
+    """
+    spec = getattr(args, "faults", None)
+    if not spec:
+        return None
+    from .resilience import FaultSpecError, parse_fault_spec
+
+    if hardware is None:
+        hardware = ditile_model().hardware
+    try:
+        return parse_fault_spec(spec, hardware)
+    except FaultSpecError as exc:
+        raise SystemExit(f"error: invalid --faults spec: {exc}")
+
+
 def _cmd_compare(args: argparse.Namespace) -> None:
     runner = _runner(args)
-    results = runner.compare(args.dataset)
+    faults = _parse_faults(args, runner.ditile().hardware)
+    results = runner.compare(args.dataset, faults=faults)
     ditile = results["DiTile-DGNN"]
     rows = []
     for name in [*BASELINE_ORDER, "DiTile-DGNN"]:
@@ -312,6 +399,15 @@ def _cmd_compare(args: argparse.Namespace) -> None:
     print(format_table(
         ["accelerator", "cycles", "energy_mJ", "dram_MB", "vs_DiTile"], rows
     ))
+    if faults is not None:
+        print(f"faults: {faults.describe()}")
+        if ditile.degraded is not None:
+            print(
+                f"DiTile degraded-mode slowdown: "
+                f"{ditile.degraded.slowdown:.4f}x "
+                f"(reroute penalty "
+                f"{ditile.degraded.total_reroute_penalty:.3e} cycles)"
+            )
 
 
 def _cmd_reproduce(args: argparse.Namespace) -> None:
@@ -333,14 +429,10 @@ def _cmd_reproduce(args: argparse.Namespace) -> None:
         print(f"exported {len(written) - 1} figures to {args.out}")
 
 
-def _cmd_serve(args: argparse.Namespace) -> None:
+def _serve_workload(args: argparse.Namespace):
+    """Build ``(stream, spec, window, origin)`` from serve-style args."""
     from .core.plan import DGNNSpec
-    from .serving import (
-        ServiceConfig,
-        StreamingService,
-        stream_from_dataset,
-        synthetic_event_stream,
-    )
+    from .serving import stream_from_dataset, synthetic_event_stream
 
     if args.dataset is not None:
         stream = stream_from_dataset(
@@ -369,6 +461,13 @@ def _cmd_serve(args: argparse.Namespace) -> None:
             else max((last - first) / 32.0, 1e-9)
         )
         origin = None
+    return stream, spec, window, origin
+
+
+def _cmd_serve(args: argparse.Namespace) -> None:
+    from .serving import ServiceConfig, StreamingService
+
+    stream, spec, window, origin = _serve_workload(args)
     config = ServiceConfig(
         window=window,
         origin=origin,
@@ -377,6 +476,7 @@ def _cmd_serve(args: argparse.Namespace) -> None:
         queue_capacity=args.queue_capacity,
         plan_cache_capacity=args.plan_cache_capacity,
         drift_threshold=args.drift_threshold,
+        faults=_parse_faults(args),
     )
     first, last = stream.time_span
     print(
@@ -390,6 +490,75 @@ def _cmd_serve(args: argparse.Namespace) -> None:
         f"simulated load     {report.total_cycles:.3e} accelerator cycles "
         f"over {report.num_windows} windows"
     )
+    if config.faults is not None:
+        print(f"faults: {config.faults.describe()}")
+
+
+def _cmd_chaos(args: argparse.Namespace) -> int:
+    if args.chaos_command == "sweep":
+        from .experiments import fault_sweep
+
+        runner = _runner(args)
+        graph = runner.graph(args.dataset)
+        spec = runner.spec(args.dataset)
+        rates = tuple(
+            float(part) for part in args.rates.split(",") if part.strip()
+        )
+        fig = fault_sweep(graph, spec, rates=rates, seed=args.fault_seed)
+        print(fig.to_text())
+        return 0
+
+    # chaos serve
+    from .resilience import (
+        BreakerConfig,
+        ChaosSchedule,
+        RetryPolicy,
+        run_chaos,
+    )
+    from .serving import ServiceConfig
+
+    stream, spec, window, origin = _serve_workload(args)
+    schedule = ChaosSchedule(
+        seed=args.chaos_seed,
+        crash_rate=args.crash_rate,
+        latency_rate=args.latency_rate,
+        latency_s=args.latency_s,
+        poison_rate=args.poison_rate,
+    )
+    config = ServiceConfig(
+        window=window,
+        origin=origin,
+        workers=args.workers,
+        max_batch_windows=args.batch,
+        queue_capacity=args.queue_capacity,
+        plan_cache_capacity=args.plan_cache_capacity,
+        drift_threshold=args.drift_threshold,
+        retry=RetryPolicy(max_attempts=args.max_attempts, backoff_s=0.0005),
+        breaker=BreakerConfig(),
+        quarantine=True,
+    )
+    first, last = stream.time_span
+    print(
+        f"stream: {stream.name} |O|={stream.num_events} events over "
+        f"[{first:g}, {last:g}], V={stream.num_vertices}, "
+        f"window={window:g}"
+    )
+    print(f"chaos: {schedule.describe()}")
+    report, chaos_report = run_chaos(
+        stream, spec, schedule, config=config, model=ditile_model()
+    )
+    print(report.stats.summary())
+    print(chaos_report.summary())
+    if args.json:
+        from pathlib import Path
+
+        out = Path(args.json)
+        out.parent.mkdir(parents=True, exist_ok=True)
+        out.write_text(chaos_report.to_json() + "\n")
+        print(f"chaos report written to {out}")
+    # Exit 0 only if every window was eventually served: a permanently
+    # failed window is graceful degradation, but CI should notice it.
+    return 0 if chaos_report.windows_failed == 0 else 1
 
 
 def _cmd_lint(args: argparse.Namespace) -> int:
@@ -550,6 +719,8 @@ def main(argv: Optional[List[str]] = None) -> int:
         if args.trace:
             return _run_traced(_cmd_serve, args, args.trace, "serve")
         _cmd_serve(args)
+    elif args.command == "chaos":
+        return _cmd_chaos(args)
     elif args.command == "trace":
         return _cmd_trace(args)
     elif args.command == "lint":

@@ -10,6 +10,7 @@ from .sweeps import (
     snapshot_count_sweep,
     tile_scaling_sweep,
 )
+from .resilience import fault_sweep
 from .variance import seed_variance
 from .export import export_results, figure_to_csv
 from .pareto import design_points, pareto_frontier
@@ -62,6 +63,7 @@ __all__ = [
     "bandwidth_scaling_sweep",
     "snapshot_count_sweep",
     "gnn_depth_sweep",
+    "fault_sweep",
     "seed_variance",
     "export_results",
     "figure_to_csv",

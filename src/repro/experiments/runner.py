@@ -11,7 +11,7 @@ largest ones take seconds to synthesize.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Optional
+from typing import Dict, List, Optional, TYPE_CHECKING
 
 from ..accel.config import HardwareConfig
 from ..accel.metrics import SimulationResult
@@ -26,6 +26,9 @@ from ..core.plan import DGNNSpec
 from ..ditile import DiTileAccelerator
 from ..graphs.datasets import dataset_names, dataset_profile, load_dataset
 from ..graphs.dynamic import DynamicGraph
+
+if TYPE_CHECKING:  # pragma: no cover - type-only; avoids an import cycle
+    from ..resilience.faults import FaultModel
 
 __all__ = ["ExperimentConfig", "ExperimentRunner", "BASELINE_ORDER"]
 
@@ -124,13 +127,21 @@ class ExperimentRunner:
     # Sweeps
     # ------------------------------------------------------------------
     def compare(
-        self, dataset: str, dissimilarity: Optional[float] = None
+        self,
+        dataset: str,
+        dissimilarity: Optional[float] = None,
+        faults: Optional["FaultModel"] = None,
     ) -> Dict[str, SimulationResult]:
-        """Simulate every accelerator on one dataset."""
+        """Simulate every accelerator on one dataset.
+
+        ``faults`` (a :class:`~repro.resilience.faults.FaultModel`) runs
+        every design on the same degraded array; ``None`` is the
+        bit-identical fault-free path.
+        """
         graph = self.graph(dataset, dissimilarity)
         spec = self.spec(dataset)
         return {
-            model.name: model.simulate(graph, spec)
+            model.name: model.simulate(graph, spec, faults=faults)
             for model in self.all_accelerators()
         }
 

@@ -1,0 +1,272 @@
+"""Deterministic hardware fault model for the reconfigurable tile array.
+
+The paper's vertical-ring Re-Link bypasses (§6) are exactly the mechanism
+a deployment leans on when tiles or links fail; this module describes
+*which* elements have failed so the routing, NoC and simulator layers can
+model the degraded array:
+
+* **failed tiles** — the tile's PEs and router are dead; its share of the
+  compute is remapped onto the surviving tiles, and routes treat all of
+  its incident links as down;
+* **failed links** — one undirected physical link (a ring segment or a
+  mesh edge) is down; rings route the long way around, meshes detour;
+* **failed Re-Link bypasses** — one column's vertical bypass is down;
+  irregular traffic in that column falls back to the plain vertical ring.
+
+Fault sets are **seeded and nested**: :meth:`FaultModel.sample` draws one
+uniform per element from a fixed-order stream, so raising the fault rate
+under the same seed only ever *adds* failures.  That nesting is what the
+fault-sweep monotonicity guarantee (more faults never means fewer cycles)
+rests on.
+
+Everything here is pure data — no wall clock, no global RNG — so the
+fault-free path (``FaultModel.none()`` or ``faults=None``) stays
+bit-identical to the unfaulted code.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, FrozenSet, List, Optional, Tuple
+
+import numpy as np
+
+from ..accel.config import HardwareConfig
+
+__all__ = ["FaultModel", "FaultSpecError", "parse_fault_spec"]
+
+Link = Tuple[int, int]
+
+
+class FaultSpecError(ValueError):
+    """A ``--faults`` specification string could not be parsed."""
+
+
+def _normalize(a: int, b: int) -> Link:
+    return (a, b) if a <= b else (b, a)
+
+
+@dataclass(frozen=True)
+class FaultModel:
+    """One immutable set of failed array elements."""
+
+    failed_tiles: FrozenSet[int] = field(default_factory=frozenset)
+    failed_links: FrozenSet[Link] = field(default_factory=frozenset)
+    failed_relinks: FrozenSet[int] = field(default_factory=frozenset)
+
+    # ------------------------------------------------------------------
+    # Constructors
+    # ------------------------------------------------------------------
+    @classmethod
+    def none(cls) -> "FaultModel":
+        """The fault-free array."""
+        return cls()
+
+    @classmethod
+    def sample(
+        cls,
+        hardware: HardwareConfig,
+        tile_rate: float = 0.0,
+        link_rate: float = 0.0,
+        relink_rate: float = 0.0,
+        seed: int = 0,
+    ) -> "FaultModel":
+        """Seeded element-wise failure sampling.
+
+        One uniform is drawn per element (tiles, then the sorted link
+        universe, then Re-Link columns) regardless of the rates, and an
+        element fails when its uniform falls below its kind's rate — so
+        for a fixed seed the fault set at rate ``r1 <= r2`` is a subset
+        of the fault set at ``r2`` (nested sweeps, monotone degradation).
+        """
+        for name, rate in (
+            ("tile_rate", tile_rate),
+            ("link_rate", link_rate),
+            ("relink_rate", relink_rate),
+        ):
+            if not 0.0 <= rate <= 1.0:
+                raise ValueError(f"{name} must be in [0, 1], got {rate}")
+        rng = np.random.default_rng(seed)
+        tiles = hardware.total_tiles
+        u_tiles = rng.random(tiles)
+        failed_tiles = frozenset(
+            t for t in range(tiles) if u_tiles[t] < tile_rate
+        )
+        links = hardware.all_links()
+        u_links = rng.random(len(links))
+        failed_links = frozenset(
+            link for link, u in zip(links, u_links) if u < link_rate
+        )
+        u_relinks = rng.random(hardware.grid_cols)
+        failed_relinks = frozenset(
+            c for c in range(hardware.grid_cols) if u_relinks[c] < relink_rate
+        )
+        return cls(failed_tiles, failed_links, failed_relinks)
+
+    # ------------------------------------------------------------------
+    # Queries
+    # ------------------------------------------------------------------
+    @property
+    def is_clean(self) -> bool:
+        """Whether nothing has failed (the fast-path guard)."""
+        return not (self.failed_tiles or self.failed_links or self.failed_relinks)
+
+    def tile_failed(self, tile: int) -> bool:
+        """Whether ``tile``'s PEs and router are dead."""
+        return tile in self.failed_tiles
+
+    def link_failed(self, a: int, b: int) -> bool:
+        """Whether the physical link ``a <-> b`` is unusable.
+
+        A link incident to a failed tile is down even if the wire itself
+        is fine — the dead router can't forward.
+        """
+        if a in self.failed_tiles or b in self.failed_tiles:
+            return True
+        return _normalize(a, b) in self.failed_links
+
+    def relink_failed(self, col: int) -> bool:
+        """Whether column ``col``'s Re-Link bypass is down."""
+        return col in self.failed_relinks
+
+    def live_tiles(self, hardware: HardwareConfig) -> int:
+        """Surviving tiles (at least 1; an all-dead array is rejected)."""
+        dead = sum(
+            1 for t in self.failed_tiles if 0 <= t < hardware.total_tiles
+        )
+        live = hardware.total_tiles - dead
+        if live < 1:
+            raise ValueError("fault model kills every tile in the array")
+        return live
+
+    def tile_remap(self, hardware: HardwareConfig) -> Dict[int, int]:
+        """Deterministic spare mapping: each failed tile's traffic endpoint
+        moves to the nearest live tile in row-major scan order (searching
+        outward from the failed index, lower index first on ties)."""
+        self.live_tiles(hardware)  # validates at least one survivor
+        total = hardware.total_tiles
+        remap: Dict[int, int] = {}
+        for dead in sorted(self.failed_tiles):
+            if not 0 <= dead < total:
+                continue
+            for offset in range(1, total):
+                for candidate in (dead - offset, dead + offset):
+                    if 0 <= candidate < total and candidate not in self.failed_tiles:
+                        remap[dead] = candidate
+                        break
+                if dead in remap:
+                    break
+        return remap
+
+    # ------------------------------------------------------------------
+    # Reporting
+    # ------------------------------------------------------------------
+    def counts(self) -> Dict[str, int]:
+        """Flat failure tallies for reports."""
+        return {
+            "failed_tiles": len(self.failed_tiles),
+            "failed_links": len(self.failed_links),
+            "failed_relinks": len(self.failed_relinks),
+        }
+
+    def describe(self) -> str:
+        """One-line human-readable summary."""
+        if self.is_clean:
+            return "fault-free"
+        tiles = ",".join(str(t) for t in sorted(self.failed_tiles)) or "-"
+        links = (
+            ",".join(f"{a}-{b}" for a, b in sorted(self.failed_links)) or "-"
+        )
+        relinks = ",".join(str(c) for c in sorted(self.failed_relinks)) or "-"
+        return f"tiles[{tiles}] links[{links}] relinks[{relinks}]"
+
+
+def _parse_ids(value: str, what: str) -> FrozenSet[int]:
+    try:
+        return frozenset(int(part) for part in value.split("|") if part)
+    except ValueError as exc:
+        raise FaultSpecError(f"bad {what} list {value!r}: {exc}") from None
+
+
+def _parse_links(value: str) -> FrozenSet[Link]:
+    links = set()
+    for part in value.split("|"):
+        if not part:
+            continue
+        pieces = part.split("-")
+        if len(pieces) != 2:
+            raise FaultSpecError(
+                f"bad link {part!r}: expected 'srcTile-dstTile'"
+            )
+        try:
+            a, b = int(pieces[0]), int(pieces[1])
+        except ValueError as exc:
+            raise FaultSpecError(f"bad link {part!r}: {exc}") from None
+        links.add(_normalize(a, b))
+    return frozenset(links)
+
+
+def parse_fault_spec(
+    spec: str, hardware: Optional[HardwareConfig] = None
+) -> FaultModel:
+    """Parse a ``--faults`` specification into a :class:`FaultModel`.
+
+    Two mutually exclusive forms, as comma-separated ``key=value`` pairs:
+
+    * **sampled** — ``rate=0.1,seed=11`` (or individual ``tile_rate=``,
+      ``link_rate=``, ``relink_rate=``); requires ``hardware`` so the
+      element universe is known.  ``rate=R`` sets link and Re-Link rates
+      to ``R`` and the tile rate to ``R/4`` (routers and wires fail more
+      often than whole tiles).
+    * **explicit** — ``tiles=3|7,links=0-1|4-8,relinks=2`` naming the
+      failed elements outright.
+    """
+    if not spec or not spec.strip():
+        raise FaultSpecError("empty fault spec")
+    pairs: Dict[str, str] = {}
+    for chunk in spec.split(","):
+        chunk = chunk.strip()
+        if not chunk:
+            continue
+        if "=" not in chunk:
+            raise FaultSpecError(f"expected key=value, got {chunk!r}")
+        key, value = chunk.split("=", 1)
+        pairs[key.strip()] = value.strip()
+    rate_keys = {"rate", "tile_rate", "link_rate", "relink_rate"}
+    explicit_keys = {"tiles", "links", "relinks"}
+    unknown = set(pairs) - rate_keys - explicit_keys - {"seed"}
+    if unknown:
+        raise FaultSpecError(f"unknown fault-spec keys: {sorted(unknown)}")
+    has_rates = bool(rate_keys & set(pairs))
+    has_explicit = bool(explicit_keys & set(pairs))
+    if has_rates and has_explicit:
+        raise FaultSpecError("mix of sampled rates and explicit elements")
+    if has_rates:
+        if hardware is None:
+            raise FaultSpecError("sampled fault specs need a hardware config")
+        try:
+            base = float(pairs.get("rate", 0.0))
+            tile_rate = float(pairs.get("tile_rate", base / 4.0))
+            link_rate = float(pairs.get("link_rate", base))
+            relink_rate = float(pairs.get("relink_rate", base))
+            seed = int(pairs.get("seed", 0))
+        except ValueError as exc:
+            raise FaultSpecError(f"bad numeric value: {exc}") from None
+        return FaultModel.sample(
+            hardware,
+            tile_rate=tile_rate,
+            link_rate=link_rate,
+            relink_rate=relink_rate,
+            seed=seed,
+        )
+    if not has_explicit:
+        raise FaultSpecError(
+            "fault spec names neither rates nor explicit elements"
+        )
+    if "seed" in pairs:
+        raise FaultSpecError("seed only applies to sampled fault specs")
+    return FaultModel(
+        failed_tiles=_parse_ids(pairs.get("tiles", ""), "tile"),
+        failed_links=_parse_links(pairs.get("links", "")),
+        failed_relinks=_parse_ids(pairs.get("relinks", ""), "relink"),
+    )

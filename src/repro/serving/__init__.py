@@ -23,17 +23,33 @@ Serving is *deterministic*: the per-window
 offline reference (:func:`~repro.serving.service.serve_offline`) on the
 same discretized stream, regardless of worker count, batching, or queue
 timing.
+
+Graceful degradation (all off by default — see ``docs/resilience.md``):
+retry with exponential backoff and per-window deadlines
+(:class:`~repro.resilience.policies.RetryPolicy`), a plan-manager circuit
+breaker serving the last-good plan through replan storms, a dead-letter
+queue for malformed events (``quarantine=True``), bounded-queue load
+shedding, and a seeded chaos harness
+(:class:`~repro.resilience.chaos.ChaosSchedule`).
 """
 
-from .ingest import IncrementalWindowBuilder, Window, WindowedIngestor
+from .ingest import (
+    IncrementalWindowBuilder,
+    RejectedEvent,
+    Window,
+    WindowedIngestor,
+    event_fault,
+)
 from .plan_manager import PlanDecision, PlanManager
 from .service import ServiceConfig, ServingReport, StreamingService, serve_offline
 from .signature import DriftDetector, WindowProfile, WorkloadSignature
-from .stats import ServiceStats, WindowRecord
+from .stats import ServiceStats, WindowFailure, WindowRecord
 from .streams import stream_from_dataset, synthetic_event_stream
 
 __all__ = [
     "IncrementalWindowBuilder",
+    "RejectedEvent",
+    "event_fault",
     "Window",
     "WindowedIngestor",
     "PlanDecision",
@@ -46,6 +62,7 @@ __all__ = [
     "WindowProfile",
     "WorkloadSignature",
     "ServiceStats",
+    "WindowFailure",
     "WindowRecord",
     "stream_from_dataset",
     "synthetic_event_stream",

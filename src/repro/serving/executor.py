@@ -16,7 +16,7 @@ never *what* its result is.
 from __future__ import annotations
 
 from concurrent.futures import Future, ThreadPoolExecutor
-from typing import Callable, Optional, TypeVar
+from typing import Callable, Optional, TYPE_CHECKING, TypeVar
 
 from ..accel.metrics import CostSummary, SimulationResult
 from ..accel.simulator import AcceleratorSimulator
@@ -25,6 +25,9 @@ from ..core.plan import DGNNSpec, ExecutionPlan
 from ..ditile import DiTileAccelerator
 from ..graphs.dynamic import DynamicGraph
 from ..graphs.snapshot import GraphSnapshot
+
+if TYPE_CHECKING:  # pragma: no cover - type-only; avoids an import cycle
+    from ..resilience.faults import FaultModel
 
 __all__ = ["transition_graph", "simulate_window", "WindowExecutor"]
 
@@ -49,13 +52,16 @@ def simulate_window(
     spec: DGNNSpec,
     transition: DynamicGraph,
     plan: ExecutionPlan,
+    faults: Optional["FaultModel"] = None,
 ) -> SimulationResult:
     """Simulate the last snapshot of ``transition`` under ``plan``.
 
     Mirrors :meth:`DiTileAccelerator.build_costs` /
     :meth:`~repro.baselines.base.AcceleratorModel.simulate`, but keeps
     only the current window's snapshot costs so the returned
-    :class:`SimulationResult` prices exactly one window.
+    :class:`SimulationResult` prices exactly one window.  ``faults``
+    models a degraded array (``None`` — the default — is bit-identical
+    to the fault-free path).
     """
     algorithm = "ditile" if model.options.enable_reuse else "re"
     costs = build_costs(
@@ -76,6 +82,7 @@ def simulate_window(
         model.simulator_params(),
         name=model.name,
         energy_params=model.energy_params(),
+        faults=faults,
     )
     return simulator.run(window_costs)
 
@@ -103,6 +110,7 @@ class WindowExecutor:
         if workers < 0:
             raise ValueError(f"workers must be >= 0, got {workers}")
         self.workers = workers
+        self._shutdown = False
         self._pool = (
             ThreadPoolExecutor(
                 max_workers=workers, thread_name_prefix="repro-serve"
@@ -113,14 +121,28 @@ class WindowExecutor:
 
     def submit(self, fn: Callable[[], T]) -> "Future[T]":
         """Schedule ``fn``; inline mode runs it before returning."""
+        if self._shutdown:
+            raise RuntimeError("WindowExecutor has been shut down")
         if self._pool is None:
             return _ImmediateFuture(fn)
         return self._pool.submit(fn)
 
-    def shutdown(self) -> None:
-        """Release pool threads (idempotent)."""
-        if self._pool is not None:
-            self._pool.shutdown(wait=True)
+    def shutdown(self, wait: bool = True, cancel_pending: bool = False) -> None:
+        """Release pool threads.
+
+        Idempotent and exception-safe: a second call (including the one
+        from ``__exit__`` after an explicit shutdown, or a cleanup path
+        re-entered after an error) is a no-op.  ``cancel_pending`` drops
+        queued-but-unstarted submissions — in-flight ones always run to
+        completion when ``wait`` is true, so no worker is left writing
+        into torn-down state.
+        """
+        if self._shutdown:
+            return
+        self._shutdown = True
+        pool, self._pool = self._pool, None
+        if pool is not None:
+            pool.shutdown(wait=wait, cancel_futures=cancel_pending)
 
     def __enter__(self) -> "WindowExecutor":
         return self

@@ -21,10 +21,16 @@ Streaming realities handled here:
   discretization.
 * **Add/remove churn** within one window nets out: only an edge's final
   state relative to the live edge set enters the delta.
+* **Malformed events** — non-finite or negative timestamps, vertex ids
+  outside the declared space — are rejected with a precise error, or
+  (``quarantine=True``) diverted into a dead-letter queue of
+  :class:`RejectedEvent`\\ s so one poison event cannot take down the
+  stream.
 """
 
 from __future__ import annotations
 
+import math
 from dataclasses import dataclass, field
 from typing import Iterable, Iterator, List, Optional, Tuple
 
@@ -35,9 +41,43 @@ from ..graphs.delta import SnapshotDelta, apply_delta
 from ..graphs.snapshot import GraphSnapshot
 from .stats import wall_clock
 
-__all__ = ["Window", "IncrementalWindowBuilder", "WindowedIngestor"]
+__all__ = [
+    "Window",
+    "RejectedEvent",
+    "event_fault",
+    "IncrementalWindowBuilder",
+    "WindowedIngestor",
+]
 
 _ADD = "add"
+
+
+@dataclass(frozen=True)
+class RejectedEvent:
+    """One quarantined event in the ingest dead-letter queue."""
+
+    event: EdgeEvent
+    reason: str
+    #: stream position at which the event arrived (0-based)
+    position: int
+
+
+def event_fault(event: EdgeEvent, num_vertices: int) -> Optional[str]:
+    """Why ``event`` is malformed, or ``None`` if it is well-formed.
+
+    The single validation rule shared by the strict (raise) and
+    quarantine (dead-letter) paths, so both reject exactly the same
+    events for exactly the same reasons.
+    """
+    if not math.isfinite(event.time):
+        return f"non-finite timestamp {event.time!r}"
+    if event.time < 0:
+        return f"negative timestamp {event.time!r}"
+    if not (0 <= event.src < num_vertices and 0 <= event.dst < num_vertices):
+        return (
+            f"vertex id outside the fixed vertex space [0, {num_vertices})"
+        )
+    return None
 
 
 @dataclass
@@ -134,15 +174,24 @@ class WindowedIngestor:
         initial: Optional[GraphSnapshot] = None,
         origin: Optional[float] = None,
         strict_time_order: bool = False,
+        quarantine: bool = False,
     ):
         if window <= 0:
             raise ValueError(f"window must be positive, got {window}")
         self.window = window
         self.origin = origin
         self.strict_time_order = strict_time_order
+        self.quarantine = quarantine
         self.builder = IncrementalWindowBuilder(num_vertices, feature_dim, initial)
         self.late_events = 0
         self.total_events = 0
+        #: dead-letter queue (populated only with ``quarantine=True``)
+        self.rejected: List[RejectedEvent] = []
+
+    @property
+    def quarantined_events(self) -> int:
+        """Malformed events diverted into the dead-letter queue."""
+        return len(self.rejected)
 
     @classmethod
     def for_stream(
@@ -152,6 +201,7 @@ class WindowedIngestor:
         feature_dim: Optional[int] = None,
         origin: Optional[float] = None,
         strict_time_order: bool = False,
+        quarantine: bool = False,
     ) -> "WindowedIngestor":
         """An ingestor matched to ``stream``'s vertex space and initial graph."""
         return cls(
@@ -161,6 +211,7 @@ class WindowedIngestor:
             initial=stream.initial,
             origin=origin,
             strict_time_order=strict_time_order,
+            quarantine=quarantine,
         )
 
     def _close(self, index: int, buffer: List[EdgeEvent]) -> Window:
@@ -185,8 +236,16 @@ class WindowedIngestor:
         """
         current = 0
         buffer: List[EdgeEvent] = []
-        for event in events:
+        for position, event in enumerate(events):
             self.total_events += 1
+            fault = event_fault(event, self.builder.num_vertices)
+            if fault is not None:
+                # Validate before the event can anchor the origin or hit
+                # ``window_index`` (a NaN timestamp breaks both).
+                if not self.quarantine:
+                    raise ValueError(f"malformed event {event}: {fault}")
+                self.rejected.append(RejectedEvent(event, fault, position))
+                continue
             if self.origin is None:
                 self.origin = event.time
             index = window_index(event.time, self.origin, self.window)

@@ -28,6 +28,7 @@ from ..ditile import DiTileAccelerator
 from ..graphs.dynamic import DynamicGraph
 from ..obs import counter_add as obs_counter_add
 from ..obs import span as obs_span
+from ..resilience.policies import BreakerConfig, CircuitBreaker
 from .signature import DriftDetector, WindowProfile, WorkloadSignature
 
 __all__ = ["PlanDecision", "PlanEntry", "PlanManager"]
@@ -39,6 +40,7 @@ class PlanDecision(enum.Enum):
     HIT = "hit"  # cached plan reused as-is
     MISS = "miss"  # no cached plan for this signature; scheduler invoked
     REPLAN = "replan"  # cached plan found but drift fired; scheduler invoked
+    BREAKER = "breaker"  # breaker open: last-good plan served, scheduler skipped
 
 
 @dataclass
@@ -57,6 +59,7 @@ class PlanManager:
         model: DiTileAccelerator,
         capacity: int = 32,
         drift_threshold: float = 0.25,
+        breaker: Optional[BreakerConfig] = None,
     ):
         self.model = model
         self.detector = DriftDetector(drift_threshold)
@@ -64,6 +67,12 @@ class PlanManager:
         self.hits = 0
         self.misses = 0
         self.replans = 0
+        # Circuit breaker (optional): `threshold` consecutive scheduler
+        # invocations — a replan storm — trip it open, and while open the
+        # last-good plan is served without touching the scheduler.
+        self._breaker = CircuitBreaker(breaker) if breaker is not None else None
+        self._last_good: Optional[ExecutionPlan] = None
+        self.breaker_hits = 0
 
     # ------------------------------------------------------------------
     # Resolution
@@ -98,18 +107,45 @@ class PlanManager:
         current = profile or WindowProfile.from_snapshot(transition[-1])
         signature = WorkloadSignature.from_profile(current, spec)
         entry = self._cache.get(signature)
+        storming = entry is None or self.detector.fires(entry.reference, current)
+        if (
+            storming
+            and self._breaker is not None
+            and not self._breaker.allow()
+            and self._last_good is not None
+        ):
+            # Replan storm with the breaker open: degrade to the last
+            # plan the scheduler actually produced instead of invoking
+            # it again.  The cache is left untouched, so once the breaker
+            # half-opens the storm is re-evaluated on real state.
+            self._breaker.record_short_circuit()
+            self.breaker_hits += 1
+            return self._last_good, PlanDecision.BREAKER
         if entry is None:
-            plan = self.model.scheduler.plan(transition, spec)
+            plan = self._invoke_scheduler(transition, spec)
             self._cache.put(signature, PlanEntry(plan, current))
             self.misses += 1
             return plan, PlanDecision.MISS
-        if self.detector.fires(entry.reference, current):
-            plan = self.model.scheduler.plan(transition, spec)
+        if storming:
+            plan = self._invoke_scheduler(transition, spec)
             self._cache.put(signature, PlanEntry(plan, current))
             self.replans += 1
             return plan, PlanDecision.REPLAN
+        if self._breaker is not None:
+            self._breaker.record_success()
+        self._last_good = entry.plan
         self.hits += 1
         return entry.plan, PlanDecision.HIT
+
+    def _invoke_scheduler(
+        self, transition: DynamicGraph, spec: DGNNSpec
+    ) -> ExecutionPlan:
+        """Run the full scheduler front-end, feeding the breaker."""
+        plan = self.model.scheduler.plan(transition, spec)
+        self._last_good = plan
+        if self._breaker is not None:
+            self._breaker.record_invocation()
+        return plan
 
     # ------------------------------------------------------------------
     # Introspection
@@ -117,7 +153,7 @@ class PlanManager:
     @property
     def lookups(self) -> int:
         """Total resolve calls."""
-        return self.hits + self.misses + self.replans
+        return self.hits + self.misses + self.replans + self.breaker_hits
 
     @property
     def hit_rate(self) -> float:
@@ -136,9 +172,14 @@ class PlanManager:
         """Entries dropped by the LRU bound."""
         return self._cache.stats.evictions
 
+    @property
+    def breaker_trips(self) -> int:
+        """Times the circuit breaker tripped open (0 without a breaker)."""
+        return self._breaker.trips if self._breaker is not None else 0
+
     def __repr__(self) -> str:
         return (
             f"PlanManager(size={self.size}, hits={self.hits}, "
             f"misses={self.misses}, replans={self.replans}, "
-            f"evictions={self.evictions})"
+            f"evictions={self.evictions}, breaker_hits={self.breaker_hits})"
         )

@@ -32,8 +32,9 @@ from __future__ import annotations
 
 import queue
 import threading
+import time
 from dataclasses import dataclass
-from typing import List, Optional
+from typing import List, Optional, Tuple
 
 from ..accel.metrics import SimulationResult
 from ..core.plan import DGNNSpec
@@ -42,10 +43,13 @@ from ..graphs.continuous import ContinuousDynamicGraph
 from ..graphs.snapshot import GraphSnapshot
 from ..obs import gauge_set as obs_gauge_set
 from ..obs import span as obs_span
+from ..resilience.chaos import ChaosSchedule, InjectedFault
+from ..resilience.faults import FaultModel
+from ..resilience.policies import BreakerConfig, RetryPolicy
 from .executor import WindowExecutor, simulate_window, transition_graph
 from .ingest import Window, WindowedIngestor
 from .plan_manager import PlanManager
-from .stats import ServiceStats, WindowRecord, timed_call, wall_clock
+from .stats import ServiceStats, WindowFailure, WindowRecord, timed_call, wall_clock
 
 __all__ = ["ServiceConfig", "ServingReport", "StreamingService", "serve_offline"]
 
@@ -72,6 +76,22 @@ class ServiceConfig:
     drift_threshold: float = 0.25
     #: reject late events instead of dropping/counting them
     strict_time_order: bool = False
+    # Resilience hooks — all off by default; with every one at its
+    # default the service is bit-identical to the pre-resilience code
+    # path (the bench counter gate relies on it).
+    #: retry window executions with exponential backoff (``None`` = a
+    #: failed execution aborts the stream, the pre-resilience behaviour)
+    retry: Optional[RetryPolicy] = None
+    #: trip a circuit breaker on replan storms, serving the last-good plan
+    breaker: Optional[BreakerConfig] = None
+    #: divert malformed events to a dead-letter queue instead of raising
+    quarantine: bool = False
+    #: drop windows when the ingest queue is full instead of blocking
+    load_shedding: bool = False
+    #: seeded fault-injection schedule (chaos testing only)
+    chaos: Optional[ChaosSchedule] = None
+    #: hardware fault model applied to every window simulation
+    faults: Optional[FaultModel] = None
 
     def __post_init__(self) -> None:
         if self.window <= 0:
@@ -118,6 +138,7 @@ class StreamingService:
             self.model,
             capacity=self.config.plan_cache_capacity,
             drift_threshold=self.config.drift_threshold,
+            breaker=self.config.breaker,
         )
 
     # ------------------------------------------------------------------
@@ -139,27 +160,56 @@ class StreamingService:
         self, stream: ContinuousDynamicGraph, spec: DGNNSpec
     ) -> ServingReport:
         cfg = self.config
+        chaos = (
+            cfg.chaos if cfg.chaos is not None and not cfg.chaos.is_quiet else None
+        )
         ingestor = WindowedIngestor.for_stream(
             stream,
             window=cfg.window,
             feature_dim=spec.feature_dim,
             origin=cfg.origin,
             strict_time_order=cfg.strict_time_order,
+            quarantine=cfg.quarantine,
         )
+        events = stream.events
+        if chaos is not None and chaos.poison_rate > 0.0:
+            events = chaos.inject(events, num_vertices=stream.num_vertices)
         window_queue: "queue.Queue" = queue.Queue(maxsize=cfg.queue_capacity)
+        stop = threading.Event()
+        shed = [0]  # mutated by the ingest thread, read after join
+
+        def _enqueue(item) -> bool:
+            """Blocking put that gives up once the dispatcher has stopped
+            (so an aborted dispatch loop never strands the ingest thread
+            on a full queue)."""
+            while not stop.is_set():
+                try:
+                    window_queue.put(item, timeout=0.05)
+                    return True
+                except queue.Full:
+                    continue
+            return False
 
         def _ingest() -> None:
             try:
-                for window in ingestor.windows(stream.events):
+                for window in ingestor.windows(events):
                     # The span covers the queue hand-off, so its duration
                     # shows backpressure stalls (a full queue) directly.
                     with obs_span("ingest", window=window.index) as sp:
                         if sp.enabled:
                             sp.add("events", window.num_events)
-                        window_queue.put(window)
-                window_queue.put(_SENTINEL)
+                        if cfg.load_shedding:
+                            try:
+                                window_queue.put_nowait(window)
+                            except queue.Full:
+                                shed[0] += 1
+                        elif not _enqueue(window):
+                            return
+                # The sentinel (and any error below) always blocks its way
+                # in — shedding only ever drops windows.
+                _enqueue(_SENTINEL)
             except BaseException as exc:  # propagate into the dispatch loop
-                window_queue.put(exc)
+                _enqueue(exc)
 
         ingest_thread = threading.Thread(
             target=_ingest, name="repro-serve-ingest", daemon=True
@@ -170,7 +220,8 @@ class StreamingService:
         prev: Optional[GraphSnapshot] = None
         started = wall_clock()
         ingest_thread.start()
-        with WindowExecutor(cfg.workers) as pool:
+        pool = WindowExecutor(cfg.workers)
+        try:
             done = False
             while not done:
                 depth = window_queue.qsize()
@@ -216,15 +267,27 @@ class StreamingService:
                             decision,
                             pool.submit(
                                 lambda t=transition, p=plan, i=window.index: (
-                                    self._execute(spec, t, p, i)
+                                    self._execute_resilient(spec, t, p, i)
                                 )
                             ),
                         )
                     )
                     prev = window.snapshot
                 for window, decision, future in futures:
-                    result, execute_s = future.result()
+                    result, execute_s, retries, failure = future.result()
                     stats.execute_s += execute_s
+                    stats.retries += retries
+                    if failure is not None:
+                        attempts, error = failure
+                        stats.windows_failed += 1
+                        stats.failures.append(
+                            WindowFailure(
+                                index=window.index,
+                                attempts=attempts,
+                                error=error,
+                            )
+                        )
+                        continue
                     results.append(result)
                     stats.records.append(
                         WindowRecord(
@@ -235,29 +298,105 @@ class StreamingService:
                             plan_decision=decision.value,
                         )
                     )
-        ingest_thread.join()
+        finally:
+            # Drain in-flight simulations (queued-but-unstarted ones are
+            # cancelled), then release the ingest thread: `stop` breaks
+            # any blocking put, so the join cannot hang even when the
+            # dispatch loop aborted with the queue full.
+            pool.shutdown(wait=True, cancel_pending=True)
+            stop.set()
+            ingest_thread.join()
         stats.elapsed_s = wall_clock() - started
         stats.windows = len(results)
         stats.events = ingestor.total_events
         stats.late_events = ingestor.late_events
+        stats.shed_windows = shed[0]
+        stats.quarantined_events = ingestor.quarantined_events
         stats.from_plan_manager(manager)
         obs_gauge_set("serve.plan_cache_hit_rate", stats.plan_hit_rate)
+        if (
+            cfg.retry is not None
+            or cfg.breaker is not None
+            or cfg.quarantine
+            or cfg.load_shedding
+            or chaos is not None
+        ):
+            obs_gauge_set("serve.retries", stats.retries)
+            obs_gauge_set("serve.windows_failed", stats.windows_failed)
+            obs_gauge_set("serve.shed_windows", stats.shed_windows)
+            obs_gauge_set("serve.quarantined_events", stats.quarantined_events)
+            obs_gauge_set("serve.breaker_trips", stats.breaker_trips)
+            obs_gauge_set("serve.plan_breaker_hits", stats.plan_breaker_hits)
         return ServingReport(results=results, stats=stats)
 
-    def _execute(self, spec, transition, plan, index):
+    def _execute(self, spec, transition, plan, index, attempt=1):
         """Simulate one window in a worker thread, timing the execution.
 
         Returns ``(result, seconds)``; the dispatch thread accumulates the
         seconds into ``stats.execute_s`` so no stats object is mutated
-        concurrently.
+        concurrently.  ``attempt`` keys the chaos schedule so a retried
+        execution draws fresh (but replayable) fault decisions.
         """
+        chaos = self.config.chaos
+        if chaos is not None:
+            delay = chaos.latency(index, attempt)
+            if delay > 0.0:
+                time.sleep(delay)
+            if chaos.crashes(index, attempt):
+                raise InjectedFault(
+                    f"injected crash: window {index}, attempt {attempt}"
+                )
         with obs_span("execute", window=index) as sp:
             result, seconds = timed_call(
-                lambda: simulate_window(self.model, spec, transition, plan)
+                lambda: simulate_window(
+                    self.model, spec, transition, plan, faults=self.config.faults
+                )
             )
             if sp.enabled:
                 sp.add("cycles", result.execution_cycles)
             return result, seconds
+
+    def _execute_resilient(
+        self, spec, transition, plan, index
+    ) -> Tuple[Optional[SimulationResult], float, int, Optional[Tuple[int, str]]]:
+        """Run :meth:`_execute` under the configured retry policy.
+
+        Returns ``(result, seconds, retries, failure)``: ``failure`` is
+        ``None`` on success, else ``(attempts, error)`` once the attempt
+        budget (or the per-window deadline) is exhausted — a permanent
+        window failure the dispatcher records instead of raising, so one
+        poisoned window cannot abort the stream.  Without a retry policy
+        the first exception propagates (the pre-resilience behaviour).
+        """
+        policy = self.config.retry
+        if policy is None:
+            result, seconds = self._execute(spec, transition, plan, index)
+            return result, seconds, 0, None
+        started = wall_clock()
+        retries = 0
+        attempt = 1
+        while True:
+            try:
+                result, seconds = self._execute(
+                    spec, transition, plan, index, attempt
+                )
+                return result, seconds, retries, None
+            except Exception as exc:  # noqa: BLE001 - retry boundary
+                error = f"{type(exc).__name__}: {exc}"
+                if attempt >= policy.max_attempts:
+                    return None, 0.0, retries, (attempt, error)
+                if (
+                    policy.deadline_s is not None
+                    and wall_clock() - started >= policy.deadline_s
+                ):
+                    return None, 0.0, retries, (
+                        attempt,
+                        f"deadline {policy.deadline_s}s exceeded after "
+                        f"{attempt} attempts; last error: {error}",
+                    )
+                time.sleep(policy.backoff(attempt))
+                retries += 1
+                attempt += 1
 
 
 def serve_offline(
@@ -285,6 +424,8 @@ def serve_offline(
     for t in range(discrete.num_snapshots):
         transition = transition_graph(prev, discrete[t], name=f"window-{t}")
         plan, _ = manager.resolve(transition, spec)
-        results.append(simulate_window(model, spec, transition, plan))
+        results.append(
+            simulate_window(model, spec, transition, plan, faults=config.faults)
+        )
         prev = discrete[t]
     return results

@@ -12,7 +12,14 @@ import time
 from dataclasses import dataclass, field
 from typing import Dict, List
 
-__all__ = ["wall_clock", "timed_call", "median", "WindowRecord", "ServiceStats"]
+__all__ = [
+    "wall_clock",
+    "timed_call",
+    "median",
+    "WindowRecord",
+    "WindowFailure",
+    "ServiceStats",
+]
 
 
 def wall_clock() -> float:
@@ -77,7 +84,16 @@ class WindowRecord:
     num_events: int
     latency_s: float  # window close (ingest) -> result available
     cycles: float
-    plan_decision: str  # "hit" | "miss" | "replan"
+    plan_decision: str  # "hit" | "miss" | "replan" | "breaker"
+
+
+@dataclass
+class WindowFailure:
+    """A window the service could not serve within its retry budget."""
+
+    index: int
+    attempts: int
+    error: str  # `type: message` of the final attempt's exception
 
 
 @dataclass
@@ -101,8 +117,23 @@ class ServiceStats:
     #: rate = execution itself is the bottleneck
     execute_s: float = 0.0
     max_queue_depth: int = 0
+    # Resilience counters (all zero on a fault-free run with the
+    # resilience hooks at their defaults — the bench gate relies on it).
+    #: execution attempts beyond the first, across all windows
+    retries: int = 0
+    #: windows that exhausted their retry budget (or deadline)
+    windows_failed: int = 0
+    #: windows dropped by load shedding before they reached dispatch
+    shed_windows: int = 0
+    #: malformed events diverted to the ingest dead-letter queue
+    quarantined_events: int = 0
+    #: windows served the last-good plan by an open circuit breaker
+    plan_breaker_hits: int = 0
+    #: times the plan-manager circuit breaker tripped open
+    breaker_trips: int = 0
     queue_depth_samples: List[int] = field(default_factory=list, repr=False)
     records: List[WindowRecord] = field(default_factory=list, repr=False)
+    failures: List[WindowFailure] = field(default_factory=list, repr=False)
 
     # ------------------------------------------------------------------
     # Derived metrics
@@ -144,7 +175,12 @@ class ServiceStats:
     @property
     def plan_lookups(self) -> int:
         """Plan-manager resolutions (one per window)."""
-        return self.plan_hits + self.plan_misses + self.plan_replans
+        return (
+            self.plan_hits
+            + self.plan_misses
+            + self.plan_replans
+            + self.plan_breaker_hits
+        )
 
     @property
     def plan_hit_rate(self) -> float:
@@ -200,6 +236,12 @@ class ServiceStats:
             "max_queue_depth": self.max_queue_depth,
             "mean_queue_depth": self.mean_queue_depth,
             "p95_queue_depth": self.p95_queue_depth,
+            "retries": self.retries,
+            "windows_failed": self.windows_failed,
+            "shed_windows": self.shed_windows,
+            "quarantined_events": self.quarantined_events,
+            "plan_breaker_hits": self.plan_breaker_hits,
+            "breaker_trips": self.breaker_trips,
         }
 
     def summary(self) -> str:
@@ -224,6 +266,22 @@ class ServiceStats:
             f"ingest queue       depth max={self.max_queue_depth} "
             f"mean={self.mean_queue_depth:.1f} p95={self.p95_queue_depth:.1f}",
         ]
+        if (
+            self.retries
+            or self.windows_failed
+            or self.shed_windows
+            or self.quarantined_events
+            or self.plan_breaker_hits
+            or self.breaker_trips
+        ):
+            lines.append(
+                f"resilience         {self.retries} retries, "
+                f"{self.windows_failed} windows failed, "
+                f"{self.shed_windows} shed, "
+                f"{self.quarantined_events} events quarantined, "
+                f"breaker {self.breaker_trips} trips / "
+                f"{self.plan_breaker_hits} short-circuits"
+            )
         return "\n".join(lines)
 
     def record_queue_depth(self, depth: int) -> None:
@@ -238,3 +296,5 @@ class ServiceStats:
         self.plan_replans = manager.replans
         self.plan_evictions = manager.evictions
         self.plan_cache_size = manager.size
+        self.plan_breaker_hits = manager.breaker_hits
+        self.breaker_trips = manager.breaker_trips
