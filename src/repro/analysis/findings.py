@@ -118,6 +118,7 @@ DETERMINISTIC_PATHS = PathScope(
         "core/",
         "accel/",
         "serving/",
+        "dist/",
         "resilience/",
         "graphs/",
         "baselines/",
@@ -135,8 +136,8 @@ DETERMINISTIC_PATHS = PathScope(
 UNIT_PATHS = PathScope(include=("accel/", "core/"), exclude=("analysis/",))
 
 #: Paths that run under more than one thread (ingest thread + dispatch
-#: loop + worker pool).
-THREADED_PATHS = PathScope(include=("serving/",), exclude=("analysis/",))
+#: loop + worker pool) or across processes (shard workers + coordinator).
+THREADED_PATHS = PathScope(include=("serving/", "dist/"), exclude=("analysis/",))
 
 
 class Rule(ABC):

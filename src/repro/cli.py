@@ -319,6 +319,12 @@ def _add_serve_args(parser: argparse.ArgumentParser) -> None:
                         help="LRU bound of the execution-plan cache")
     parser.add_argument("--hidden-dim", type=int, default=64,
                         help="DGNN hidden width (synthetic mode)")
+    parser.add_argument("--shards", type=int, default=0,
+                        help="shard the stream over N worker processes "
+                        "(0 = single-process; results are bit-identical "
+                        "either way — see docs/distributed.md)")
+    parser.add_argument("--partition-seed", type=int, default=0,
+                        help="consistent-hash partition seed (sharded mode)")
 
 
 def _runner(args: argparse.Namespace) -> ExperimentRunner:
@@ -484,7 +490,23 @@ def _cmd_serve(args: argparse.Namespace) -> None:
         f"[{first:g}, {last:g}], V={stream.num_vertices}, "
         f"window={window:g} ({stream.num_windows(window, origin=origin)} windows)"
     )
-    report = StreamingService(ditile_model(), config).serve(stream, spec)
+    if args.shards >= 1:
+        from .dist import ShardedConfig, ShardedService
+
+        service = ShardedService(
+            ditile_model(),
+            ShardedConfig(
+                shards=args.shards,
+                service=config,
+                partition_seed=args.partition_seed,
+            ),
+        )
+        try:
+            report = service.serve(stream, spec)
+        finally:
+            service.shutdown()
+    else:
+        report = StreamingService(ditile_model(), config).serve(stream, spec)
     print(report.stats.summary())
     print(
         f"simulated load     {report.total_cycles:.3e} accelerator cycles "
@@ -544,8 +566,11 @@ def _cmd_chaos(args: argparse.Namespace) -> int:
         f"window={window:g}"
     )
     print(f"chaos: {schedule.describe()}")
+    if args.shards >= 1:
+        print(f"shards: {args.shards} worker processes")
     report, chaos_report = run_chaos(
-        stream, spec, schedule, config=config, model=ditile_model()
+        stream, spec, schedule, config=config, model=ditile_model(),
+        shards=args.shards,
     )
     print(report.stats.summary())
     print(chaos_report.summary())

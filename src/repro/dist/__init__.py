@@ -1,0 +1,44 @@
+"""Sharded multi-process serving (``repro.dist``).
+
+Scales the streaming service past the GIL by sharding the dynamic graph
+across worker processes: events route to shards by consistent hash of
+their destination vertex, each shard materializes its window deltas into
+shared-memory segments, and a merging coordinator folds them into global
+snapshots served through the unchanged plan/execute pipeline.
+
+The contract inherited from the serving layer: per-window results are
+**bit-identical** to the single-process path for any shard count.  See
+``docs/distributed.md``.
+"""
+
+from .config import ShardedConfig
+from .coordinator import ShardedService
+from .router import EventRouter, RoutingPlan
+from .shmem import SegmentSpec, attach_segment, unlink_segment, write_segment
+from .stats import EdgeAccount, ShardStats, ShardedStats
+from .worker import (
+    ShardDoneMessage,
+    ShardErrorMessage,
+    ShardWindowMessage,
+    segment_name,
+    shard_worker_main,
+)
+
+__all__ = [
+    "ShardedConfig",
+    "ShardedService",
+    "EventRouter",
+    "RoutingPlan",
+    "SegmentSpec",
+    "write_segment",
+    "attach_segment",
+    "unlink_segment",
+    "ShardStats",
+    "ShardedStats",
+    "EdgeAccount",
+    "ShardWindowMessage",
+    "ShardDoneMessage",
+    "ShardErrorMessage",
+    "segment_name",
+    "shard_worker_main",
+]

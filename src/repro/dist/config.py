@@ -1,0 +1,58 @@
+"""Configuration of the sharded multi-process serving layer."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Tuple
+
+from ..serving.service import ServiceConfig
+
+__all__ = ["ShardedConfig"]
+
+
+@dataclass(frozen=True)
+class ShardedConfig:
+    """Tunable knobs of :class:`~repro.dist.coordinator.ShardedService`.
+
+    The embedded :class:`~repro.serving.service.ServiceConfig` carries all
+    single-process semantics (window clock, plan cache, retry/breaker,
+    chaos, faults); the fields here only add the process topology on top.
+    Every combination must preserve the parity guarantee — per-window
+    results bit-identical to the single-process path — which is why
+    ``load_shedding`` (whose drops depend on queue timing) is rejected.
+    """
+
+    #: shard worker processes (>= 1; 1 exercises the full protocol on a
+    #: single shard and must already be bit-identical to single-process)
+    shards: int = 2
+    #: the single-process service semantics the shards preserve
+    service: ServiceConfig = field(default_factory=ServiceConfig)
+    #: seed of the consistent-hash vertex partition (same seed on every
+    #: process => same routing, with no coordination)
+    partition_seed: int = 0
+    #: coordinator poll interval while waiting on a shard queue; each
+    #: expiry doubles as a worker liveness probe
+    heartbeat_s: float = 0.25
+    #: total shard restarts tolerated before the run is aborted
+    max_restarts: int = 2
+    #: multiprocessing start method; ``fork`` lets workers inherit the
+    #: routed event lists and initial shard snapshots without pickling
+    mp_start_method: str = "fork"
+    #: deterministic crash injection: ``(shard, window)`` pairs at which
+    #: the generation-0 worker hard-exits *before* materializing the
+    #: window — the restart-path test hook (parity must still hold)
+    crash_windows: Tuple[Tuple[int, int], ...] = ()
+
+    def __post_init__(self) -> None:
+        if self.shards < 1:
+            raise ValueError(f"shards must be >= 1, got {self.shards}")
+        if self.heartbeat_s <= 0:
+            raise ValueError("heartbeat_s must be positive")
+        if self.max_restarts < 0:
+            raise ValueError("max_restarts must be >= 0")
+        if self.service.load_shedding:
+            raise ValueError(
+                "load_shedding is incompatible with sharded serving: "
+                "timing-dependent drops break the bit-identical parity "
+                "guarantee (use the single-process service for shedding)"
+            )

@@ -1,0 +1,529 @@
+"""The merging coordinator: shard processes -> one global serving run.
+
+Topology (one coordinator, ``shards`` worker processes):
+
+::
+
+    events ──> [router] ──fork──> [shard 0..S-1] ──(queue+shm)──> [merge] ──> [plan/execute]
+                consistent         per-shard           per-window      global snapshot,
+                hash by dst        window builds       delta views     same pipeline as
+                                                                       single-process
+
+The coordinator routes the whole stream up front, forks one worker per
+shard, then merges window by window: each shard's net delta arrives as
+zero-copy views over a shared-memory segment, the deltas concatenate
+into the exact global delta (disjoint by destination ownership), and
+:func:`~repro.graphs.delta.apply_delta` — which canonicalizes the edge
+set — materializes a global snapshot **bit-identical** to the
+single-process ingest path.  Planning and execution then run through the
+identical :class:`~repro.serving.plan_manager.PlanManager` /
+:class:`~repro.serving.executor.WindowRunner` machinery, so per-window
+results are byte-for-byte equal to ``StreamingService.serve`` and
+``serve_offline`` for *any* shard count (the {1, 2, 4, 7} parity sweep in
+``tests/test_dist.py``).
+
+Worker death is detected by liveness probes on queue-poll timeouts; the
+dead shard restarts (bounded by ``max_restarts``) from the shard
+subgraph of the last merged global snapshot, replaying only the routed
+events from the first unmerged window — restarts are invisible in the
+results.
+"""
+
+from __future__ import annotations
+
+import itertools
+import multiprocessing
+import os
+import queue as queue_mod
+from contextlib import ExitStack
+from typing import List, Optional
+
+import numpy as np
+
+from ..accel.metrics import SimulationResult
+from ..core.plan import DGNNSpec
+from ..ditile import DiTileAccelerator
+from ..graphs.continuous import ContinuousDynamicGraph
+from ..graphs.delta import SnapshotDelta, apply_delta, merge_deltas
+from ..graphs.partition import hash_vertex_partition, shard_subgraph
+from ..graphs.snapshot import GraphSnapshot
+from ..obs import gauge_set as obs_gauge_set
+from ..obs import span as obs_span
+from ..serving.executor import WindowExecutor, WindowRunner, transition_graph
+from ..serving.ingest import Window
+from ..serving.plan_manager import PlanManager
+from ..serving.service import ServingReport
+from ..serving.stats import WindowFailure, WindowRecord, timed_call, wall_clock
+from .config import ShardedConfig
+from .router import EventRouter
+from .shmem import attach_segment, unlink_segment
+from .stats import EdgeAccount, ShardStats, ShardedStats
+from .worker import (
+    ShardDoneMessage,
+    ShardErrorMessage,
+    ShardWindowMessage,
+    segment_name,
+    shard_worker_main,
+)
+
+__all__ = ["ShardedService"]
+
+#: distinguishes segment namespaces of services created by one process
+_session_ids = itertools.count()
+
+
+class ShardedService:
+    """Serves an event stream across ``shards`` worker processes."""
+
+    def __init__(
+        self,
+        model: Optional[DiTileAccelerator] = None,
+        config: ShardedConfig = ShardedConfig(),
+    ):
+        self.model = model if model is not None else DiTileAccelerator()
+        self.config = config
+        self._session = f"rd{os.getpid():x}x{next(_session_ids)}"
+        self._procs: List[Optional[multiprocessing.Process]] = []
+        self._queues: List = []
+        self._gens: List[int] = []
+        self._restarts = 0
+        self._merged_upto = 0
+        self._num_windows = 0
+
+    # ------------------------------------------------------------------
+    # Serving
+    # ------------------------------------------------------------------
+    def serve(
+        self, stream: ContinuousDynamicGraph, spec: DGNNSpec
+    ) -> ServingReport:
+        """Serve ``stream`` end to end; always tears the workers down."""
+        with obs_span(
+            "dist.serve",
+            stream=stream.name,
+            shards=self.config.shards,
+            workers=self.config.service.workers,
+        ):
+            try:
+                return self._serve(stream, spec)
+            finally:
+                self.shutdown()
+
+    def _serve(
+        self, stream: ContinuousDynamicGraph, spec: DGNNSpec
+    ) -> ServingReport:
+        cfg = self.config
+        svc = cfg.service
+        chaos = (
+            svc.chaos if svc.chaos is not None and not svc.chaos.is_quiet else None
+        )
+        events = stream.events
+        if chaos is not None and chaos.poison_rate > 0.0:
+            # Poison is injected before routing — the shard workers see
+            # exactly the stream the single-process ingest thread would.
+            events = chaos.inject(events, num_vertices=stream.num_vertices)
+        self._partition = hash_vertex_partition(
+            stream.num_vertices, cfg.shards, seed=cfg.partition_seed
+        )
+        router = EventRouter(
+            self._partition,
+            num_vertices=stream.num_vertices,
+            window=svc.window,
+            origin=svc.origin,
+            strict_time_order=svc.strict_time_order,
+            quarantine=svc.quarantine,
+        )
+        routing = router.route(events)
+        self._routing = routing
+        self._num_windows = routing.num_windows
+        self._num_vertices = stream.num_vertices
+        self._feature_dim = spec.feature_dim
+        self._origin = routing.origin
+        self._current = self._initial_snapshot(stream, spec)
+        self._merged_upto = 0
+
+        started = wall_clock()
+        ctx = multiprocessing.get_context(cfg.mp_start_method)
+        self._queues = [
+            ctx.Queue(maxsize=svc.queue_capacity) for _ in range(cfg.shards)
+        ]
+        self._procs = [None] * cfg.shards
+        self._gens = [0] * cfg.shards
+        # Fork all workers *before* the thread pool exists — forking a
+        # multi-threaded process is where fork() gets dangerous.
+        for shard in range(cfg.shards):
+            self._spawn(ctx, shard, start_window=0)
+
+        stats = ShardedStats(shards=cfg.shards)
+        shard_stats = [ShardStats(shard=s) for s in range(cfg.shards)]
+        results: List[SimulationResult] = []
+        manager = PlanManager(
+            self.model,
+            capacity=svc.plan_cache_capacity,
+            drift_threshold=svc.drift_threshold,
+            breaker=svc.breaker,
+            label="coordinator",
+        )
+        runner = WindowRunner(
+            self.model, spec, chaos=chaos, faults=svc.faults, retry=svc.retry
+        )
+        prev: Optional[GraphSnapshot] = None
+        pool = WindowExecutor(svc.workers)
+        try:
+            while self._merged_upto < self._num_windows:
+                depth = self._queue_depth()
+                stats.record_queue_depth(depth)
+                obs_gauge_set("dist.queue_depth", depth)
+                batch: List[Window] = []
+                while (
+                    len(batch) < svc.max_batch_windows
+                    and self._merged_upto < self._num_windows
+                ):
+                    batch.append(
+                        self._merge_next(ctx, stats, shard_stats)
+                    )
+                stats.batches += 1
+                # Identical dispatch discipline to StreamingService:
+                # plans resolve sequentially in window order before any
+                # simulation is scheduled.
+                futures = []
+                for window in batch:
+                    with obs_span("window", index=window.index) as sp:
+                        transition = transition_graph(
+                            prev, window.snapshot, name=f"window-{window.index}"
+                        )
+                        (plan, decision), resolve_s = timed_call(
+                            lambda t=transition: manager.resolve(t, spec)
+                        )
+                        stats.plan_resolve_s += resolve_s
+                        if sp.enabled:
+                            sp.set_attr("decision", decision.value)
+                            sp.add("events", window.num_events)
+                    futures.append(
+                        (
+                            window,
+                            decision,
+                            pool.submit(
+                                lambda t=transition, p=plan, i=window.index: (
+                                    runner.execute_resilient(t, p, i)
+                                )
+                            ),
+                        )
+                    )
+                    prev = window.snapshot
+                for window, decision, future in futures:
+                    result, execute_s, retries, failure = future.result()
+                    stats.execute_s += execute_s
+                    stats.retries += retries
+                    if failure is not None:
+                        attempts, error = failure
+                        stats.windows_failed += 1
+                        stats.failures.append(
+                            WindowFailure(
+                                index=window.index,
+                                attempts=attempts,
+                                error=error,
+                            )
+                        )
+                        continue
+                    results.append(result)
+                    stats.records.append(
+                        WindowRecord(
+                            index=window.index,
+                            num_events=window.num_events,
+                            latency_s=wall_clock() - window.closed_at,
+                            cycles=result.execution_cycles,
+                            plan_decision=decision.value,
+                        )
+                    )
+        finally:
+            pool.shutdown(wait=True, cancel_pending=True)
+        stats.elapsed_s = wall_clock() - started
+        stats.windows = len(results)
+        stats.events = routing.total_events
+        stats.late_events = routing.late_events
+        stats.quarantined_events = routing.quarantined_events
+        stats.restarts = self._restarts
+        stats.shard_stats = shard_stats
+        stats.from_plan_manager(manager)
+        self._emit_gauges(stats, chaos)
+        return ServingReport(results=results, stats=stats)
+
+    # ------------------------------------------------------------------
+    # Merge protocol
+    # ------------------------------------------------------------------
+    def _merge_next(
+        self, ctx, stats: ShardedStats, shard_stats: List[ShardStats]
+    ) -> Window:
+        """Gather every shard's contribution to the next window and merge."""
+        index = self._merged_upto
+        with obs_span("dist.merge", window=index) as sp:
+            msgs = [
+                self._gather(ctx, shard, index)
+                for shard in range(self.config.shards)
+            ]
+            merged = self._merge_deltas(msgs)
+            for msg in msgs:
+                if msg.segment is not None:
+                    unlink_segment(msg.segment.name)
+            if merged.num_changes:
+                self._current = apply_delta(
+                    self._current, merged, timestamp=index
+                )
+            if sp.enabled:
+                sp.add("changes", merged.num_changes)
+        for msg, st in zip(msgs, shard_stats):
+            st.windows += 1
+            st.events += msg.num_events
+            st.segments += 1 if msg.segment is not None else 0
+            st.edges_final = msg.shard_edges
+            st.cut_edges_final = msg.cut_edges
+            st.generation = self._gens[msg.shard]
+        stats.edge_accounts.append(
+            EdgeAccount(
+                window=index,
+                shard_edges=tuple(m.shard_edges for m in msgs),
+                cut_edges=tuple(m.cut_edges for m in msgs),
+                global_edges=self._current.num_edges,
+            )
+        )
+        self._merged_upto = index + 1
+        return Window(
+            index=index,
+            snapshot=self._current,
+            delta=merged,
+            num_events=sum(m.num_events for m in msgs),
+            close_time=msgs[0].close_time,
+            closed_at=max(m.closed_at for m in msgs),
+        )
+
+    def _merge_deltas(self, msgs: List[ShardWindowMessage]) -> SnapshotDelta:
+        """Concatenate the shard deltas straight out of shared memory.
+
+        The per-segment views are consumed zero-copy inside the attach
+        scope (``np.concatenate`` is the first — and only — copy);
+        nothing aliases the segments once this returns, so the caller can
+        unlink them.
+        """
+        with ExitStack() as stack:
+            deltas: List[SnapshotDelta] = []
+            for msg in msgs:
+                if msg.segment is None:
+                    continue
+                views = stack.enter_context(attach_segment(msg.segment))
+                deltas.append(
+                    SnapshotDelta(
+                        added_src=views["added_src"],
+                        added_dst=views["added_dst"],
+                        removed_src=views["removed_src"],
+                        removed_dst=views["removed_dst"],
+                    )
+                )
+            merged = merge_deltas(deltas)
+            # Drop the view-backed deltas before the segments detach.
+            deltas.clear()
+        return merged
+
+    def _gather(self, ctx, shard: int, window: int) -> ShardWindowMessage:
+        """The next in-protocol message from ``shard`` for ``window``.
+
+        Poll timeouts double as liveness probes: a silent *and* dead
+        worker triggers the restart path; a silent live one (a slow
+        window) just keeps the coordinator waiting.
+        """
+        while True:
+            try:
+                msg = self._queues[shard].get(timeout=self.config.heartbeat_s)
+            except queue_mod.Empty:
+                proc = self._procs[shard]
+                if proc is None or not proc.is_alive():
+                    self._restart(ctx, shard, window)
+                continue
+            if msg.generation != self._gens[shard]:
+                # Stale message from a pre-restart incarnation.
+                if (
+                    isinstance(msg, ShardWindowMessage)
+                    and msg.segment is not None
+                ):
+                    unlink_segment(msg.segment.name)
+                continue
+            if isinstance(msg, ShardErrorMessage):
+                raise RuntimeError(
+                    f"shard {shard} (generation {msg.generation}) failed: "
+                    f"{msg.error}"
+                )
+            if isinstance(msg, ShardDoneMessage):
+                raise RuntimeError(
+                    f"shard {shard} finished before window {window} "
+                    f"(protocol violation)"
+                )
+            if msg.window != window:
+                raise RuntimeError(
+                    f"shard {shard} sent window {msg.window}, expected "
+                    f"{window} (protocol violation)"
+                )
+            return msg
+
+    def _restart(self, ctx, shard: int, window: int) -> None:
+        """Replace a dead shard worker, resuming at ``window``.
+
+        The new incarnation is seeded with the shard subgraph of the last
+        merged global snapshot (exactly the dead worker's live edge set
+        after window ``window - 1``) and replays the routed events from
+        ``window`` on — so the restart is invisible in the merged
+        results.  Everything the dead incarnation left behind — queued
+        messages, announced segments, and segments created but never
+        announced — is swept before the new generation starts.
+        """
+        self._restarts += 1
+        if self._restarts > self.config.max_restarts:
+            raise RuntimeError(
+                f"shard {shard} died at window {window}; restart budget "
+                f"({self.config.max_restarts}) exhausted"
+            )
+        proc = self._procs[shard]
+        if proc is not None:
+            proc.join()
+        self._drain_queue(shard)
+        self._sweep_segments(shard, self._gens[shard], window)
+        self._gens[shard] += 1
+        obs_gauge_set("dist.restarts", self._restarts)
+        self._spawn(ctx, shard, start_window=window)
+
+    # ------------------------------------------------------------------
+    # Process management
+    # ------------------------------------------------------------------
+    def _spawn(self, ctx, shard: int, start_window: int) -> None:
+        svc = self.config.service
+        routed = self._routing.routed[shard]
+        if start_window:
+            routed = [(i, e) for i, e in routed if i >= start_window]
+        proc = ctx.Process(
+            target=shard_worker_main,
+            name=f"repro-dist-shard{shard}",
+            args=(
+                shard,
+                self._gens[shard],
+                self._session,
+                routed,
+                self._queues[shard],
+                self._num_vertices,
+                self._feature_dim,
+                svc.window,
+                self._origin,
+                start_window,
+                self._num_windows,
+                shard_subgraph(self._current, self._partition, shard),
+                self._partition.assignment,
+                self.config.crash_windows,
+            ),
+            daemon=True,
+        )
+        proc.start()
+        self._procs[shard] = proc
+
+    def shutdown(self) -> None:
+        """Terminate and join every shard worker; free every segment.
+
+        Idempotent and exception-safe — the chaos harness and the CLI
+        call it from ``try/finally`` so no run, however it ended, leaks
+        orphan processes or shared-memory segments.
+        """
+        procs, self._procs = self._procs, []
+        queues, self._queues = self._queues, []
+        for proc in procs:
+            if proc is not None and proc.is_alive():
+                proc.terminate()
+        for proc in procs:
+            if proc is not None:
+                proc.join(timeout=5.0)
+        for q in queues:
+            while True:
+                try:
+                    msg = q.get_nowait()
+                except (queue_mod.Empty, OSError, ValueError):
+                    break
+                if (
+                    isinstance(msg, ShardWindowMessage)
+                    and msg.segment is not None
+                ):
+                    unlink_segment(msg.segment.name)
+            q.close()
+            q.cancel_join_thread()
+        for shard, gen in enumerate(self._gens):
+            self._sweep_segments(shard, gen, self._merged_upto)
+        self._gens = []
+
+    def _drain_queue(self, shard: int) -> None:
+        """Discard everything a dead incarnation left on its queue."""
+        while True:
+            try:
+                msg = self._queues[shard].get_nowait()
+            except queue_mod.Empty:
+                return
+            if isinstance(msg, ShardWindowMessage) and msg.segment is not None:
+                unlink_segment(msg.segment.name)
+
+    def _sweep_segments(self, shard: int, generation: int, window: int) -> None:
+        """Free segments ``shard`` may have created at or after ``window``.
+
+        A worker can run at most ``queue_capacity`` windows ahead of the
+        last message the coordinator consumed (the bounded queue blocks
+        it there) plus one segment written before the blocked put — so a
+        bounded name sweep provably covers every possible orphan.
+        """
+        horizon = min(
+            window + self.config.service.queue_capacity + 2, self._num_windows
+        )
+        for w in range(window, horizon):
+            unlink_segment(segment_name(self._session, shard, generation, w))
+
+    # ------------------------------------------------------------------
+    # Reporting helpers
+    # ------------------------------------------------------------------
+    def _initial_snapshot(
+        self, stream: ContinuousDynamicGraph, spec: DGNNSpec
+    ) -> GraphSnapshot:
+        """The window-0 predecessor, built exactly as single-process ingest
+        builds it (same vertex space, same feature dim)."""
+        initial = stream.initial
+        if initial is None or initial.num_edges == 0:
+            src = dst = np.empty(0, dtype=np.int64)
+        else:
+            src, dst = initial.edge_arrays()
+        return GraphSnapshot.from_edge_arrays(
+            stream.num_vertices, src, dst, feature_dim=spec.feature_dim
+        )
+
+    def _queue_depth(self) -> int:
+        """Deepest shard queue (stats only; 0 where unsupported)."""
+        depth = 0
+        for q in self._queues:
+            try:
+                depth = max(depth, q.qsize())
+            except NotImplementedError:  # pragma: no cover - macOS
+                return 0
+        return depth
+
+    def _emit_gauges(self, stats: ShardedStats, chaos) -> None:
+        svc = self.config.service
+        obs_gauge_set("serve.plan_cache_hit_rate", stats.plan_hit_rate)
+        obs_gauge_set("dist.shards", stats.shards)
+        obs_gauge_set("dist.restarts", stats.restarts)
+        obs_gauge_set("dist.cut_edges", stats.cut_edges_final)
+        for st in stats.shard_stats:
+            obs_gauge_set(f"dist.shard{st.shard}.events", st.events)
+            obs_gauge_set(f"dist.shard{st.shard}.segments", st.segments)
+            obs_gauge_set(f"dist.shard{st.shard}.edges", st.edges_final)
+            obs_gauge_set(f"dist.shard{st.shard}.cut_edges", st.cut_edges_final)
+        if (
+            svc.retry is not None
+            or svc.breaker is not None
+            or svc.quarantine
+            or chaos is not None
+        ):
+            obs_gauge_set("serve.retries", stats.retries)
+            obs_gauge_set("serve.windows_failed", stats.windows_failed)
+            obs_gauge_set("serve.shed_windows", stats.shed_windows)
+            obs_gauge_set("serve.quarantined_events", stats.quarantined_events)
+            obs_gauge_set("serve.breaker_trips", stats.breaker_trips)
+            obs_gauge_set("serve.plan_breaker_hits", stats.plan_breaker_hits)

@@ -1,0 +1,123 @@
+"""Event routing: stream events -> per-shard, window-tagged event lists.
+
+The router is the sharded layer's half of ingest.  It applies the exact
+validation and window-assignment rules of
+:class:`~repro.serving.ingest.WindowedIngestor` — same
+:func:`~repro.serving.ingest.event_fault` checks, same origin anchoring,
+same late-event policy — then forwards each surviving event to the shard
+owning its **destination** vertex under the consistent-hash partition.
+
+Routing by destination is what makes the shard deltas compose: every
+event in an edge's lifecycle (add, churn, remove) lands on one shard, so
+per-shard net deltas are disjoint and concatenate to the exact global
+delta (see :func:`~repro.graphs.delta.merge_deltas`).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, List, Optional, Tuple
+
+from ..graphs.continuous import EdgeEvent, window_index
+from ..graphs.partition import VertexPartition
+from ..serving.ingest import RejectedEvent, event_fault
+
+__all__ = ["RoutingPlan", "EventRouter"]
+
+
+@dataclass
+class RoutingPlan:
+    """The routed stream: who serves what, plus ingest accounting."""
+
+    #: total windows in the stream (>= 1; empty streams serve one window)
+    num_windows: int
+    #: resolved window-clock anchor (0.0 when no valid event set one)
+    origin: float
+    #: per shard: ``(window index, event)`` in arrival order — arrival
+    #: order is ascending window index, which the shard builders require
+    routed: List[List[Tuple[int, EdgeEvent]]]
+    total_events: int
+    late_events: int
+    #: dead-letter queue (populated only with ``quarantine=True``)
+    rejected: List[RejectedEvent]
+
+    @property
+    def shard_events(self) -> List[int]:
+        """Events routed to each shard."""
+        return [len(r) for r in self.routed]
+
+    @property
+    def quarantined_events(self) -> int:
+        """Malformed events diverted into the dead-letter queue."""
+        return len(self.rejected)
+
+
+class EventRouter:
+    """Routes one event stream under a fixed vertex partition."""
+
+    def __init__(
+        self,
+        partition: VertexPartition,
+        num_vertices: int,
+        window: float,
+        origin: Optional[float] = None,
+        strict_time_order: bool = False,
+        quarantine: bool = False,
+    ):
+        if window <= 0:
+            raise ValueError(f"window must be positive, got {window}")
+        if partition.num_vertices < num_vertices:
+            raise ValueError("partition does not cover the vertex space")
+        self.partition = partition
+        self.num_vertices = num_vertices
+        self.window = window
+        self.origin = origin
+        self.strict_time_order = strict_time_order
+        self.quarantine = quarantine
+
+    def route(self, events: Iterable[EdgeEvent]) -> RoutingPlan:
+        """Consume ``events`` and return the complete routing plan.
+
+        Mirrors :meth:`WindowedIngestor.windows` decision-for-decision
+        (validated by the router parity tests): identical events are
+        dropped/quarantined/rejected in both paths, so every counter in
+        the sharded report matches the single-process one.
+        """
+        assignment = self.partition.assignment
+        routed: List[List[Tuple[int, EdgeEvent]]] = [
+            [] for _ in range(self.partition.num_parts)
+        ]
+        origin = self.origin
+        current = 0
+        total = 0
+        late = 0
+        rejected: List[RejectedEvent] = []
+        for position, event in enumerate(events):
+            total += 1
+            fault = event_fault(event, self.num_vertices)
+            if fault is not None:
+                if not self.quarantine:
+                    raise ValueError(f"malformed event {event}: {fault}")
+                rejected.append(RejectedEvent(event, fault, position))
+                continue
+            if origin is None:
+                origin = event.time
+            index = window_index(event.time, origin, self.window)
+            if index < current:
+                if self.strict_time_order:
+                    raise ValueError(
+                        f"late event {event}: window {index} already closed "
+                        f"(serving window {current})"
+                    )
+                late += 1
+                continue
+            current = max(current, index)
+            routed[int(assignment[event.dst])].append((index, event))
+        return RoutingPlan(
+            num_windows=current + 1,
+            origin=origin if origin is not None else 0.0,
+            routed=routed,
+            total_events=total,
+            late_events=late,
+            rejected=rejected,
+        )

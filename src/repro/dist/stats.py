@@ -1,0 +1,104 @@
+"""Sharded-service statistics: per-shard rollups over the base report.
+
+:class:`ShardedStats` extends :class:`~repro.serving.stats.ServiceStats`
+so every consumer of the single-process report (CLI summary, bench
+recorder, obs gauges) works unchanged on a sharded run, with the process
+topology and the cut-edge accounting layered on top.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Tuple
+
+from ..serving.stats import ServiceStats
+
+__all__ = ["ShardStats", "EdgeAccount", "ShardedStats"]
+
+
+@dataclass
+class ShardStats:
+    """One shard worker's lifetime accounting."""
+
+    shard: int
+    windows: int = 0
+    events: int = 0
+    #: shared-memory segments the shard materialized (changed windows)
+    segments: int = 0
+    #: owned edges after the final window
+    edges_final: int = 0
+    #: owned edges with a remote src after the final window
+    cut_edges_final: int = 0
+    #: process incarnation serving the shard (restarts bump it)
+    generation: int = 0
+
+
+@dataclass(frozen=True)
+class EdgeAccount:
+    """One window's cross-shard edge accounting.
+
+    The merge invariant under test: shard subgraphs partition the global
+    edge set, so ``sum(shard_edges) == global_edges`` on every window —
+    exactly, not approximately.
+    """
+
+    window: int
+    shard_edges: Tuple[int, ...]
+    cut_edges: Tuple[int, ...]
+    global_edges: int
+
+    @property
+    def total_shard_edges(self) -> int:
+        """Edges summed over all shard subgraphs."""
+        return sum(self.shard_edges)
+
+    @property
+    def total_cut_edges(self) -> int:
+        """Cross-shard (cut) edges summed over all shards."""
+        return sum(self.cut_edges)
+
+
+@dataclass
+class ShardedStats(ServiceStats):
+    """Aggregated report of one :meth:`ShardedService.serve` run."""
+
+    shards: int = 0
+    #: shard-worker restarts performed over the whole run
+    restarts: int = 0
+    shard_stats: List[ShardStats] = field(default_factory=list, repr=False)
+    #: per-window cut-edge accounting, in window order
+    edge_accounts: List[EdgeAccount] = field(default_factory=list, repr=False)
+
+    @property
+    def cut_edges_final(self) -> int:
+        """Cross-shard edges in the final window's global snapshot."""
+        if not self.edge_accounts:
+            return 0
+        return self.edge_accounts[-1].total_cut_edges
+
+    def as_dict(self) -> Dict[str, float]:
+        """Flat metric mapping: the base report plus the dist extras."""
+        out = super().as_dict()
+        out.update(
+            {
+                "shards": self.shards,
+                "restarts": self.restarts,
+                "cut_edges_final": self.cut_edges_final,
+            }
+        )
+        return out
+
+    def summary(self) -> str:
+        """The single-process summary plus one distribution line."""
+        per_shard = ", ".join(
+            f"shard{s.shard}={s.events}ev/{s.segments}seg"
+            + (f"/gen{s.generation}" if s.generation else "")
+            for s in self.shard_stats
+        )
+        lines = [
+            super().summary(),
+            f"distribution       {self.shards} shards, "
+            f"{self.restarts} restarts, "
+            f"{self.cut_edges_final} cut edges ({per_shard})",
+        ]
+        return "\n".join(lines)

@@ -1,0 +1,161 @@
+"""The shard worker process: routed events -> shared-memory window deltas.
+
+Each worker owns one shard of the vertex space.  It replays its routed
+event slice through a :class:`~repro.serving.ingest.ShardedWindowBuilder`
+(the same incremental delta/apply machinery as single-process ingest),
+materializes each *changed* window's delta and shard snapshot into a
+shared-memory segment, and announces it on the coordinator queue.  All
+message payloads are scalars plus a :class:`~repro.dist.shmem.SegmentSpec`
+— arrays cross the process boundary only through shared memory.
+"""
+
+from __future__ import annotations
+
+import os
+from dataclasses import dataclass
+from typing import List, Optional, Tuple
+
+import numpy as np
+
+from ..graphs.continuous import EdgeEvent
+from ..graphs.snapshot import GraphSnapshot
+from ..serving.ingest import ShardedWindowBuilder
+from .shmem import SegmentSpec, write_segment
+
+__all__ = [
+    "ShardWindowMessage",
+    "ShardDoneMessage",
+    "ShardErrorMessage",
+    "segment_name",
+    "shard_worker_main",
+]
+
+#: storage order of the delta fields inside a window segment
+DELTA_FIELDS = ("added_src", "added_dst", "removed_src", "removed_dst")
+
+
+@dataclass(frozen=True)
+class ShardWindowMessage:
+    """One shard's contribution to one window."""
+
+    shard: int
+    generation: int
+    window: int
+    num_events: int
+    #: the window's delta segment; ``None`` when the shard saw no net
+    #: change (the coordinator then reuses the previous merge as-is)
+    segment: Optional[SegmentSpec]
+    #: edges the shard owns after this window (dst on this shard)
+    shard_edges: int
+    #: owned edges whose src lives on another shard — each one is an
+    #: inbound cross-shard transfer in the communication model
+    cut_edges: int
+    close_time: float
+    closed_at: float
+
+
+@dataclass(frozen=True)
+class ShardDoneMessage:
+    """The shard served its last window and is exiting cleanly."""
+
+    shard: int
+    generation: int
+
+
+@dataclass(frozen=True)
+class ShardErrorMessage:
+    """The shard hit an unrecoverable error (coordinator aborts the run)."""
+
+    shard: int
+    generation: int
+    error: str
+
+
+def segment_name(session: str, shard: int, generation: int, window: int) -> str:
+    """Deterministic segment name for one ``(shard, generation, window)``.
+
+    Determinism is what lets the coordinator sweep segments a crashed
+    worker created but never announced — it can enumerate every name the
+    worker could have used.
+    """
+    return f"{session}s{shard}g{generation}w{window}"
+
+
+def shard_worker_main(
+    shard: int,
+    generation: int,
+    session: str,
+    routed: List[Tuple[int, EdgeEvent]],
+    out_queue,
+    num_vertices: int,
+    feature_dim: int,
+    window: float,
+    origin: float,
+    start_window: int,
+    end_window: int,
+    initial: Optional[GraphSnapshot],
+    assignment: np.ndarray,
+    crash_windows: Tuple[Tuple[int, int], ...] = (),
+) -> None:
+    """Worker process entry point (run under the ``fork`` start method).
+
+    ``routed``, ``initial``, and ``assignment`` are inherited from the
+    coordinator's address space at fork time — no pickling, no copies
+    beyond the OS's copy-on-write pages.
+
+    ``crash_windows`` is the deterministic fault hook: a listed
+    ``(shard, window)`` hard-exits the generation-0 worker *before* the
+    window's segment exists, so the restart path never has to reconcile
+    a half-written segment from an injected crash.
+    """
+    try:
+        builder = ShardedWindowBuilder(
+            num_vertices,
+            window,
+            feature_dim=feature_dim,
+            initial=initial,
+            origin=origin,
+            start_window=start_window,
+        )
+        for win in builder.build(routed, end_window):
+            if generation == 0 and (shard, win.index) in crash_windows:
+                os._exit(17)
+            segment = None
+            if win.delta.num_changes:
+                delta = win.delta
+                snap_src, snap_dst = win.snapshot.edge_arrays()
+                segment = write_segment(
+                    segment_name(session, shard, generation, win.index),
+                    [
+                        ("added_src", delta.added_src),
+                        ("added_dst", delta.added_dst),
+                        ("removed_src", delta.removed_src),
+                        ("removed_dst", delta.removed_dst),
+                        ("snap_src", snap_src),
+                        ("snap_dst", snap_dst),
+                    ],
+                )
+            src, _dst = win.snapshot.edge_arrays()
+            cut = int(np.sum(assignment[src] != shard)) if len(src) else 0
+            out_queue.put(
+                ShardWindowMessage(
+                    shard=shard,
+                    generation=generation,
+                    window=win.index,
+                    num_events=win.num_events,
+                    segment=segment,
+                    shard_edges=win.snapshot.num_edges,
+                    cut_edges=cut,
+                    close_time=win.close_time,
+                    closed_at=win.closed_at,
+                )
+            )
+        out_queue.put(ShardDoneMessage(shard=shard, generation=generation))
+    except BaseException as exc:  # noqa: BLE001 - process boundary
+        out_queue.put(
+            ShardErrorMessage(
+                shard=shard,
+                generation=generation,
+                error=f"{type(exc).__name__}: {exc}",
+            )
+        )

@@ -227,6 +227,7 @@ def run_chaos(
     schedule: ChaosSchedule,
     config: Optional["ServiceConfig"] = None,
     model: Optional["DiTileAccelerator"] = None,
+    shards: int = 0,
 ) -> "tuple[ServingReport, ChaosReport]":
     """End-to-end chaos run: serve ``stream`` under ``schedule``.
 
@@ -234,6 +235,14 @@ def run_chaos(
     and quarantine enabled), forces the schedule in, and returns both the
     full :class:`~repro.serving.service.ServingReport` and the
     deterministic :class:`ChaosReport` distilled from it.
+
+    ``shards >= 1`` runs the chaos campaign through the sharded
+    multi-process service (:class:`~repro.dist.ShardedService`) instead
+    — worker teardown is guaranteed by its ``try/finally`` shutdown, so
+    a failed run never leaks orphan shard processes.  Poison injection
+    happens before routing and crash/latency decisions are keyed by
+    ``(window, attempt)`` at the coordinator, so the resulting
+    :class:`ChaosReport` is byte-identical for every shard count.
     """
     from dataclasses import replace
 
@@ -251,6 +260,14 @@ def run_chaos(
             "chaos runs need a retry policy; a bare crash would abort the "
             "stream instead of degrading gracefully"
         )
+    if shards >= 1:
+        # Imported lazily: repro.dist pulls in the serving layer, which
+        # imports this module — a top-level import would be circular.
+        from ..dist import ShardedConfig, ShardedService
+
+        sharded = ShardedService(model, ShardedConfig(shards=shards, service=config))
+        report = sharded.serve(stream, spec)
+        return report, chaos_report_from(report)
     service = StreamingService(model, config)
     report = service.serve(stream, spec)
     return report, chaos_report_from(report)

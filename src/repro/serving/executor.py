@@ -15,8 +15,9 @@ never *what* its result is.
 
 from __future__ import annotations
 
+import time
 from concurrent.futures import Future, ThreadPoolExecutor
-from typing import Callable, Optional, TYPE_CHECKING, TypeVar
+from typing import Callable, Optional, Tuple, TYPE_CHECKING, TypeVar
 
 from ..accel.metrics import CostSummary, SimulationResult
 from ..accel.simulator import AcceleratorSimulator
@@ -25,11 +26,20 @@ from ..core.plan import DGNNSpec, ExecutionPlan
 from ..ditile import DiTileAccelerator
 from ..graphs.dynamic import DynamicGraph
 from ..graphs.snapshot import GraphSnapshot
+from ..obs import span as obs_span
+from .stats import timed_call, wall_clock
 
 if TYPE_CHECKING:  # pragma: no cover - type-only; avoids an import cycle
+    from ..resilience.chaos import ChaosSchedule
     from ..resilience.faults import FaultModel
+    from ..resilience.policies import RetryPolicy
 
-__all__ = ["transition_graph", "simulate_window", "WindowExecutor"]
+__all__ = [
+    "transition_graph",
+    "simulate_window",
+    "WindowRunner",
+    "WindowExecutor",
+]
 
 T = TypeVar("T")
 
@@ -85,6 +95,105 @@ def simulate_window(
         faults=faults,
     )
     return simulator.run(window_costs)
+
+
+class WindowRunner:
+    """The per-window execution policy: chaos injection, timing, retries.
+
+    Extracted from :class:`~repro.serving.service.StreamingService` so the
+    sharded coordinator (:mod:`repro.dist`) drives the *identical* code
+    path — same chaos keying, same obs spans, same retry accounting —
+    rather than a reimplementation that could drift.
+    """
+
+    def __init__(
+        self,
+        model: DiTileAccelerator,
+        spec: DGNNSpec,
+        chaos: Optional["ChaosSchedule"] = None,
+        faults: Optional["FaultModel"] = None,
+        retry: Optional["RetryPolicy"] = None,
+    ):
+        self.model = model
+        self.spec = spec
+        self.chaos = chaos
+        self.faults = faults
+        self.retry = retry
+
+    def execute(
+        self,
+        transition: DynamicGraph,
+        plan: ExecutionPlan,
+        index: int,
+        attempt: int = 1,
+    ) -> Tuple[SimulationResult, float]:
+        """Simulate one window, timing the execution.
+
+        Returns ``(result, seconds)``; the dispatch thread accumulates the
+        seconds into ``stats.execute_s`` so no stats object is mutated
+        concurrently.  ``attempt`` keys the chaos schedule so a retried
+        execution draws fresh (but replayable) fault decisions.
+        """
+        from ..resilience.chaos import InjectedFault
+
+        chaos = self.chaos
+        if chaos is not None:
+            delay = chaos.latency(index, attempt)
+            if delay > 0.0:
+                time.sleep(delay)
+            if chaos.crashes(index, attempt):
+                raise InjectedFault(
+                    f"injected crash: window {index}, attempt {attempt}"
+                )
+        with obs_span("execute", window=index) as sp:
+            result, seconds = timed_call(
+                lambda: simulate_window(
+                    self.model, self.spec, transition, plan, faults=self.faults
+                )
+            )
+            if sp.enabled:
+                sp.add("cycles", result.execution_cycles)
+            return result, seconds
+
+    def execute_resilient(
+        self, transition: DynamicGraph, plan: ExecutionPlan, index: int
+    ) -> Tuple[Optional[SimulationResult], float, int, Optional[Tuple[int, str]]]:
+        """Run :meth:`execute` under the configured retry policy.
+
+        Returns ``(result, seconds, retries, failure)``: ``failure`` is
+        ``None`` on success, else ``(attempts, error)`` once the attempt
+        budget (or the per-window deadline) is exhausted — a permanent
+        window failure the dispatcher records instead of raising, so one
+        poisoned window cannot abort the stream.  Without a retry policy
+        the first exception propagates (the pre-resilience behaviour).
+        """
+        policy = self.retry
+        if policy is None:
+            result, seconds = self.execute(transition, plan, index)
+            return result, seconds, 0, None
+        started = wall_clock()
+        retries = 0
+        attempt = 1
+        while True:
+            try:
+                result, seconds = self.execute(transition, plan, index, attempt)
+                return result, seconds, retries, None
+            except Exception as exc:  # noqa: BLE001 - retry boundary
+                error = f"{type(exc).__name__}: {exc}"
+                if attempt >= policy.max_attempts:
+                    return None, 0.0, retries, (attempt, error)
+                if (
+                    policy.deadline_s is not None
+                    and wall_clock() - started >= policy.deadline_s
+                ):
+                    return None, 0.0, retries, (
+                        attempt,
+                        f"deadline {policy.deadline_s}s exceeded after "
+                        f"{attempt} attempts; last error: {error}",
+                    )
+                time.sleep(policy.backoff(attempt))
+                retries += 1
+                attempt += 1
 
 
 class _ImmediateFuture(Future):

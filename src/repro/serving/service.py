@@ -32,9 +32,8 @@ from __future__ import annotations
 
 import queue
 import threading
-import time
 from dataclasses import dataclass
-from typing import List, Optional, Tuple
+from typing import List, Optional
 
 from ..accel.metrics import SimulationResult
 from ..core.plan import DGNNSpec
@@ -43,10 +42,15 @@ from ..graphs.continuous import ContinuousDynamicGraph
 from ..graphs.snapshot import GraphSnapshot
 from ..obs import gauge_set as obs_gauge_set
 from ..obs import span as obs_span
-from ..resilience.chaos import ChaosSchedule, InjectedFault
+from ..resilience.chaos import ChaosSchedule
 from ..resilience.faults import FaultModel
 from ..resilience.policies import BreakerConfig, RetryPolicy
-from .executor import WindowExecutor, simulate_window, transition_graph
+from .executor import (
+    WindowExecutor,
+    WindowRunner,
+    simulate_window,
+    transition_graph,
+)
 from .ingest import Window, WindowedIngestor
 from .plan_manager import PlanManager
 from .stats import ServiceStats, WindowFailure, WindowRecord, timed_call, wall_clock
@@ -141,6 +145,17 @@ class StreamingService:
             breaker=self.config.breaker,
         )
 
+    def _window_runner(
+        self, spec: DGNNSpec, chaos: Optional[ChaosSchedule]
+    ) -> WindowRunner:
+        return WindowRunner(
+            self.model,
+            spec,
+            chaos=chaos,
+            faults=self.config.faults,
+            retry=self.config.retry,
+        )
+
     # ------------------------------------------------------------------
     # Online serving
     # ------------------------------------------------------------------
@@ -217,6 +232,7 @@ class StreamingService:
         stats = ServiceStats()
         results: List[SimulationResult] = []
         manager = self._plan_manager()
+        runner = self._window_runner(spec, chaos)
         prev: Optional[GraphSnapshot] = None
         started = wall_clock()
         ingest_thread.start()
@@ -267,7 +283,7 @@ class StreamingService:
                             decision,
                             pool.submit(
                                 lambda t=transition, p=plan, i=window.index: (
-                                    self._execute_resilient(spec, t, p, i)
+                                    runner.execute_resilient(t, p, i)
                                 )
                             ),
                         )
@@ -328,75 +344,6 @@ class StreamingService:
             obs_gauge_set("serve.breaker_trips", stats.breaker_trips)
             obs_gauge_set("serve.plan_breaker_hits", stats.plan_breaker_hits)
         return ServingReport(results=results, stats=stats)
-
-    def _execute(self, spec, transition, plan, index, attempt=1):
-        """Simulate one window in a worker thread, timing the execution.
-
-        Returns ``(result, seconds)``; the dispatch thread accumulates the
-        seconds into ``stats.execute_s`` so no stats object is mutated
-        concurrently.  ``attempt`` keys the chaos schedule so a retried
-        execution draws fresh (but replayable) fault decisions.
-        """
-        chaos = self.config.chaos
-        if chaos is not None:
-            delay = chaos.latency(index, attempt)
-            if delay > 0.0:
-                time.sleep(delay)
-            if chaos.crashes(index, attempt):
-                raise InjectedFault(
-                    f"injected crash: window {index}, attempt {attempt}"
-                )
-        with obs_span("execute", window=index) as sp:
-            result, seconds = timed_call(
-                lambda: simulate_window(
-                    self.model, spec, transition, plan, faults=self.config.faults
-                )
-            )
-            if sp.enabled:
-                sp.add("cycles", result.execution_cycles)
-            return result, seconds
-
-    def _execute_resilient(
-        self, spec, transition, plan, index
-    ) -> Tuple[Optional[SimulationResult], float, int, Optional[Tuple[int, str]]]:
-        """Run :meth:`_execute` under the configured retry policy.
-
-        Returns ``(result, seconds, retries, failure)``: ``failure`` is
-        ``None`` on success, else ``(attempts, error)`` once the attempt
-        budget (or the per-window deadline) is exhausted — a permanent
-        window failure the dispatcher records instead of raising, so one
-        poisoned window cannot abort the stream.  Without a retry policy
-        the first exception propagates (the pre-resilience behaviour).
-        """
-        policy = self.config.retry
-        if policy is None:
-            result, seconds = self._execute(spec, transition, plan, index)
-            return result, seconds, 0, None
-        started = wall_clock()
-        retries = 0
-        attempt = 1
-        while True:
-            try:
-                result, seconds = self._execute(
-                    spec, transition, plan, index, attempt
-                )
-                return result, seconds, retries, None
-            except Exception as exc:  # noqa: BLE001 - retry boundary
-                error = f"{type(exc).__name__}: {exc}"
-                if attempt >= policy.max_attempts:
-                    return None, 0.0, retries, (attempt, error)
-                if (
-                    policy.deadline_s is not None
-                    and wall_clock() - started >= policy.deadline_s
-                ):
-                    return None, 0.0, retries, (
-                        attempt,
-                        f"deadline {policy.deadline_s}s exceeded after "
-                        f"{attempt} attempts; last error: {error}",
-                    )
-                time.sleep(policy.backoff(attempt))
-                retries += 1
-                attempt += 1
 
 
 def serve_offline(

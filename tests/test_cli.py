@@ -89,6 +89,25 @@ class TestCommands:
         with pytest.raises(KeyError):
             main(["serve", "no-such-dataset"])
 
+    def test_serve_sharded(self, capsys):
+        assert main(
+            ["serve", "--events", "800", "--vertices", "48", "--seed", "7",
+             "--hidden-dim", "16", "--shards", "2"]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "windows served" in out
+        assert "distribution" in out
+        assert "2 shards" in out
+
+    def test_serve_nonpositive_shards_is_single_process(self, capsys):
+        assert main(
+            ["serve", "--events", "300", "--vertices", "16",
+             "--hidden-dim", "16", "--shards", "0"]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "windows served" in out
+        assert "distribution" not in out
+
 
 class TestLint:
     def test_clean_path_exits_zero(self, capsys):

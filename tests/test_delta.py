@@ -4,8 +4,11 @@ import numpy as np
 
 from repro.graphs.delta import (
     addition_only_schedule,
+    apply_delta,
     common_core,
+    merge_deltas,
     snapshot_delta,
+    split_delta,
 )
 from repro.graphs.dynamic import DynamicGraph
 from repro.graphs.generators import generate_dynamic_graph
@@ -47,6 +50,66 @@ class TestSnapshotDelta:
         delta = snapshot_delta(_snap([(0, 1)], n=2), _snap([(0, 1), (2, 3)], n=4))
         assert delta.num_added == 1
         assert delta.num_removed == 0
+
+
+class TestApplyDelta:
+    def test_inverse_of_snapshot_delta(self):
+        prev = _snap([(0, 1), (1, 2), (2, 3)])
+        cur = _snap([(0, 1), (2, 3), (3, 4), (4, 0)])
+        rebuilt = apply_delta(prev, snapshot_delta(prev, cur))
+        assert rebuilt.edge_set() == cur.edge_set()
+
+    def test_redundant_changes_are_noops(self):
+        prev = _snap([(0, 1)])
+        delta = snapshot_delta(prev, _snap([(0, 1), (1, 2)]))
+        # Re-adding a present edge / removing an absent one changes nothing.
+        twice = apply_delta(apply_delta(prev, delta), delta)
+        assert twice.edge_set() == {(0, 1), (1, 2)}
+
+
+class TestSplitMergeRoundtrip:
+    def _random_transition(self, rng, n=40, edges=150):
+        prev = GraphSnapshot.from_edge_arrays(
+            n, rng.integers(0, n, edges), rng.integers(0, n, edges)
+        )
+        cur = GraphSnapshot.from_edge_arrays(
+            n, rng.integers(0, n, edges), rng.integers(0, n, edges)
+        )
+        return prev, cur
+
+    def test_split_is_disjoint_by_destination_owner(self, rng):
+        prev, cur = self._random_transition(rng)
+        delta = snapshot_delta(prev, cur)
+        assignment = rng.integers(0, 3, prev.num_vertices)
+        parts = split_delta(delta, assignment)
+        assert sum(p.num_changes for p in parts) == delta.num_changes
+        for part, piece in enumerate(parts):
+            assert np.all(assignment[piece.added_dst] == part)
+            assert np.all(assignment[piece.removed_dst] == part)
+
+    def test_merge_recovers_exact_snapshot_in_any_order(self, rng):
+        prev, cur = self._random_transition(rng)
+        delta = snapshot_delta(prev, cur)
+        assignment = rng.integers(0, 4, prev.num_vertices)
+        parts = split_delta(delta, assignment)
+        for order in (parts, parts[::-1]):
+            merged = merge_deltas(list(order))
+            rebuilt = apply_delta(prev, merged)
+            assert rebuilt.edge_set() == cur.edge_set()
+            np.testing.assert_array_equal(
+                rebuilt.edge_arrays(), apply_delta(prev, delta).edge_arrays()
+            )
+
+    def test_merge_of_nothing_is_the_empty_delta(self):
+        merged = merge_deltas([])
+        assert merged.num_changes == 0
+        assert merged.added_src.dtype == np.int64
+
+    def test_split_covers_trailing_empty_parts(self):
+        delta = snapshot_delta(_snap([(0, 1)]), _snap([(0, 1), (1, 2)]))
+        parts = split_delta(delta, np.array([0, 0, 0, 0, 0]))
+        assert len(parts) == 1
+        assert parts[0].num_added == 1
 
 
 class TestCommonCore:
