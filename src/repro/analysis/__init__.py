@@ -6,13 +6,23 @@ codebase cannot express in the type system:
 * determinism of the planning/simulation/serving paths (DET001-DET003) —
   the property the offline/online parity guarantee rests on;
 * unit consistency of the suffix-annotated cost models (UNIT001-UNIT003);
-* thread-confinement of mutable state in the serving layer (THR001).
+* thread-confinement of mutable state in the serving layer (THR001);
+* process safety of the distributed layer (MP001-MP005) — fork ordering,
+  shared-memory lifecycle, queue discipline, and the cross-process
+  message protocol.
+
+The project rules run on a shared analysis engine: an AST→CFG builder
+(:mod:`.cfg`), a forward worklist dataflow solver (:mod:`.dataflow`), and
+a conservative project-wide call graph (:mod:`.callgraph`).
 
 See ``docs/static-analysis.md`` for the rule catalog, the
 ``# repro: noqa[RULE] justification`` suppression syntax, and how to add
 a rule.  CI runs ``repro lint src/repro`` and requires a clean tree.
 """
 
+from .callgraph import CallGraph, FunctionDecl
+from .cfg import CFG, CFGNode, build_cfg
+from .dataflow import State, fixpoint, solve_forward
 from .determinism import DETERMINISM_RULES
 from .findings import (
     FileRule,
@@ -24,7 +34,14 @@ from .findings import (
     Severity,
     default_registry,
 )
-from .reporters import JSON_SCHEMA_VERSION, render_json, render_text
+from .processes import PROCESS_RULES
+from .reporters import (
+    JSON_SCHEMA_VERSION,
+    SARIF_VERSION,
+    render_json,
+    render_sarif,
+    render_text,
+)
 from .runner import (
     EXIT_CLEAN,
     EXIT_FINDINGS,
@@ -47,9 +64,18 @@ __all__ = [
     "ProjectRule",
     "RuleRegistry",
     "default_registry",
+    "CFG",
+    "CFGNode",
+    "build_cfg",
+    "State",
+    "solve_forward",
+    "fixpoint",
+    "CallGraph",
+    "FunctionDecl",
     "DETERMINISM_RULES",
     "UNIT_RULES",
     "THREAD_RULES",
+    "PROCESS_RULES",
     "Unit",
     "infer_unit",
     "unit_of_name",
@@ -58,7 +84,9 @@ __all__ = [
     "iter_python_files",
     "render_text",
     "render_json",
+    "render_sarif",
     "JSON_SCHEMA_VERSION",
+    "SARIF_VERSION",
     "EXIT_CLEAN",
     "EXIT_FINDINGS",
     "EXIT_USAGE",

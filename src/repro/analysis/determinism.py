@@ -28,6 +28,7 @@ import ast
 from typing import Dict, Iterator, List, Optional, Set, Tuple
 
 from .astutil import ImportMap, dotted_name
+from .dataflow import fixpoint
 from .findings import DETERMINISTIC_PATHS, FileRule, Finding
 from .source import SourceFile
 
@@ -251,7 +252,8 @@ class UnorderedAccumulationRule(FileRule):
         Tracked flow-insensitively over the whole module: a name counts
         as unordered only if *every* assignment to it is unordered, so a
         later ``xs = sorted(xs)`` rebinding clears it.  Iterated to a
-        fixpoint so taint chains through names (``live = set(ks)`` then
+        fixpoint (:func:`repro.analysis.dataflow.fixpoint`) so taint
+        chains through names (``live = set(ks)`` then
         ``table = {k: 0 for k in live}``).
         """
         assigns: List[Tuple[str, ast.AST]] = []
@@ -261,10 +263,12 @@ class UnorderedAccumulationRule(FileRule):
             name = self._bind_name(node.targets[0])
             if name is not None:
                 assigns.append((name, node.value))
-        setish: Set[str] = set()
-        dictish: Set[str] = set()
-        while True:
-            probe = _UnorderedTracker(imports, setish, dictish)
+
+        def step(
+            current: Tuple[frozenset, frozenset]
+        ) -> Tuple[frozenset, frozenset]:
+            setish, dictish = current
+            probe = _UnorderedTracker(imports, set(setish), set(dictish))
             set_flags: Dict[str, bool] = {}
             dict_flags: Dict[str, bool] = {}
             for name, value in assigns:
@@ -272,11 +276,13 @@ class UnorderedAccumulationRule(FileRule):
                 is_udict = probe.is_unordered_dict(value)
                 set_flags[name] = set_flags.get(name, True) and is_set
                 dict_flags[name] = dict_flags.get(name, True) and is_udict
-            next_setish = {n for n, flag in set_flags.items() if flag}
-            next_dictish = {n for n, flag in dict_flags.items() if flag}
-            if next_setish == setish and next_dictish == dictish:
-                return setish, dictish
-            setish, dictish = next_setish, next_dictish
+            return (
+                frozenset(n for n, flag in set_flags.items() if flag),
+                frozenset(n for n, flag in dict_flags.items() if flag),
+            )
+
+        setish, dictish = fixpoint(step, (frozenset(), frozenset()))
+        return set(setish), set(dictish)
 
     @staticmethod
     def _bind_name(target: ast.AST) -> Optional[str]:

@@ -86,11 +86,13 @@ class Finding:
 class PathScope:
     """Which files a rule applies to.
 
-    ``include`` patterns are matched as substrings of the file's POSIX
-    path bracketed with ``/`` (so ``"accel/"`` matches any file below any
-    ``accel`` directory and ``"ditile.py"`` matches that basename
-    anywhere).  ``exclude`` wins over ``include``.  An empty ``include``
-    means "everything".
+    ``include`` patterns are matched against whole path *segments* of the
+    file's POSIX path: ``"accel/"`` matches any file below a directory
+    named exactly ``accel`` (but not ``accelerators/`` or a file named
+    ``accel_utils.py``), ``"ditile.py"`` matches that name anywhere, and
+    ``"serving/stats.py"`` matches that consecutive segment pair.
+    ``exclude`` wins over ``include``.  An empty ``include`` means
+    "everything".
     """
 
     include: Tuple[str, ...] = ()
@@ -98,7 +100,18 @@ class PathScope:
 
     @staticmethod
     def _matches(path: str, pattern: str) -> bool:
-        return f"/{pattern.lstrip('/')}" in f"/{path.lstrip('/')}"
+        parts = [p for p in path.split("/") if p]
+        pattern_parts = [p for p in pattern.split("/") if p]
+        if not pattern_parts:
+            return False
+        # A trailing slash means the pattern names directories only, so
+        # the path's final segment (the file name) cannot participate.
+        candidates = parts[:-1] if pattern.endswith("/") else parts
+        width = len(pattern_parts)
+        return any(
+            candidates[i : i + width] == pattern_parts
+            for i in range(len(candidates) - width + 1)
+        )
 
     def contains(self, posix_path: str) -> bool:
         """Whether a file at ``posix_path`` is in scope for the rule."""
@@ -149,6 +162,8 @@ class Rule(ABC):
     name: str = ""
     #: why the invariant matters (surfaces in docs and ``--list-rules -v``)
     rationale: str = ""
+    #: short illustrative snippet (the ``--explain RULE`` output)
+    example: str = ""
     severity: Severity = Severity.ERROR
     scope: PathScope = PathScope()
 
@@ -223,10 +238,11 @@ class RuleRegistry:
 def default_registry() -> RuleRegistry:
     """All built-in rules (imported lazily to avoid module cycles)."""
     from .determinism import DETERMINISM_RULES
+    from .processes import PROCESS_RULES
     from .threads import THREAD_RULES
     from .units import UNIT_RULES
 
     registry = RuleRegistry()
-    for rule in (*DETERMINISM_RULES, *UNIT_RULES, *THREAD_RULES):
+    for rule in (*DETERMINISM_RULES, *UNIT_RULES, *THREAD_RULES, *PROCESS_RULES):
         registry.register(rule)
     return registry

@@ -19,13 +19,28 @@ reporter tests)::
 from __future__ import annotations
 
 import json
-from typing import Dict, List, Sequence
+from typing import Dict, List, Optional, Sequence
 
-from .findings import Finding
+from .findings import Finding, Rule, Severity
 
-__all__ = ["JSON_SCHEMA_VERSION", "render_text", "render_json"]
+__all__ = [
+    "JSON_SCHEMA_VERSION",
+    "SARIF_VERSION",
+    "render_text",
+    "render_json",
+    "render_sarif",
+]
 
 JSON_SCHEMA_VERSION = 1
+SARIF_VERSION = "2.1.0"
+_SARIF_SCHEMA = "https://json.schemastore.org/sarif-2.1.0.json"
+
+#: SARIF ``level`` per severity (SARIF has no distinct "advice")
+_SARIF_LEVELS = {
+    Severity.ERROR: "error",
+    Severity.WARNING: "warning",
+    Severity.ADVICE: "note",
+}
 
 
 def render_text(findings: Sequence[Finding], files_checked: int) -> str:
@@ -65,5 +80,84 @@ def render_json(findings: Sequence[Finding], files_checked: int) -> str:
             "by_rule": dict(sorted(by_rule.items())),
             "by_severity": dict(sorted(by_severity.items())),
         },
+    }
+    return json.dumps(payload, indent=2, sort_keys=False)
+
+
+def render_sarif(
+    findings: Sequence[Finding],
+    files_checked: int,
+    rules: Optional[Sequence[Rule]] = None,
+) -> str:
+    """A SARIF 2.1.0 report (what CI uploads so findings render inline).
+
+    ``rules`` seeds the tool's rule metadata; rule ids that only appear
+    in findings (parse errors, noqa hygiene) get minimal entries so every
+    result's ``ruleIndex`` resolves.
+    """
+    rule_entries: List[Dict[str, object]] = []
+    rule_index: Dict[str, int] = {}
+    for rule in rules or ():
+        rule_index[rule.id] = len(rule_entries)
+        rule_entries.append(
+            {
+                "id": rule.id,
+                "name": rule.name,
+                "shortDescription": {"text": rule.name},
+                "fullDescription": {"text": rule.rationale},
+                "defaultConfiguration": {
+                    "level": _SARIF_LEVELS[rule.severity]
+                },
+            }
+        )
+    for finding in findings:
+        if finding.rule not in rule_index:
+            rule_index[finding.rule] = len(rule_entries)
+            rule_entries.append(
+                {
+                    "id": finding.rule,
+                    "shortDescription": {"text": finding.rule},
+                    "defaultConfiguration": {
+                        "level": _SARIF_LEVELS[finding.severity]
+                    },
+                }
+            )
+
+    results = [
+        {
+            "ruleId": finding.rule,
+            "ruleIndex": rule_index[finding.rule],
+            "level": _SARIF_LEVELS[finding.severity],
+            "message": {"text": finding.message},
+            "locations": [
+                {
+                    "physicalLocation": {
+                        "artifactLocation": {"uri": finding.path},
+                        "region": {
+                            "startLine": max(finding.line, 1),
+                            "startColumn": finding.col + 1,
+                        },
+                    }
+                }
+            ],
+        }
+        for finding in findings
+    ]
+    payload = {
+        "$schema": _SARIF_SCHEMA,
+        "version": SARIF_VERSION,
+        "runs": [
+            {
+                "tool": {
+                    "driver": {
+                        "name": "repro-lint",
+                        "informationUri": "docs/static-analysis.md",
+                        "rules": rule_entries,
+                    }
+                },
+                "properties": {"filesChecked": files_checked},
+                "results": results,
+            }
+        ],
     }
     return json.dumps(payload, indent=2, sort_keys=False)

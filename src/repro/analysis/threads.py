@@ -9,8 +9,9 @@ This rule rebuilds that argument mechanically:
    passed as ``threading.Thread(target=...)`` or submitted to an
    executor via ``.submit(fn, ...)`` (lambdas submitted inline count via
    the calls inside their bodies);
-2. grow a name-based call graph from those roots across all in-scope
-   files (conservative: a call resolves to every same-named function);
+2. grow the shared project call graph (:mod:`repro.analysis.callgraph`)
+   from those roots across all in-scope files (conservative: a call
+   resolves to every same-named function);
 3. flag any instance attribute that is mutated in **more than one
    method** of its class when at least one mutation site is reachable
    from a thread root and not wrapped in a ``with <lock>:`` block
@@ -25,10 +26,11 @@ purpose, and flagging it would bury the real hazards.
 from __future__ import annotations
 
 import ast
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Dict, Iterator, List, Optional, Sequence, Set, Tuple
 
 from .astutil import terminal_name
+from .callgraph import CallGraph
 from .findings import Finding, ProjectRule, THREADED_PATHS
 from .source import SourceFile
 
@@ -69,25 +71,26 @@ class _MutationSite:
 
 
 @dataclass
-class _FunctionInfo:
-    """One function/method definition and the simple names it calls."""
+class _Frame:
+    """One function on the visitor stack (name + method-of-class)."""
 
     name: str
     cls: Optional[str]
-    path: str
-    calls: Set[str] = field(default_factory=set)
 
 
 class _Collector(ast.NodeVisitor):
-    """Per-file pass: definitions, call edges, thread roots, mutations."""
+    """Per-file pass: thread roots and mutation sites.
+
+    Call edges are no longer gathered here — the shared
+    :class:`~repro.analysis.callgraph.CallGraph` owns them.
+    """
 
     def __init__(self, source: SourceFile):
         self.source = source
-        self.functions: List[_FunctionInfo] = []
         self.thread_roots: Set[str] = set()
         self.mutations: List[_MutationSite] = []
         self._class_stack: List[str] = []
-        self._func_stack: List[_FunctionInfo] = []
+        self._func_stack: List[_Frame] = []
         self._lock_depth = 0
 
     # -- structure ------------------------------------------------------
@@ -101,11 +104,7 @@ class _Collector(ast.NodeVisitor):
         # A nested function is not a method of the enclosing class.
         if self._func_stack:
             enclosing_class = None
-        info = _FunctionInfo(
-            name=name, cls=enclosing_class, path=self.source.display_path
-        )
-        self.functions.append(info)
-        self._func_stack.append(info)
+        self._func_stack.append(_Frame(name=name, cls=enclosing_class))
         outer_lock_depth, self._lock_depth = self._lock_depth, 0
         self.generic_visit(node)
         self._lock_depth = outer_lock_depth
@@ -123,11 +122,9 @@ class _Collector(ast.NodeVisitor):
         self.generic_visit(node)
         self._lock_depth -= 1 if locked else 0
 
-    # -- calls, roots ---------------------------------------------------
+    # -- roots ----------------------------------------------------------
     def visit_Call(self, node: ast.Call) -> None:
         callee = terminal_name(node.func)
-        if self._func_stack and callee is not None:
-            self._func_stack[-1].calls.add(callee)
         if callee == "Thread":
             for keyword in node.keywords:
                 if keyword.arg == "target":
@@ -222,6 +219,12 @@ class UnlockedSharedMutationRule(ProjectRule):
         "or a single-writer redesign."
     )
     scope = THREADED_PATHS
+    example = (
+        "def _worker(self):          # submitted to the pool\n"
+        "    self.windows += 1       # THR001: also written in flush()\n"
+        "def flush(self):\n"
+        "    self.windows = 0\n"
+    )
 
     def check_project(self, sources: Sequence[SourceFile]) -> Iterator[Finding]:
         collectors = []
@@ -232,13 +235,10 @@ class UnlockedSharedMutationRule(ProjectRule):
             collector.visit(source.tree)
             collectors.append(collector)
 
-        functions: List[_FunctionInfo] = [
-            fn for collector in collectors for fn in collector.functions
-        ]
         roots: Set[str] = set()
         for collector in collectors:
             roots |= collector.thread_roots
-        reachable = self._reachable(functions, roots)
+        reachable = CallGraph.build(sources).reachable(roots)
 
         mutations: Dict[Tuple[str, str, str], List[_MutationSite]] = {}
         for collector in collectors:
@@ -278,23 +278,6 @@ class UnlockedSharedMutationRule(ProjectRule):
                     col=site.col,
                     severity=self.severity,
                 )
-
-    @staticmethod
-    def _reachable(functions: List[_FunctionInfo], roots: Set[str]) -> Set[str]:
-        """Function names reachable from the thread roots by name matching."""
-        by_name: Dict[str, List[_FunctionInfo]] = {}
-        for fn in functions:
-            by_name.setdefault(fn.name, []).append(fn)
-        seen: Set[str] = set()
-        frontier = list(roots)
-        while frontier:
-            name = frontier.pop()
-            if name in seen:
-                continue
-            seen.add(name)
-            for fn in by_name.get(name, []):
-                frontier.extend(call for call in fn.calls if call not in seen)
-        return seen
 
 
 THREAD_RULES = (UnlockedSharedMutationRule(),)

@@ -180,7 +180,7 @@ def build_parser() -> argparse.ArgumentParser:
         help="files or directories to lint (default: src/repro)",
     )
     lint.add_argument(
-        "--format", choices=["text", "json"], default="text",
+        "--format", choices=["text", "json", "sarif"], default="text",
         help="report format (default: text)",
     )
     lint.add_argument(
@@ -190,6 +190,10 @@ def build_parser() -> argparse.ArgumentParser:
     lint.add_argument(
         "--list-rules", action="store_true",
         help="print the rule catalog and exit",
+    )
+    lint.add_argument(
+        "--explain", default=None, metavar="RULE",
+        help="print one rule's documentation and example, then exit",
     )
     lint.add_argument(
         "--no-unused-suppressions", action="store_true",
@@ -595,6 +599,7 @@ def _cmd_lint(args: argparse.Namespace) -> int:
         UsageError,
         default_registry,
         render_json,
+        render_sarif,
         render_text,
     )
 
@@ -602,6 +607,32 @@ def _cmd_lint(args: argparse.Namespace) -> int:
         for rule in default_registry().rules:
             print(f"{rule.id}  [{rule.severity}]  {rule.name}")
             print(f"        {rule.rationale}")
+        return 0
+    if args.explain:
+        rule_id = args.explain.strip().upper()
+        try:
+            rule = default_registry().get(rule_id)
+        except KeyError:
+            print(f"error: unknown rule {rule_id}")
+            return EXIT_USAGE
+        print(f"{rule.id}  [{rule.severity}]  {rule.name}")
+        print()
+        print(f"  {rule.rationale}")
+        scope = rule.scope
+        if scope.include:
+            print()
+            print(f"  applies to: {', '.join(scope.include)}", end="")
+            print(f" (excluding {', '.join(scope.exclude)})" if scope.exclude else "")
+        if rule.example:
+            print()
+            print("  example:")
+            for line in rule.example.rstrip("\n").split("\n"):
+                print(f"    {line}")
+        print()
+        print(
+            "  suppress a justified exception with "
+            f"`# repro: noqa[{rule.id}] <why>`"
+        )
         return 0
     select = (
         [part.strip() for part in args.select.split(",") if part.strip()]
@@ -617,8 +648,18 @@ def _cmd_lint(args: argparse.Namespace) -> int:
     except UsageError as exc:
         print(f"error: {exc}")
         return EXIT_USAGE
-    render = render_json if args.format == "json" else render_text
-    print(render(report.findings, report.files_checked))
+    if args.format == "json":
+        print(render_json(report.findings, report.files_checked))
+    elif args.format == "sarif":
+        print(
+            render_sarif(
+                report.findings,
+                report.files_checked,
+                rules=default_registry().rules,
+            )
+        )
+    else:
+        print(render_text(report.findings, report.files_checked))
     return report.exit_code
 
 

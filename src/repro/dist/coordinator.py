@@ -179,7 +179,7 @@ class ShardedService:
                     and self._merged_upto < self._num_windows
                 ):
                     batch.append(
-                        self._merge_next(ctx, stats, shard_stats)
+                        self._merge_next(ctx, stats, shard_stats)  # repro: noqa[MP001] worker-restart path: the child runs shard_worker_main from scratch and never touches inherited pool/lock state; tearing the pool down first would stall every in-flight window
                     )
                 stats.batches += 1
                 # Identical dispatch discipline to StreamingService:

@@ -1,0 +1,16 @@
+"""Lint fixture: process fork after thread creation (MP001)."""
+
+import multiprocessing
+from concurrent.futures import ThreadPoolExecutor
+
+
+def serve(events, handle):
+    pool = ThreadPoolExecutor(max_workers=2)
+    for event in events:
+        pool.submit(handle, event)
+    # Broken on purpose: the pool's threads already exist, so the forked
+    # child inherits whatever locks they hold at fork time.
+    worker = multiprocessing.Process(target=handle, args=(None,))
+    worker.start()
+    pool.shutdown()
+    return worker

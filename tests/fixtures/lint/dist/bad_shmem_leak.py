@@ -1,0 +1,38 @@
+"""Lint fixture: shared-memory segments without guaranteed cleanup (MP002).
+
+Three seeded variants of the write_segment bug: each creates a segment
+(``create=True``) and fails the lifecycle protocol on some path.
+"""
+
+from multiprocessing import shared_memory
+
+
+def write_never_unlinked(name, payload):
+    # Closed, but falls off the end: nobody ever unlinks the segment and
+    # no spec is returned for a consumer to unlink it by.
+    shm = shared_memory.SharedMemory(create=True, size=len(payload), name=name)
+    shm.buf[: len(payload)] = payload
+    shm.close()
+
+
+def write_skips_unlink(name, payload):
+    # The finally guarantees the close, but the implicit return hands the
+    # segment to nobody: it outlives the process with no owner.
+    shm = shared_memory.SharedMemory(create=True, size=len(payload), name=name)
+    try:
+        shm.buf[: len(payload)] = payload
+    finally:
+        shm.close()
+
+
+def write_close_not_guaranteed(name, payload):
+    # The close sits inside the try body: if the fill raises, the mapping
+    # is never closed; the swallowed-error path also leaks the segment.
+    shm = shared_memory.SharedMemory(create=True, size=len(payload), name=name)
+    try:
+        shm.buf[: len(payload)] = payload
+        shm.close()
+    except ValueError:
+        return None
+    shm.unlink()
+    return name

@@ -1,0 +1,12 @@
+"""Lint fixture: unbounded queue and bare blocking get (MP003)."""
+
+import multiprocessing
+
+
+def coordinate(items):
+    # Broken on purpose: no maxsize means a slow consumer buffers every
+    # window, and the bare get() hangs forever if the producer died.
+    queue = multiprocessing.Queue()
+    for item in items:
+        queue.put(item)
+    return queue.get()

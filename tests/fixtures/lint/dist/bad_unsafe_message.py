@@ -1,0 +1,16 @@
+"""Lint fixture: unsafe values flowing into worker-bound messages (MP004)."""
+
+import threading
+
+
+def enqueue_pending(out_queue, items):
+    # Broken on purpose: a set's iteration order is per-process, so the
+    # consumer's fold order differs from the producer's.
+    pending = {item for item in items}
+    out_queue.put(pending)
+
+
+def enqueue_guard(out_queue):
+    # Broken on purpose: lock objects do not survive pickling.
+    guard = threading.Lock()
+    out_queue.put(guard)

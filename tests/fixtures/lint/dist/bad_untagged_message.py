@@ -1,0 +1,11 @@
+"""Lint fixture: cross-process message without a generation tag (MP005)."""
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class WindowDoneMessage:
+    # Broken on purpose: without a generation field the coordinator
+    # cannot drop stale deliveries from a restarted worker.
+    shard: int
+    window: int

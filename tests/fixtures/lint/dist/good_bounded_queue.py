@@ -1,0 +1,13 @@
+"""Lint fixture: bounded queue with timeout-guarded gets (MP003 clean)."""
+
+import multiprocessing
+
+
+def coordinate(items, capacity, heartbeat_s):
+    queue = multiprocessing.Queue(maxsize=capacity)
+    for item in items:
+        queue.put(item)
+    try:
+        return queue.get(timeout=heartbeat_s)
+    except Exception:
+        return queue.get_nowait()

@@ -1,0 +1,14 @@
+"""Lint fixture: workers forked before any thread exists (MP001 clean)."""
+
+import multiprocessing
+from concurrent.futures import ThreadPoolExecutor
+
+
+def serve(events, handle):
+    worker = multiprocessing.Process(target=handle, args=(None,))
+    worker.start()
+    pool = ThreadPoolExecutor(max_workers=2)
+    for event in events:
+        pool.submit(handle, event)
+    pool.shutdown()
+    return worker

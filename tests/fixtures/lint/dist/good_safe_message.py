@@ -1,0 +1,10 @@
+"""Lint fixture: ordered, picklable queue payloads (MP004 clean)."""
+
+
+def enqueue_pending(out_queue, items):
+    pending = {item for item in items}
+    out_queue.put(sorted(pending))  # ordered and picklable at the boundary
+
+
+def enqueue_counts(out_queue, counts):
+    out_queue.put(tuple(counts))

@@ -1,0 +1,36 @@
+"""Lint fixture: the exactly-once segment lifecycle protocol (MP002 clean)."""
+
+from multiprocessing import shared_memory
+
+
+def write_segment(name, payload):
+    # Creator hands off: close is guaranteed by the finally, and the
+    # returned name transfers unlink responsibility to the consumer.
+    shm = shared_memory.SharedMemory(create=True, size=len(payload), name=name)
+    try:
+        shm.buf[: len(payload)] = payload
+    finally:
+        shm.close()
+    return name
+
+
+def scratch_segment(name, payload):
+    # Full local lifecycle: created, closed on every path, then unlinked.
+    shm = shared_memory.SharedMemory(create=True, size=len(payload), name=name)
+    try:
+        shm.buf[: len(payload)] = payload
+    finally:
+        shm.close()
+    shm.unlink()
+
+
+def consume_segment(name):
+    # Attach-side (no create=True): the consumer closes its mapping and
+    # performs the exactly-once unlink the writer handed off.
+    shm = shared_memory.SharedMemory(name=name)
+    try:
+        data = bytes(shm.buf)
+    finally:
+        shm.close()
+    shm.unlink()
+    return data

@@ -1,0 +1,15 @@
+"""Lint fixture: generation-tagged message classes (MP005 clean)."""
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class BaseMessage:
+    shard: int
+    generation: int
+
+
+@dataclass(frozen=True)
+class WindowDoneMessage(BaseMessage):
+    # Inherits the generation tag from BaseMessage.
+    window: int

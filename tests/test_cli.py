@@ -151,8 +151,46 @@ class TestLint:
         assert main(["lint", "--list-rules"]) == 0
         out = capsys.readouterr().out
         for rule_id in ("DET001", "DET002", "DET003",
-                        "UNIT001", "UNIT002", "UNIT003", "THR001"):
+                        "UNIT001", "UNIT002", "UNIT003", "THR001",
+                        "MP001", "MP002", "MP003", "MP004", "MP005"):
             assert rule_id in out
+
+    def test_sarif_format(self, capsys):
+        target = LINT_FIXTURES / "dist" / "bad_shmem_leak.py"
+        assert main(["lint", str(target), "--format", "sarif"]) == 1
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["version"] == "2.1.0"
+        run = payload["runs"][0]
+        rule_ids = [r["id"] for r in run["tool"]["driver"]["rules"]]
+        assert "MP002" in rule_ids
+        results = run["results"]
+        assert all(r["ruleId"] == "MP002" for r in results)
+        assert all(r["level"] == "error" for r in results)
+        first = results[0]["locations"][0]["physicalLocation"]
+        assert first["region"]["startLine"] >= 1
+        assert results[0]["ruleIndex"] == rule_ids.index("MP002")
+
+    def test_sarif_clean_run_has_no_results(self, capsys):
+        target = LINT_FIXTURES / "dist" / "good_shmem_lifecycle.py"
+        assert main(["lint", str(target), "--format", "sarif"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["runs"][0]["results"] == []
+
+    def test_explain_prints_rule_doc_and_example(self, capsys):
+        assert main(["lint", "--explain", "MP002"]) == 0
+        out = capsys.readouterr().out
+        assert "MP002" in out
+        assert "SharedMemory" in out
+        assert "noqa[MP002]" in out
+
+    def test_explain_is_case_insensitive(self, capsys):
+        assert main(["lint", "--explain", "mp001"]) == 0
+        assert "MP001" in capsys.readouterr().out
+
+    def test_explain_unknown_rule_exits_two(self, capsys):
+        assert main(["lint", "--explain", "NOPE999"]) == 2
+        out = capsys.readouterr().out
+        assert "error:" in out and "NOPE999" in out
 
 
 class TestTrace:

@@ -78,6 +78,20 @@ class TestPathScope:
     def test_empty_include_means_everything(self):
         assert PathScope().contains("anything/at/all.py")
 
+    def test_segment_matching_not_prefix_matching(self):
+        # "dist/" must match only a directory named exactly `dist`, not a
+        # file or directory whose name merely starts with it.
+        scope = PathScope(include=("dist/",))
+        assert scope.contains("src/repro/dist/worker.py")
+        assert not scope.contains("src/repro/distutils_helpers.py")
+        assert not scope.contains("src/repro/distributed/worker.py")
+        assert not scope.contains("src/repro/tools/dist")  # file, not dir
+
+    def test_multi_segment_pattern_requires_consecutive_segments(self):
+        scope = PathScope(include=("serving/stats.py",))
+        assert scope.contains("src/repro/serving/stats.py")
+        assert not scope.contains("src/repro/serving/other/stats.py")
+
 
 class TestRegistry:
     def test_default_registry_rule_ids(self):
@@ -86,6 +100,7 @@ class TestRegistry:
             "DET001", "DET002", "DET003",
             "UNIT001", "UNIT002", "UNIT003",
             "THR001",
+            "MP001", "MP002", "MP003", "MP004", "MP005",
         ]
 
     def test_duplicate_registration_rejected(self):
