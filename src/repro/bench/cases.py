@@ -239,6 +239,69 @@ def serving_throughput(
     )
 
 
+def serving_pipeline(
+    num_events: int,
+    num_vertices: int,
+    num_windows: int,
+    workers: int,
+    pipeline_depth: int,
+) -> CaseOutput:
+    """The overlapped window pipeline at an explicit depth.
+
+    Counters must equal the ``serving/throughput`` analogue on the same
+    stream parameters at any depth — the bench gate is a standing
+    replay of the pipeline-parity guarantee (``profile_reuses`` is also
+    deterministic: it counts empty-delta windows, a property of the
+    stream discretization, not of timing).  The pipeline-specific
+    timings expose how much execution the overlap hides:
+    ``collect_stall_s`` (execution time left on the critical path)
+    should sit well below ``execute_s`` (the serialized stage time),
+    i.e. ``overlap_ratio`` near 1.
+    """
+    from ..ditile import DiTileAccelerator
+    from ..serving import ServiceConfig, StreamingService, synthetic_event_stream
+
+    stream = synthetic_event_stream(
+        num_vertices=num_vertices, num_events=num_events, seed=7
+    )
+    first, last = stream.time_span
+    config = ServiceConfig(
+        window=(last - first) / num_windows,
+        workers=workers,
+        max_batch_windows=4,
+        pipeline_depth=pipeline_depth,
+        queue_capacity=8,
+    )
+    spec = DGNNSpec.classic(64)
+    report = StreamingService(DiTileAccelerator(), config).serve(stream, spec)
+    stats = report.stats
+    return CaseOutput(
+        counters={
+            "windows": float(stats.windows),
+            "events": float(stats.events),
+            "late_events": float(stats.late_events),
+            "plan_hits": float(stats.plan_hits),
+            "plan_misses": float(stats.plan_misses),
+            "plan_replans": float(stats.plan_replans),
+            "plan_evictions": float(stats.plan_evictions),
+            "plan_cache_size": float(stats.plan_cache_size),
+            "total_cycles": report.total_cycles,
+            "pipeline_depth": float(stats.pipeline_depth),
+            "profile_reuses": float(stats.profile_reuses),
+        },
+        timings={
+            "elapsed_s": stats.elapsed_s,
+            "events_per_sec": stats.events_per_sec,
+            "p50_latency_s": stats.p50_latency_s,
+            "p95_latency_s": stats.p95_latency_s,
+            "execute_s": stats.execute_s,
+            "prefetch_stall_s": stats.prefetch_stall_s,
+            "collect_stall_s": stats.collect_stall_s,
+            "overlap_ratio": stats.overlap_ratio,
+        },
+    )
+
+
 def serving_sharded(
     num_events: int, num_vertices: int, num_windows: int, shards: int
 ) -> CaseOutput:
@@ -362,6 +425,32 @@ def register_all(registry: BenchRegistry) -> None:
             "num_windows": 48, "workers": 2,
         },
         description="online streaming service, BENCH_serving.json stream",
+    )
+    registry.register(
+        "serving/pipeline[smoke]",
+        lambda: serving_pipeline(
+            num_events=3_000, num_vertices=128, num_windows=16,
+            workers=2, pipeline_depth=4,
+        ),
+        suites=("smoke", "full"),
+        params={
+            "num_events": 3_000, "num_vertices": 128, "num_windows": 16,
+            "workers": 2, "pipeline_depth": 4,
+        },
+        description="overlapped window pipeline, depth 4 (parity + stall gate)",
+    )
+    registry.register(
+        "serving/pipeline[standard]",
+        lambda: serving_pipeline(
+            num_events=12_000, num_vertices=256, num_windows=48,
+            workers=2, pipeline_depth=4,
+        ),
+        suites=("full",),
+        params={
+            "num_events": 12_000, "num_vertices": 256, "num_windows": 48,
+            "workers": 2, "pipeline_depth": 4,
+        },
+        description="overlapped window pipeline on the standard stream",
     )
     registry.register(
         "serving/sharded[smoke]",

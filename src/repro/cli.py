@@ -97,6 +97,12 @@ def build_parser() -> argparse.ArgumentParser:
     _add_serve_args(serve)
     _add_trace_arg(serve)
     _add_faults_arg(serve)
+    serve.add_argument(
+        "--results-json", default=None, metavar="OUT",
+        help="write the deterministic per-window results (JSON) to OUT — "
+        "byte-comparable across pipeline depths and shard counts (the CI "
+        "pipeline-parity gate)",
+    )
 
     chaos = sub.add_parser(
         "chaos", help="resilience tooling: chaos harness and fault sweeps"
@@ -198,6 +204,11 @@ def build_parser() -> argparse.ArgumentParser:
     lint.add_argument(
         "--no-unused-suppressions", action="store_true",
         help="do not report suppressions whose rules never fired (NOQA003)",
+    )
+    lint.add_argument(
+        "--sarif-out", default=None, metavar="FILE",
+        help="also write a SARIF 2.1.0 report to FILE (lets CI gate and "
+        "upload findings from a single lint run)",
     )
 
     bench = sub.add_parser(
@@ -317,6 +328,10 @@ def _add_serve_args(parser: argparse.ArgumentParser) -> None:
                         help="simulation worker threads (0 = inline)")
     parser.add_argument("--batch", type=int, default=4,
                         help="max windows grouped per executor batch")
+    parser.add_argument("--pipeline-depth", type=int, default=2,
+                        help="window batches in flight at once (1 = "
+                        "serialized dispatch; results are bit-identical "
+                        "at every depth — see docs/serving.md)")
     parser.add_argument("--queue-capacity", type=int, default=8,
                         help="ingest queue bound (backpressure)")
     parser.add_argument("--plan-cache-capacity", type=int, default=32,
@@ -474,6 +489,33 @@ def _serve_workload(args: argparse.Namespace):
     return stream, spec, window, origin
 
 
+def _window_results_json(report) -> str:
+    """The deterministic per-window results of a serve run, as JSON.
+
+    Includes only simulation-derived fields (never wall-clock timings),
+    so two runs over the same stream are byte-identical regardless of
+    pipeline depth, worker count, or shard count — the CI
+    pipeline-parity job diffs these dumps directly.
+    """
+    import json
+
+    windows = [
+        {
+            "index": record.index,
+            "num_events": record.num_events,
+            "plan_decision": record.plan_decision,
+            "execution_cycles": result.execution_cycles,
+            "total_macs": result.total_macs,
+            "dram_bytes": result.dram_bytes,
+            "noc_bytes": result.noc_bytes,
+            "noc_byte_hops": result.noc_byte_hops,
+            "energy_joules": result.energy_joules,
+        }
+        for record, result in zip(report.stats.records, report.results)
+    ]
+    return json.dumps({"windows": windows}, indent=2, sort_keys=True)
+
+
 def _cmd_serve(args: argparse.Namespace) -> None:
     from .serving import ServiceConfig, StreamingService
 
@@ -483,6 +525,7 @@ def _cmd_serve(args: argparse.Namespace) -> None:
         origin=origin,
         workers=args.workers,
         max_batch_windows=args.batch,
+        pipeline_depth=args.pipeline_depth,
         queue_capacity=args.queue_capacity,
         plan_cache_capacity=args.plan_cache_capacity,
         drift_threshold=args.drift_threshold,
@@ -518,6 +561,15 @@ def _cmd_serve(args: argparse.Namespace) -> None:
     )
     if config.faults is not None:
         print(f"faults: {config.faults.describe()}")
+    # `trace serve` shares this handler but does not take the flag.
+    results_json = getattr(args, "results_json", None)
+    if results_json:
+        from pathlib import Path
+
+        out = Path(results_json)
+        out.parent.mkdir(parents=True, exist_ok=True)
+        out.write_text(_window_results_json(report) + "\n")
+        print(f"per-window results written to {out}")
 
 
 def _cmd_chaos(args: argparse.Namespace) -> int:
@@ -556,6 +608,7 @@ def _cmd_chaos(args: argparse.Namespace) -> int:
         origin=origin,
         workers=args.workers,
         max_batch_windows=args.batch,
+        pipeline_depth=args.pipeline_depth,
         queue_capacity=args.queue_capacity,
         plan_cache_capacity=args.plan_cache_capacity,
         drift_threshold=args.drift_threshold,
@@ -660,6 +713,18 @@ def _cmd_lint(args: argparse.Namespace) -> int:
         )
     else:
         print(render_text(report.findings, report.files_checked))
+    if args.sarif_out:
+        out = Path(args.sarif_out)
+        out.parent.mkdir(parents=True, exist_ok=True)
+        out.write_text(
+            render_sarif(
+                report.findings,
+                report.files_checked,
+                rules=default_registry().rules,
+            )
+            + "\n"
+        )
+        print(f"SARIF report written to {out}")
     return report.exit_code
 
 

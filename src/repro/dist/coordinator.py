@@ -17,10 +17,13 @@ into the exact global delta (disjoint by destination ownership), and
 set — materializes a global snapshot **bit-identical** to the
 single-process ingest path.  Planning and execution then run through the
 identical :class:`~repro.serving.plan_manager.PlanManager` /
-:class:`~repro.serving.executor.WindowRunner` machinery, so per-window
+:class:`~repro.serving.executor.WindowRunner` machinery behind the same
+overlapped :class:`~repro.serving.pipeline.WindowPipeline` (merge for
+batch ``k+1`` overlaps execution of batch ``k``; shard workers prefetch
+window deltas into shared memory ahead of the merge), so per-window
 results are byte-for-byte equal to ``StreamingService.serve`` and
-``serve_offline`` for *any* shard count (the {1, 2, 4, 7} parity sweep in
-``tests/test_dist.py``).
+``serve_offline`` for *any* shard count and pipeline depth (the
+parity sweeps in ``tests/test_dist.py``).
 
 Worker death is detected by liveness probes on queue-poll timeouts; the
 dead shard restarts (bounded by ``max_restarts``) from the shard
@@ -49,11 +52,12 @@ from ..graphs.partition import hash_vertex_partition, shard_subgraph
 from ..graphs.snapshot import GraphSnapshot
 from ..obs import gauge_set as obs_gauge_set
 from ..obs import span as obs_span
-from ..serving.executor import WindowExecutor, WindowRunner, transition_graph
+from ..serving.executor import WindowExecutor, WindowRunner
 from ..serving.ingest import Window
+from ..serving.pipeline import WindowPipeline
 from ..serving.plan_manager import PlanManager
 from ..serving.service import ServingReport
-from ..serving.stats import WindowFailure, WindowRecord, timed_call, wall_clock
+from ..serving.stats import wall_clock
 from .config import ShardedConfig
 from .router import EventRouter
 from .shmem import attach_segment, unlink_segment
@@ -70,6 +74,61 @@ __all__ = ["ShardedService"]
 
 #: distinguishes segment namespaces of services created by one process
 _session_ids = itertools.count()
+
+
+class _MergeBatchSource:
+    """Feeds the dispatch pipeline from the shard merge loop.
+
+    The :class:`~repro.serving.pipeline.BatchSource` counterpart of the
+    single-process ingest queue: each pulled window is the *merged*
+    global window assembled from every shard's shared-memory delta.  A
+    blocking pull always merges at least one window (waiting on the
+    shard queues if it must — that wait is the pipeline's prefetch
+    stall); beyond that, and on non-blocking pulls, it merges only
+    windows every shard has already contributed to, so a slow shard
+    never stalls the collection of in-flight batches.
+    """
+
+    def __init__(
+        self,
+        service: "ShardedService",
+        ctx,
+        stats: ShardedStats,
+        shard_stats: List[ShardStats],
+    ):
+        self._service = service
+        self._ctx = ctx
+        self._stats = stats
+        self._shard_stats = shard_stats
+
+    @property
+    def _exhausted(self) -> bool:
+        return self._service._merged_upto >= self._service._num_windows
+
+    def _ready(self) -> bool:
+        """Whether every shard's next contribution is already queued.
+
+        Best-effort (``Queue.empty`` is approximate): a false negative
+        only delays a merge to the next blocking pull, never drops one.
+        """
+        try:
+            return all(not q.empty() for q in self._service._queues)
+        except (NotImplementedError, OSError):  # pragma: no cover - platform
+            return False
+
+    def pull(self, max_windows: int, block: bool) -> Optional[List[Window]]:
+        if self._exhausted or (not block and not self._ready()):
+            return None
+        batch = [self._merge()]
+        while len(batch) < max_windows and not self._exhausted and self._ready():
+            batch.append(self._merge())
+        return batch
+
+    def _merge(self) -> Window:
+        return self._service._merge_next(self._ctx, self._stats, self._shard_stats)
+
+    def depth(self) -> int:
+        return self._service._queue_depth()
 
 
 class ShardedService:
@@ -166,75 +225,26 @@ class ShardedService:
         runner = WindowRunner(
             self.model, spec, chaos=chaos, faults=svc.faults, retry=svc.retry
         )
-        prev: Optional[GraphSnapshot] = None
         pool = WindowExecutor(svc.workers)
         try:
-            while self._merged_upto < self._num_windows:
-                depth = self._queue_depth()
-                stats.record_queue_depth(depth)
-                obs_gauge_set("dist.queue_depth", depth)
-                batch: List[Window] = []
-                while (
-                    len(batch) < svc.max_batch_windows
-                    and self._merged_upto < self._num_windows
-                ):
-                    batch.append(
-                        self._merge_next(ctx, stats, shard_stats)  # repro: noqa[MP001] worker-restart path: the child runs shard_worker_main from scratch and never touches inherited pool/lock state; tearing the pool down first would stall every in-flight window
-                    )
-                stats.batches += 1
-                # Identical dispatch discipline to StreamingService:
-                # plans resolve sequentially in window order before any
-                # simulation is scheduled.
-                futures = []
-                for window in batch:
-                    with obs_span("window", index=window.index) as sp:
-                        transition = transition_graph(
-                            prev, window.snapshot, name=f"window-{window.index}"
-                        )
-                        (plan, decision), resolve_s = timed_call(
-                            lambda t=transition: manager.resolve(t, spec)
-                        )
-                        stats.plan_resolve_s += resolve_s
-                        if sp.enabled:
-                            sp.set_attr("decision", decision.value)
-                            sp.add("events", window.num_events)
-                    futures.append(
-                        (
-                            window,
-                            decision,
-                            pool.submit(
-                                lambda t=transition, p=plan, i=window.index: (
-                                    runner.execute_resilient(t, p, i)
-                                )
-                            ),
-                        )
-                    )
-                    prev = window.snapshot
-                for window, decision, future in futures:
-                    result, execute_s, retries, failure = future.result()
-                    stats.execute_s += execute_s
-                    stats.retries += retries
-                    if failure is not None:
-                        attempts, error = failure
-                        stats.windows_failed += 1
-                        stats.failures.append(
-                            WindowFailure(
-                                index=window.index,
-                                attempts=attempts,
-                                error=error,
-                            )
-                        )
-                        continue
-                    results.append(result)
-                    stats.records.append(
-                        WindowRecord(
-                            index=window.index,
-                            num_events=window.num_events,
-                            latency_s=wall_clock() - window.closed_at,
-                            cycles=result.execution_cycles,
-                            plan_decision=decision.value,
-                        )
-                    )
+            # Identical dispatch discipline to StreamingService — the
+            # same WindowPipeline, fed by the shard merge instead of the
+            # ingest queue: plans resolve sequentially in window order
+            # while earlier batches execute, and shard workers keep
+            # prefetching window deltas into shared memory ahead of the
+            # merge (their bounded queues are the prefetch window).
+            WindowPipeline(  # repro: noqa[MP001] worker-restart path: a merge pulled by the pipeline may respawn a dead shard while the pool's threads exist, but the child runs shard_worker_main from scratch and never touches inherited pool/lock state; tearing the pool down first would stall every in-flight window
+                source=_MergeBatchSource(self, ctx, stats, shard_stats),
+                manager=manager,
+                runner=runner,
+                pool=pool,
+                spec=spec,
+                stats=stats,
+                results=results,
+                depth=svc.pipeline_depth,
+                max_batch_windows=svc.max_batch_windows,
+                queue_gauge="dist.queue_depth",
+            ).drive()
         finally:
             pool.shutdown(wait=True, cancel_pending=True)
         stats.elapsed_s = wall_clock() - started

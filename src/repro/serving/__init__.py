@@ -14,9 +14,11 @@ simulate) into a three-stage online service:
    quantized workload signature, re-invoking the scheduler only when a
    drift detector observes the workload has moved beyond a threshold.
 3. **Execution** (:mod:`repro.serving.executor` /
-   :mod:`repro.serving.service`) — batches pending windows, simulates
-   them on a small worker pool, and applies bounded-queue backpressure
-   between stages.
+   :mod:`repro.serving.pipeline` / :mod:`repro.serving.service`) —
+   batches pending windows, keeps up to ``pipeline_depth`` batches in
+   flight on a small worker pool (plan resolution for the next batch
+   overlaps execution of the previous one, PiPAD-style), and applies
+   bounded-queue backpressure between stages.
 
 Serving is *deterministic*: the per-window
 :class:`~repro.accel.metrics.SimulationResult`\\ s are identical to the
@@ -40,6 +42,7 @@ from .ingest import (
     WindowedIngestor,
     event_fault,
 )
+from .pipeline import BatchSource, QueueBatchSource, WindowPipeline
 from .plan_manager import PlanDecision, PlanManager
 from .service import ServiceConfig, ServingReport, StreamingService, serve_offline
 from .signature import DriftDetector, WindowProfile, WorkloadSignature
@@ -52,6 +55,9 @@ __all__ = [
     "event_fault",
     "Window",
     "WindowedIngestor",
+    "BatchSource",
+    "QueueBatchSource",
+    "WindowPipeline",
     "PlanDecision",
     "PlanManager",
     "ServiceConfig",

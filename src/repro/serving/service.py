@@ -11,15 +11,16 @@ Pipeline shape (PiPAD-style preparation/execution overlap):
 * The **ingest thread** runs :class:`~repro.serving.ingest.WindowedIngestor`
   and pushes closed windows into a bounded queue — when execution falls
   behind, the queue fills and ingest blocks (backpressure).
-* The **dispatch stage** (caller's thread) drains up to
-  ``max_batch_windows`` pending windows, resolves each window's plan
-  *sequentially in window order* through the
-  :class:`~repro.serving.plan_manager.PlanManager`, and submits the batch
-  to the worker pool.  Sequential plan resolution is what makes cache
-  decisions — and therefore results — independent of pool timing.
-* The **worker pool** simulates the batch's windows concurrently; the
-  dispatch stage collects them in order before pulling the next batch,
-  bounding in-flight work at the batch size.
+* The **dispatch stage** (caller's thread) runs the overlapped
+  :class:`~repro.serving.pipeline.WindowPipeline`: it keeps up to
+  ``pipeline_depth`` batches of ``max_batch_windows`` windows in flight,
+  resolving each window's plan *sequentially in window order* through
+  the :class:`~repro.serving.plan_manager.PlanManager` while earlier
+  batches are still executing.  Sequential plan resolution is what makes
+  cache decisions — and therefore results — independent of pool timing.
+* The **worker pool** simulates the in-flight windows concurrently; the
+  dispatch stage collects batches oldest-first, in window order,
+  bounding in-flight work at ``pipeline_depth * max_batch_windows``.
 
 Determinism: :func:`serve_offline` runs the plain offline batch pipeline
 (window-discretize the whole stream, then price each transition
@@ -51,9 +52,10 @@ from .executor import (
     simulate_window,
     transition_graph,
 )
-from .ingest import Window, WindowedIngestor
+from .ingest import WindowedIngestor
+from .pipeline import QueueBatchSource, WindowPipeline
 from .plan_manager import PlanManager
-from .stats import ServiceStats, WindowFailure, WindowRecord, timed_call, wall_clock
+from .stats import ServiceStats, wall_clock
 
 __all__ = ["ServiceConfig", "ServingReport", "StreamingService", "serve_offline"]
 
@@ -72,6 +74,10 @@ class ServiceConfig:
     workers: int = 2
     #: pending windows grouped into one worker-pool batch
     max_batch_windows: int = 4
+    #: batches in flight at once (1 = serialized dispatch: each batch is
+    #: collected before the next is resolved; results are bit-identical
+    #: at every depth — see docs/serving.md "Pipelined execution")
+    pipeline_depth: int = 2
     #: bound of the ingest->dispatch queue (the backpressure knob)
     queue_capacity: int = 8
     #: LRU bound of the execution-plan cache
@@ -106,6 +112,8 @@ class ServiceConfig:
             raise ValueError("queue_capacity must be >= 1")
         if self.workers < 0:
             raise ValueError("workers must be >= 0")
+        if self.pipeline_depth < 1:
+            raise ValueError("pipeline_depth must be >= 1")
 
 
 @dataclass
@@ -233,87 +241,25 @@ class StreamingService:
         results: List[SimulationResult] = []
         manager = self._plan_manager()
         runner = self._window_runner(spec, chaos)
-        prev: Optional[GraphSnapshot] = None
         started = wall_clock()
         ingest_thread.start()
         pool = WindowExecutor(cfg.workers)
         try:
-            done = False
-            while not done:
-                depth = window_queue.qsize()
-                stats.record_queue_depth(depth)
-                obs_gauge_set("serve.queue_depth", depth)
-                batch: List[Window] = []
-                item = window_queue.get()
-                while True:
-                    if item is _SENTINEL:
-                        done = True
-                        break
-                    if isinstance(item, BaseException):
-                        raise item
-                    batch.append(item)
-                    if len(batch) >= cfg.max_batch_windows:
-                        break
-                    try:
-                        item = window_queue.get_nowait()
-                    except queue.Empty:
-                        break
-                if not batch:
-                    break
-                stats.batches += 1
-                # Plans resolve sequentially, in window order, before any
-                # simulation is scheduled — cache behaviour cannot depend
-                # on worker timing.
-                futures = []
-                for window in batch:
-                    with obs_span("window", index=window.index) as sp:
-                        transition = transition_graph(
-                            prev, window.snapshot, name=f"window-{window.index}"
-                        )
-                        (plan, decision), resolve_s = timed_call(
-                            lambda t=transition: manager.resolve(t, spec)
-                        )
-                        stats.plan_resolve_s += resolve_s
-                        if sp.enabled:
-                            sp.set_attr("decision", decision.value)
-                            sp.add("events", window.num_events)
-                    futures.append(
-                        (
-                            window,
-                            decision,
-                            pool.submit(
-                                lambda t=transition, p=plan, i=window.index: (
-                                    runner.execute_resilient(t, p, i)
-                                )
-                            ),
-                        )
-                    )
-                    prev = window.snapshot
-                for window, decision, future in futures:
-                    result, execute_s, retries, failure = future.result()
-                    stats.execute_s += execute_s
-                    stats.retries += retries
-                    if failure is not None:
-                        attempts, error = failure
-                        stats.windows_failed += 1
-                        stats.failures.append(
-                            WindowFailure(
-                                index=window.index,
-                                attempts=attempts,
-                                error=error,
-                            )
-                        )
-                        continue
-                    results.append(result)
-                    stats.records.append(
-                        WindowRecord(
-                            index=window.index,
-                            num_events=window.num_events,
-                            latency_s=wall_clock() - window.closed_at,
-                            cycles=result.execution_cycles,
-                            plan_decision=decision.value,
-                        )
-                    )
+            # Plans still resolve sequentially, in window order, on this
+            # thread before any simulation is scheduled — the pipeline
+            # only overlaps *when* batches resolve/execute, so cache
+            # behaviour (and results) cannot depend on worker timing.
+            WindowPipeline(  # repro: noqa[MP001] false positive via the BatchSource protocol: only the dist merge source's pull() can fork (shard restart); this queue-backed source never does
+                source=QueueBatchSource(window_queue, _SENTINEL),
+                manager=manager,
+                runner=runner,
+                pool=pool,
+                spec=spec,
+                stats=stats,
+                results=results,
+                depth=cfg.pipeline_depth,
+                max_batch_windows=cfg.max_batch_windows,
+            ).drive()
         finally:
             # Drain in-flight simulations (queued-but-unstarted ones are
             # cancelled), then release the ingest thread: `stop` breaks

@@ -116,6 +116,20 @@ class ServiceStats:
     #: worker seconds spent simulating windows — high with a healthy hit
     #: rate = execution itself is the bottleneck
     execute_s: float = 0.0
+    # Pipeline telemetry (see docs/serving.md "Pipelined execution").
+    #: configured bound on in-flight batches (1 = serialized dispatch)
+    pipeline_depth: int = 1
+    #: deepest the in-flight batch window actually got during the run
+    max_inflight_batches: int = 0
+    #: dispatch seconds blocked acquiring the next windows with *nothing*
+    #: in flight — the upstream (ingest / shard merge) stage is behind
+    prefetch_stall_s: float = 0.0
+    #: dispatch seconds blocked in ``future.result()`` — execution the
+    #: pipeline failed to hide behind prefetch/resolve of later windows
+    collect_stall_s: float = 0.0
+    #: plan resolutions that reused the previous window's measured
+    #: profile because the window's delta was empty (deterministic)
+    profile_reuses: int = 0
     max_queue_depth: int = 0
     # Resilience counters (all zero on a fault-free run with the
     # resilience hooks at their defaults — the bench gate relies on it).
@@ -208,6 +222,21 @@ class ServiceStats:
             return 0.0
         return self.windows / self.batches
 
+    @property
+    def overlap_ratio(self) -> float:
+        """Fraction of worker execution time hidden from the dispatch
+        thread — by the worker pool and, at ``pipeline_depth > 1``, by
+        prefetch/resolve of later windows overlapping earlier ones.
+
+        ``1 - collect_stall_s / execute_s`` clamped to ``[0, 1]``: a
+        fully serialized inline run scores 0.0 (the dispatch thread
+        waits out every simulated second), a perfectly overlapped one
+        approaches 1.0.  ``0.0`` when nothing executed.
+        """
+        if self.execute_s <= 0.0:
+            return 0.0
+        return min(1.0, max(0.0, 1.0 - self.collect_stall_s / self.execute_s))
+
     # ------------------------------------------------------------------
     # Reporting
     # ------------------------------------------------------------------
@@ -233,6 +262,12 @@ class ServiceStats:
             "mean_batch_windows": self.mean_batch_windows,
             "plan_resolve_s": self.plan_resolve_s,
             "execute_s": self.execute_s,
+            "pipeline_depth": self.pipeline_depth,
+            "max_inflight_batches": self.max_inflight_batches,
+            "prefetch_stall_s": self.prefetch_stall_s,
+            "collect_stall_s": self.collect_stall_s,
+            "overlap_ratio": self.overlap_ratio,
+            "profile_reuses": self.profile_reuses,
             "max_queue_depth": self.max_queue_depth,
             "mean_queue_depth": self.mean_queue_depth,
             "p95_queue_depth": self.p95_queue_depth,
@@ -263,6 +298,16 @@ class ServiceStats:
             f"{self.mean_batch_windows:.1f} windows/batch",
             f"phase time         plan={1e3 * self.plan_resolve_s:.2f} ms  "
             f"execute={1e3 * self.execute_s:.2f} ms",
+            f"pipeline           depth={self.pipeline_depth} "
+            f"(max in flight {self.max_inflight_batches}), "
+            f"stalls prefetch={1e3 * self.prefetch_stall_s:.2f} ms "
+            f"collect={1e3 * self.collect_stall_s:.2f} ms, "
+            f"overlap {self.overlap_ratio:.1%}"
+            + (
+                f", {self.profile_reuses} profile reuses"
+                if self.profile_reuses
+                else ""
+            ),
             f"ingest queue       depth max={self.max_queue_depth} "
             f"mean={self.mean_queue_depth:.1f} p95={self.p95_queue_depth:.1f}",
         ]

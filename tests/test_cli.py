@@ -108,6 +108,42 @@ class TestCommands:
         assert "windows served" in out
         assert "distribution" not in out
 
+    def test_serve_pipeline_depth_flag(self, capsys):
+        assert main(
+            ["serve", "--events", "600", "--vertices", "32",
+             "--hidden-dim", "16", "--pipeline-depth", "4"]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "depth=4" in out
+
+    def _serve_results(self, tmp_path, name, *extra):
+        out = tmp_path / f"{name}.json"
+        assert main(
+            ["serve", "--events", "800", "--vertices", "32", "--seed", "7",
+             "--hidden-dim", "16", "--results-json", str(out), *extra]
+        ) == 0
+        return out.read_bytes()
+
+    def test_results_json_byte_identical_across_depths_and_shards(
+        self, tmp_path, capsys
+    ):
+        """The CI pipeline-parity gate in miniature: per-window result
+        dumps byte-compare across pipeline depths and shard counts."""
+        reference = self._serve_results(tmp_path, "ref", "--pipeline-depth", "1")
+        payload = json.loads(reference)
+        windows = payload["windows"]
+        assert len(windows) > 4
+        for entry in windows:
+            assert {"index", "execution_cycles", "energy_joules",
+                    "plan_decision"} <= entry.keys()
+        assert reference == self._serve_results(
+            tmp_path, "deep", "--pipeline-depth", "4"
+        )
+        assert reference == self._serve_results(
+            tmp_path, "sharded", "--pipeline-depth", "2", "--shards", "2"
+        )
+        capsys.readouterr()
+
 
 class TestLint:
     def test_clean_path_exits_zero(self, capsys):
@@ -175,6 +211,27 @@ class TestLint:
         assert main(["lint", str(target), "--format", "sarif"]) == 0
         payload = json.loads(capsys.readouterr().out)
         assert payload["runs"][0]["results"] == []
+
+    def test_sarif_out_exports_from_the_gating_run(self, tmp_path, capsys):
+        """--sarif-out writes the SARIF report next to the text gate in
+        one invocation (CI runs lint once, not twice)."""
+        target = LINT_FIXTURES / "dist" / "bad_shmem_leak.py"
+        out = tmp_path / "reports" / "lint.sarif"
+        assert main(["lint", str(target), "--sarif-out", str(out)]) == 1
+        text = capsys.readouterr().out
+        assert "MP002" in text  # the human-readable gate output
+        payload = json.loads(out.read_text())
+        assert payload["version"] == "2.1.0"
+        assert any(
+            r["ruleId"] == "MP002" for r in payload["runs"][0]["results"]
+        )
+
+    def test_sarif_out_clean_run_still_writes(self, tmp_path, capsys):
+        target = LINT_FIXTURES / "dist" / "good_shmem_lifecycle.py"
+        out = tmp_path / "lint.sarif"
+        assert main(["lint", str(target), "--sarif-out", str(out)]) == 0
+        capsys.readouterr()
+        assert json.loads(out.read_text())["runs"][0]["results"] == []
 
     def test_explain_prints_rule_doc_and_example(self, capsys):
         assert main(["lint", "--explain", "MP002"]) == 0

@@ -11,6 +11,7 @@ shared-memory segment protocol, and restart/teardown hygiene.
 import json
 import multiprocessing
 import sys
+from dataclasses import replace
 from pathlib import Path
 
 import numpy as np
@@ -99,6 +100,25 @@ class TestParitySweep:
             tuple(s.events for s in report.stats.shard_stats) for report in reports
         ]
         assert per_shard[0] != per_shard[1]  # the partition really moved
+
+    @pytest.mark.parametrize("depth", [1, 2, 4])
+    @pytest.mark.parametrize("shards", [1, 2, 4])
+    def test_pipeline_depth_parity(
+        self, stream, service_config, offline, depth, shards
+    ):
+        """The tentpole sweep: results are bit-identical to the offline
+        reference for every pipeline depth x shard count combination."""
+        service = ShardedService(
+            config=ShardedConfig(
+                shards=shards,
+                service=replace(service_config, pipeline_depth=depth),
+            )
+        )
+        report = service.serve(stream, SPEC)
+        assert report.results == offline
+        assert report.stats.pipeline_depth == depth
+        assert 1 <= report.stats.max_inflight_batches <= depth
+        _assert_no_leaks(service)
 
     def test_stats_counters_match_single_process(self, stream, service_config):
         single = StreamingService(config=service_config).serve(stream, SPEC).stats
@@ -190,6 +210,27 @@ class TestRestart:
         assert generations == [0, 1, 1]
         _assert_no_leaks(service)
 
+    def test_crash_mid_prefetch_preserves_parity(
+        self, stream, service_config, offline
+    ):
+        """Worker death while the pipeline holds batches in flight (and
+        the shards are prefetching ahead of the merge) must be invisible:
+        results byte-identical to the serialized path, nothing leaked."""
+        service = ShardedService(
+            config=ShardedConfig(
+                shards=3,
+                service=replace(
+                    service_config, pipeline_depth=4, max_batch_windows=2
+                ),
+                crash_windows=((1, 3), (0, 6)),
+                max_restarts=4,
+            )
+        )
+        report = service.serve(stream, SPEC)
+        assert report.results == offline
+        assert report.stats.restarts == 2
+        _assert_no_leaks(service)
+
     def test_restart_budget_exhaustion_raises(self, stream, service_config):
         service = ShardedService(
             config=ShardedConfig(
@@ -220,6 +261,33 @@ class TestChaosSharded:
             reports[shards] = chaos.to_json()
         assert reports[0] == reports[1] == reports[2]
         json.loads(reports[0])  # stays well-formed
+
+    def test_chaos_report_byte_identical_across_pipeline_depths(self):
+        """The chaos harness under the overlapped pipeline: fault
+        injection keyed by (window, attempt) cannot see dispatch timing,
+        so the deterministic report byte-compares against the serialized
+        (depth-1) path, single-process and sharded alike."""
+        from repro.resilience import BreakerConfig, RetryPolicy
+
+        stream = synthetic_event_stream(num_vertices=48, num_events=600, seed=5)
+        schedule = ChaosSchedule(
+            seed=11, crash_rate=0.2, latency_rate=0.1,
+            latency_s=0.0002, poison_rate=0.05,
+        )
+        reports = {}
+        for depth in (1, 2, 4):
+            config = ServiceConfig(
+                pipeline_depth=depth,
+                retry=RetryPolicy(max_attempts=4, backoff_s=0.0005),
+                breaker=BreakerConfig(),
+                quarantine=True,
+            )
+            for shards in (0, 2):
+                _, chaos = run_chaos(stream, SPEC, schedule, config=config,
+                                     shards=shards)
+                reports[(depth, shards)] = chaos.to_json()
+        reference = reports[(1, 0)]
+        assert all(r == reference for r in reports.values())
 
 
 class TestEventRouter:

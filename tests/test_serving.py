@@ -367,6 +367,100 @@ class TestStreamingService:
 
 
 # ---------------------------------------------------------------------------
+# Overlapped window pipeline
+# ---------------------------------------------------------------------------
+class TestWindowPipeline:
+    def test_config_rejects_nonpositive_depth(self):
+        with pytest.raises(ValueError):
+            ServiceConfig(pipeline_depth=0)
+        with pytest.raises(ValueError):
+            ServiceConfig(pipeline_depth=-1)
+
+    def test_pipeline_rejects_nonpositive_depth(self):
+        from repro.serving import WindowPipeline
+
+        with pytest.raises(ValueError, match="depth"):
+            WindowPipeline(
+                source=None, manager=None, runner=None, pool=None,
+                spec=SPEC, stats=None, results=[], depth=0,
+            )
+
+    @pytest.mark.parametrize("depth", [1, 2, 4])
+    def test_parity_across_depths(self, depth):
+        """The tentpole invariant: per-window results are bit-identical
+        to the serialized offline reference at every pipeline depth."""
+        stream = synthetic_event_stream(num_vertices=48, num_events=1200, seed=6)
+        config = ServiceConfig(
+            window=70.0, workers=2, max_batch_windows=3,
+            pipeline_depth=depth, queue_capacity=4,
+        )
+        report = StreamingService(DiTileAccelerator(), config).serve(stream, SPEC)
+        offline = serve_offline(stream, SPEC, DiTileAccelerator(), config)
+        assert report.num_windows == len(offline) > 8
+        assert report.results == offline
+        assert report.stats.pipeline_depth == depth
+        assert 1 <= report.stats.max_inflight_batches <= depth
+
+    def test_plan_cache_counters_are_depth_invariant(self):
+        stream = synthetic_event_stream(num_vertices=40, num_events=900, seed=11)
+        counters = []
+        for depth in (1, 3):
+            config = ServiceConfig(window=60.0, workers=2, pipeline_depth=depth)
+            stats = StreamingService(DiTileAccelerator(), config).serve(
+                stream, SPEC
+            ).stats
+            counters.append(
+                (stats.plan_hits, stats.plan_misses, stats.plan_replans,
+                 stats.plan_evictions, stats.profile_reuses)
+            )
+        assert counters[0] == counters[1]
+
+    def test_empty_windows_reuse_the_profile(self):
+        """A window with an empty delta has (by construction) the same
+        snapshot as its predecessor, so its workload profile is reused
+        instead of re-measured — without changing results."""
+        stream = synthetic_event_stream(num_vertices=24, num_events=60, seed=2)
+        first, last = stream.time_span
+        config = ServiceConfig(
+            window=(last - first) / 40, workers=2, pipeline_depth=2
+        )
+        report = StreamingService(DiTileAccelerator(), config).serve(stream, SPEC)
+        offline = serve_offline(stream, SPEC, DiTileAccelerator(), config)
+        assert report.results == offline
+        empty_windows = sum(
+            1 for r in report.stats.records if r.num_events == 0
+        )
+        assert report.stats.profile_reuses == empty_windows > 0
+
+    def test_stall_accounting_and_summary(self):
+        stream = synthetic_event_stream(num_vertices=48, num_events=1500, seed=9)
+        config = ServiceConfig(window=60.0, workers=2, pipeline_depth=2)
+        stats = StreamingService(DiTileAccelerator(), config).serve(
+            stream, SPEC
+        ).stats
+        assert stats.prefetch_stall_s >= 0.0
+        assert stats.collect_stall_s >= 0.0
+        assert 0.0 <= stats.overlap_ratio <= 1.0
+        as_dict = stats.as_dict()
+        for key in ("pipeline_depth", "max_inflight_batches",
+                    "prefetch_stall_s", "collect_stall_s", "overlap_ratio",
+                    "profile_reuses"):
+            assert key in as_dict
+        assert "pipeline" in stats.summary()
+
+    def test_overlap_ratio_edge_cases(self):
+        from repro.serving.stats import ServiceStats
+
+        stats = ServiceStats()
+        assert stats.overlap_ratio == 0.0  # no execution at all
+        stats.execute_s = 2.0
+        stats.collect_stall_s = 0.5
+        assert stats.overlap_ratio == 0.75
+        stats.collect_stall_s = 5.0  # stall can exceed execute (clamped)
+        assert stats.overlap_ratio == 0.0
+
+
+# ---------------------------------------------------------------------------
 # LRU-bounded library caches (satellite)
 # ---------------------------------------------------------------------------
 class TestBoundedLibraryCaches:
