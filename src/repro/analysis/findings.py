@@ -150,7 +150,13 @@ UNIT_PATHS = PathScope(include=("accel/", "core/"), exclude=("analysis/",))
 
 #: Paths that run under more than one thread (ingest thread + dispatch
 #: loop + worker pool) or across processes (shard workers + coordinator).
-THREADED_PATHS = PathScope(include=("serving/", "dist/"), exclude=("analysis/",))
+#: ``obs/distributed.py`` is listed by file: it carries the shard-trace
+#: payloads across the process boundary, while the rest of ``obs/`` is
+#: single-threaded within each process.
+THREADED_PATHS = PathScope(
+    include=("serving/", "dist/", "obs/distributed.py"),
+    exclude=("analysis/",),
+)
 
 
 class Rule(ABC):

@@ -59,8 +59,11 @@ __all__ = [
 ]
 
 #: Paths that cross process boundaries: the shard workers, coordinator,
-#: and shared-memory plumbing.
-PROCESS_PATHS = PathScope(include=("dist/",), exclude=("analysis/",))
+#: shared-memory plumbing, and the shard-trace payloads the workers
+#: flush back over the result queues.
+PROCESS_PATHS = PathScope(
+    include=("dist/", "obs/distributed.py"), exclude=("analysis/",)
+)
 
 #: Constructors that start (or wrap machinery that starts) threads.
 _THREAD_FACTORIES = {"Thread", "ThreadPoolExecutor", "WindowExecutor", "Timer"}

@@ -95,6 +95,7 @@ def build_parser() -> argparse.ArgumentParser:
         "serve", help="run the online streaming-inference service"
     )
     _add_serve_args(serve)
+    _add_slo_args(serve)
     _add_trace_arg(serve)
     _add_faults_arg(serve)
     serve.add_argument(
@@ -112,6 +113,7 @@ def build_parser() -> argparse.ArgumentParser:
         "serve", help="serve a stream under seeded fault injection"
     )
     _add_serve_args(chaos_serve)
+    _add_slo_args(chaos_serve)
     chaos_serve.add_argument(
         "--chaos-seed", type=int, default=11,
         help="chaos schedule seed (same seed -> byte-identical report)",
@@ -172,11 +174,35 @@ def build_parser() -> argparse.ArgumentParser:
         "serve", help="trace the streaming-inference service"
     )
     _add_serve_args(trace_serve)
+    _add_slo_args(trace_serve)
     for p in (trace_plan, trace_compare, trace_serve):
         p.add_argument(
             "--out", default=None, metavar="DIR",
-            help="also write trace.json / spans.jsonl / phases.json to DIR",
+            help="also write trace.json / spans.jsonl / phases.json / "
+            "flame.folded (+ shard_spans.jsonl on sharded runs) to DIR",
         )
+        p.add_argument(
+            "--format", choices=["text", "json"], default="text",
+            help="phase-report format (default: text); json rows are "
+            "name-sorted, a stable order across runs",
+        )
+        p.add_argument(
+            "--sort", choices=["time", "name"], default="time",
+            help="phase-row order for --format text (default: time; "
+            "name is stable across runs)",
+        )
+
+    slo = sub.add_parser(
+        "slo",
+        help="serve a stream and evaluate declarative SLO targets "
+        "(exit 1 on any violated objective)",
+    )
+    _add_serve_args(slo)
+    _add_slo_args(slo)
+    slo.add_argument(
+        "--format", choices=["text", "json"], default="text",
+        help="report format (default: text)",
+    )
 
     lint = sub.add_parser(
         "lint", help="run the static-analysis suite over source paths"
@@ -344,6 +370,60 @@ def _add_serve_args(parser: argparse.ArgumentParser) -> None:
                         "either way — see docs/distributed.md)")
     parser.add_argument("--partition-seed", type=int, default=0,
                         help="consistent-hash partition seed (sharded mode)")
+
+
+def _add_slo_args(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--p95-latency", type=float, default=0.5, metavar="S",
+        help="SLO target: p95 window latency ceiling in seconds "
+        "(default: 0.5)",
+    )
+    parser.add_argument(
+        "--max-shed-rate", type=float, default=0.0, metavar="F",
+        help="SLO target: shed-window share ceiling (default: 0.0)",
+    )
+    parser.add_argument(
+        "--restart-budget", type=float, default=0.0, metavar="N",
+        help="SLO target: worker-restart ceiling (default: 0)",
+    )
+    parser.add_argument(
+        "--overlap-floor", type=float, default=0.0, metavar="F",
+        help="SLO target: pipeline overlap-ratio floor (default: 0.0)",
+    )
+    parser.add_argument(
+        "--slo-json", default=None, metavar="OUT",
+        help="evaluate the SLO targets and write the health report "
+        "(JSON) to OUT",
+    )
+
+
+def _slo_monitor(args: argparse.Namespace):
+    from .obs import SLOMonitor, default_targets
+
+    return SLOMonitor(
+        default_targets(
+            p95_latency_s=args.p95_latency,
+            shed_rate=args.max_shed_rate,
+            restart_budget=args.restart_budget,
+            overlap_floor=args.overlap_floor,
+        )
+    )
+
+
+def _emit_slo(args: argparse.Namespace, stats) -> int:
+    """Evaluate SLO targets against ``stats``, print the health report,
+    honor ``--slo-json``, and return the lint-style exit code."""
+    slo_report = _slo_monitor(args).evaluate(stats)
+    print()
+    print(slo_report.render_text())
+    if getattr(args, "slo_json", None):
+        from pathlib import Path
+
+        out = Path(args.slo_json)
+        out.parent.mkdir(parents=True, exist_ok=True)
+        slo_report.write(out)
+        print(f"SLO report written to {out}")
+    return slo_report.exit_code
 
 
 def _runner(args: argparse.Namespace) -> ExperimentRunner:
@@ -570,6 +650,15 @@ def _cmd_serve(args: argparse.Namespace) -> None:
         out.parent.mkdir(parents=True, exist_ok=True)
         out.write_text(_window_results_json(report) + "\n")
         print(f"per-window results written to {out}")
+    # SLO surface: `trace serve` always prints the health report (the
+    # traced run is the observability surface); plain `serve` evaluates
+    # only when --slo-json asks for the artifact.  Violations never fail
+    # a serve run — `repro slo` is the exit-code surface.
+    if hasattr(args, "slo_json"):
+        from .obs import active_tracer
+
+        if args.slo_json or active_tracer() is not None:
+            _emit_slo(args, report.stats)
 
 
 def _cmd_chaos(args: argparse.Namespace) -> int:
@@ -638,9 +727,60 @@ def _cmd_chaos(args: argparse.Namespace) -> int:
         out.parent.mkdir(parents=True, exist_ok=True)
         out.write_text(chaos_report.to_json() + "\n")
         print(f"chaos report written to {out}")
+    if args.slo_json:
+        _emit_slo(args, report.stats)
     # Exit 0 only if every window was eventually served: a permanently
     # failed window is graceful degradation, but CI should notice it.
     return 0 if chaos_report.windows_failed == 0 else 1
+
+
+def _cmd_slo(args: argparse.Namespace) -> int:
+    """Serve a stream, evaluate SLO targets, exit 1 on any violation."""
+    from .serving import ServiceConfig, StreamingService
+
+    stream, spec, window, origin = _serve_workload(args)
+    config = ServiceConfig(
+        window=window,
+        origin=origin,
+        workers=args.workers,
+        max_batch_windows=args.batch,
+        pipeline_depth=args.pipeline_depth,
+        queue_capacity=args.queue_capacity,
+        plan_cache_capacity=args.plan_cache_capacity,
+        drift_threshold=args.drift_threshold,
+    )
+    if args.shards >= 1:
+        from .dist import ShardedConfig, ShardedService
+
+        service = ShardedService(
+            ditile_model(),
+            ShardedConfig(
+                shards=args.shards,
+                service=config,
+                partition_seed=args.partition_seed,
+            ),
+        )
+        try:
+            report = service.serve(stream, spec)
+        finally:
+            service.shutdown()
+    else:
+        report = StreamingService(ditile_model(), config).serve(stream, spec)
+    slo_report = _slo_monitor(args).evaluate(report.stats)
+    if args.format == "json":
+        print(slo_report.render_json())
+    else:
+        print(report.stats.summary())
+        print()
+        print(slo_report.render_text())
+    if args.slo_json:
+        from pathlib import Path
+
+        out = Path(args.slo_json)
+        out.parent.mkdir(parents=True, exist_ok=True)
+        slo_report.write(out)
+        print(f"SLO report written to {out}")
+    return slo_report.exit_code
 
 
 def _cmd_lint(args: argparse.Namespace) -> int:
@@ -815,7 +955,10 @@ def _run_traced(fn, args: argparse.Namespace, out_dir, name: str) -> int:
     with TraceSession(out_dir, name=name) as session:
         fn(args)
     print()
-    print(session.report.render_text())
+    if getattr(args, "format", "text") == "json":
+        print(session.report.render_json())
+    else:
+        print(session.report.render_text(sort=getattr(args, "sort", "time")))
     for kind in sorted(session.written):
         print(f"trace {kind}: {session.written[kind]}")
     return 0
@@ -854,6 +997,8 @@ def main(argv: Optional[List[str]] = None) -> int:
         return _cmd_chaos(args)
     elif args.command == "trace":
         return _cmd_trace(args)
+    elif args.command == "slo":
+        return _cmd_slo(args)
     elif args.command == "lint":
         return _cmd_lint(args)
     elif args.command == "bench":

@@ -50,8 +50,10 @@ from ..graphs.continuous import ContinuousDynamicGraph
 from ..graphs.delta import SnapshotDelta, apply_delta, merge_deltas
 from ..graphs.partition import hash_vertex_partition, shard_subgraph
 from ..graphs.snapshot import GraphSnapshot
+from ..obs import active_tracer
 from ..obs import gauge_set as obs_gauge_set
 from ..obs import span as obs_span
+from ..obs.distributed import TraceContext
 from ..serving.executor import WindowExecutor, WindowRunner
 from ..serving.ingest import Window
 from ..serving.pipeline import WindowPipeline
@@ -65,6 +67,7 @@ from .stats import EdgeAccount, ShardStats, ShardedStats
 from .worker import (
     ShardDoneMessage,
     ShardErrorMessage,
+    ShardTraceMessage,
     ShardWindowMessage,
     segment_name,
     shard_worker_main,
@@ -247,6 +250,8 @@ class ShardedService:
             ).drive()
         finally:
             pool.shutdown(wait=True, cancel_pending=True)
+        if active_tracer() is not None:
+            self._collect_final_traces()
         stats.elapsed_s = wall_clock() - started
         stats.windows = len(results)
         stats.events = routing.total_events
@@ -356,6 +361,16 @@ class ShardedService:
                 ):
                     unlink_segment(msg.segment.name)
                 continue
+            if isinstance(msg, ShardTraceMessage):
+                # Out-of-band telemetry: attach and keep gathering.  The
+                # worker always flushes *before* the window message, so
+                # every in-generation batch is consumed right here —
+                # except the terminal flush, which
+                # :meth:`_collect_final_traces` drains after the run.
+                tracer = active_tracer()
+                if tracer is not None:
+                    tracer.add_shard_batch(msg.batch)
+                continue
             if isinstance(msg, ShardErrorMessage):
                 raise RuntimeError(
                     f"shard {shard} (generation {msg.generation}) failed: "
@@ -407,6 +422,19 @@ class ShardedService:
         routed = self._routing.routed[shard]
         if start_window:
             routed = [(i, e) for i, e in routed if i >= start_window]
+        tracer = active_tracer()
+        trace_ctx = None
+        if tracer is not None:
+            # The context pins the worker's flushed spans to this run
+            # (trace id = segment session) and to the coordinator span
+            # open right now — dist.serve at first spawn, dist.merge on
+            # the restart path.
+            trace_ctx = TraceContext(
+                trace_id=self._session,
+                parent_span_id=tracer.current_span_id() or 0,
+                shard=shard,
+                generation=self._gens[shard],
+            )
         proc = ctx.Process(
             target=shard_worker_main,
             name=f"repro-dist-shard{shard}",
@@ -425,11 +453,50 @@ class ShardedService:
                 shard_subgraph(self._current, self._partition, shard),
                 self._partition.assignment,
                 self.config.crash_windows,
+                trace_ctx,
             ),
             daemon=True,
         )
         proc.start()
         self._procs[shard] = proc
+
+    def _collect_final_traces(self) -> None:
+        """Drain each shard queue to its Done marker after the last merge.
+
+        The worker's terminal trace flush (final ingest span + the
+        generation's full cumulative metrics) sits behind the last window
+        message the gather loop consumed; tearing down without reading it
+        would make trace content depend on teardown timing.  A worker
+        that died after its last window simply contributes nothing more
+        (dead *and* drained ends the wait — same liveness discipline as
+        :meth:`_gather`).
+        """
+        tracer = active_tracer()
+        for shard, q in enumerate(self._queues):
+            while True:
+                try:
+                    msg = q.get(timeout=self.config.heartbeat_s)
+                except queue_mod.Empty:
+                    proc = self._procs[shard]
+                    if proc is None or not proc.is_alive():
+                        break
+                    continue
+                if isinstance(msg, ShardTraceMessage):
+                    if (
+                        tracer is not None
+                        and msg.generation == self._gens[shard]
+                    ):
+                        tracer.add_shard_batch(msg.batch)
+                    continue
+                if isinstance(msg, ShardDoneMessage):
+                    if msg.generation == self._gens[shard]:
+                        break
+                    continue
+                if (
+                    isinstance(msg, ShardWindowMessage)
+                    and msg.segment is not None
+                ):
+                    unlink_segment(msg.segment.name)
 
     def shutdown(self) -> None:
         """Terminate and join every shard worker; free every segment.

@@ -19,6 +19,9 @@ import numpy as np
 
 from ..graphs.continuous import EdgeEvent
 from ..graphs.snapshot import GraphSnapshot
+from ..obs import Tracer, counter_add, gauge_set, install, uninstall
+from ..obs import span as obs_span
+from ..obs.distributed import ShardSpanBatch, TraceContext, encode_records
 from ..serving.ingest import ShardedWindowBuilder
 from .shmem import SegmentSpec, write_segment
 
@@ -26,6 +29,7 @@ __all__ = [
     "ShardWindowMessage",
     "ShardDoneMessage",
     "ShardErrorMessage",
+    "ShardTraceMessage",
     "segment_name",
     "shard_worker_main",
 ]
@@ -71,6 +75,22 @@ class ShardErrorMessage:
     error: str
 
 
+@dataclass(frozen=True)
+class ShardTraceMessage:
+    """One flushed span/metrics batch from a traced shard worker.
+
+    Sent *before* the window message whose boundary triggered the flush
+    (and once more before ``ShardDoneMessage``), so the coordinator's
+    gather loop always consumes it while it is still reading the queue.
+    The payload is scalars/tuples only — spans are tiny next to the edge
+    arrays, so they ride the queue, never shared memory.
+    """
+
+    shard: int
+    generation: int
+    batch: ShardSpanBatch
+
+
 def segment_name(session: str, shard: int, generation: int, window: int) -> str:
     """Deterministic segment name for one ``(shard, generation, window)``.
 
@@ -96,6 +116,7 @@ def shard_worker_main(
     initial: Optional[GraphSnapshot],
     assignment: np.ndarray,
     crash_windows: Tuple[Tuple[int, int], ...] = (),
+    trace_ctx: Optional[TraceContext] = None,
 ) -> None:
     """Worker process entry point (run under the ``fork`` start method).
 
@@ -107,7 +128,37 @@ def shard_worker_main(
     ``(shard, window)`` hard-exits the generation-0 worker *before* the
     window's segment exists, so the restart path never has to reconcile
     a half-written segment from an injected crash.
+
+    ``trace_ctx`` switches on in-worker tracing: the worker replaces the
+    tracer it inherited from the coordinator's fork (recording into that
+    copy would be invisible to the parent) with its own, wraps ingest and
+    window materialization in spans, and flushes a
+    :class:`ShardTraceMessage` before every window message so span
+    memory never grows with the run.
     """
+    tracer: Optional[Tracer] = None
+    if trace_ctx is not None:
+        uninstall()
+        tracer = install(Tracer(name=f"shard{shard}"))
+
+    def _flush(boundary: int) -> None:
+        """Drain the local tracer into a trace message for ``boundary``."""
+        assert tracer is not None and trace_ctx is not None
+        out_queue.put(
+            ShardTraceMessage(
+                shard=shard,
+                generation=generation,
+                batch=ShardSpanBatch(
+                    context=trace_ctx,
+                    window=boundary,
+                    spans=encode_records(tracer.drain()),
+                    metrics=tracer.metrics.as_dict(),
+                    thread_names=tuple(tracer.thread_names()),
+                    epoch_s=tracer.epoch_s,
+                ),
+            )
+        )
+
     try:
         builder = ShardedWindowBuilder(
             num_vertices,
@@ -117,26 +168,49 @@ def shard_worker_main(
             origin=origin,
             start_window=start_window,
         )
-        for win in builder.build(routed, end_window):
+        it = iter(builder.build(routed, end_window))
+        while True:
+            # The span covers the generator advance, so its duration is
+            # this shard's incremental delta/apply work for the window.
+            with obs_span("shard.ingest") as sp:
+                win = next(it, None)
+                if win is not None and sp.enabled:
+                    sp.set_attr("window", win.index)
+                    sp.add("events", win.num_events)
+            if win is None:
+                break
             if generation == 0 and (shard, win.index) in crash_windows:
                 os._exit(17)
-            segment = None
-            if win.delta.num_changes:
-                delta = win.delta
-                snap_src, snap_dst = win.snapshot.edge_arrays()
-                segment = write_segment(
-                    segment_name(session, shard, generation, win.index),
-                    [
-                        ("added_src", delta.added_src),
-                        ("added_dst", delta.added_dst),
-                        ("removed_src", delta.removed_src),
-                        ("removed_dst", delta.removed_dst),
-                        ("snap_src", snap_src),
-                        ("snap_dst", snap_dst),
-                    ],
-                )
-            src, _dst = win.snapshot.edge_arrays()
-            cut = int(np.sum(assignment[src] != shard)) if len(src) else 0
+            with obs_span("shard.window", window=win.index) as sp:
+                segment = None
+                if win.delta.num_changes:
+                    delta = win.delta
+                    snap_src, snap_dst = win.snapshot.edge_arrays()
+                    segment = write_segment(
+                        segment_name(session, shard, generation, win.index),
+                        [
+                            ("added_src", delta.added_src),
+                            ("added_dst", delta.added_dst),
+                            ("removed_src", delta.removed_src),
+                            ("removed_dst", delta.removed_dst),
+                            ("snap_src", snap_src),
+                            ("snap_dst", snap_dst),
+                        ],
+                    )
+                src, _dst = win.snapshot.edge_arrays()
+                cut = int(np.sum(assignment[src] != shard)) if len(src) else 0
+                if sp.enabled:
+                    sp.add("changes", win.delta.num_changes)
+                    sp.add("cut_edges", cut)
+            if tracer is not None:
+                # Registry counters reconcile with ShardStats on healthy
+                # runs (the attribution test); gauges track levels.
+                counter_add("shard.windows", 1)
+                counter_add("shard.events", win.num_events)
+                counter_add("shard.segments", 1 if segment is not None else 0)
+                gauge_set("shard.edges", win.snapshot.num_edges)
+                gauge_set("shard.cut_edges", cut)
+                _flush(win.index)
             out_queue.put(
                 ShardWindowMessage(
                     shard=shard,
@@ -150,6 +224,12 @@ def shard_worker_main(
                     closed_at=win.closed_at,
                 )
             )
+        if tracer is not None:
+            # Terminal flush: carries the last ingest span (the advance
+            # that returned None) and the final cumulative metrics.  It
+            # uses the one-past-last window index so it sorts after every
+            # window flush in the merged trace.
+            _flush(end_window)
         out_queue.put(ShardDoneMessage(shard=shard, generation=generation))
     except BaseException as exc:  # noqa: BLE001 - process boundary
         out_queue.put(

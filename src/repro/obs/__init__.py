@@ -21,6 +21,17 @@ one global ``None`` check — bench counters are bit-identical with
 tracing on or off.
 """
 
+from .distributed import (
+    ShardSpanBatch,
+    TraceContext,
+    aggregate_shard_counters,
+    decode_records,
+    encode_records,
+    latest_shard_metrics,
+    shard_phase_totals,
+    shard_span_lines,
+    write_shard_span_jsonl,
+)
 from .export import (
     chrome_trace_events,
     validate_trace_events,
@@ -28,9 +39,11 @@ from .export import (
     write_chrome_trace,
     write_span_jsonl,
 )
+from .flamegraph import collapsed_stacks, write_flamegraph
 from .metrics import Counter, Gauge, MetricsRegistry
 from .report import PhaseNode, PhaseReport, build_phase_report
 from .session import TraceSession, export_all
+from .slo import SLOMonitor, SLOReport, SLOTarget, default_targets
 from .span import NOOP_SPAN, NoopSpan, Span, SpanRecord
 from .tracer import (
     Tracer,
@@ -71,4 +84,19 @@ __all__ = [
     "build_phase_report",
     "TraceSession",
     "export_all",
+    "TraceContext",
+    "ShardSpanBatch",
+    "encode_records",
+    "decode_records",
+    "shard_span_lines",
+    "write_shard_span_jsonl",
+    "latest_shard_metrics",
+    "aggregate_shard_counters",
+    "shard_phase_totals",
+    "collapsed_stacks",
+    "write_flamegraph",
+    "SLOTarget",
+    "SLOMonitor",
+    "SLOReport",
+    "default_targets",
 ]

@@ -1,0 +1,333 @@
+"""Cross-process distributed tracing: shard workers -> one merged trace.
+
+The sharded service (:mod:`repro.dist`) forks one worker per shard, so a
+process-global tracer on the coordinator sees nothing a worker does.
+This module closes that gap without new channels:
+
+* A :class:`TraceContext` — trace id, the coordinator's parent span id,
+  shard id, generation — is handed to each worker at spawn time and
+  rides every trace message the worker sends back.
+* Each worker runs its **own** :class:`~repro.obs.tracer.Tracer` and
+  :class:`~repro.obs.metrics.MetricsRegistry` (the inherited coordinator
+  tracer is uninstalled right after fork), drains finished spans at
+  every window boundary, and flushes them — plus a cumulative metrics
+  snapshot — over the established coordinator queue as a
+  :class:`ShardSpanBatch` payload inside a ``ShardTraceMessage``.
+* The coordinator attaches the batches to its tracer
+  (:meth:`~repro.obs.tracer.Tracer.add_shard_batch`); the exporters then
+  stitch one multi-track Chrome trace (``pid`` = shard, ``tid`` = the
+  worker's stage thread) and the aggregators below fold per-shard
+  registries into global counters with per-shard breakdowns.
+
+Determinism contract: everything a worker puts in a batch except the
+span timestamps is a pure function of its routed event slice, and the
+worker loop is single-threaded, so batches — and therefore the
+*canonical* merged span log (:func:`shard_span_lines`, which carries no
+wall-clock fields) — are byte-identical across runs.  Timestamps live
+only in the Chrome trace, which is telemetry.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+from .metrics import MetricsRegistry
+from .span import SpanRecord
+
+__all__ = [
+    "COORDINATOR_PID",
+    "TraceContext",
+    "ShardSpanBatch",
+    "encode_records",
+    "decode_records",
+    "shard_pid",
+    "shard_trace_events",
+    "shard_span_lines",
+    "write_shard_span_jsonl",
+    "latest_shard_metrics",
+    "aggregate_shard_counters",
+    "merged_metrics_registry",
+    "shard_phase_totals",
+    "resolve_context",
+]
+
+#: the coordinator's Chrome-trace process track; shard ``s`` gets ``s + 1``
+COORDINATOR_PID = 0
+
+
+def shard_pid(shard: int) -> int:
+    """The Chrome-trace ``pid`` of shard ``shard``'s worker process."""
+    return shard + 1
+
+
+@dataclass(frozen=True)
+class TraceContext:
+    """The identity a trace carries across the process boundary."""
+
+    #: the traced run (the coordinator session id — unique per service)
+    trace_id: str
+    #: span id of the coordinator span the worker's spans nest under
+    parent_span_id: int
+    #: which shard of the vertex space this context belongs to
+    shard: int
+    #: worker incarnation (restarts bump it; stale batches are dropped)
+    generation: int
+
+
+@dataclass(frozen=True)
+class ShardSpanBatch:
+    """One window boundary's flush from one shard worker.
+
+    Everything in here is picklable scalars/tuples — the batch crosses
+    the coordinator queue, never shared memory (span payloads are tiny
+    next to edge arrays).  ``metrics`` is the worker registry's
+    *cumulative* snapshot at flush time, so the last batch of a
+    generation carries the generation's full totals.
+    """
+
+    context: TraceContext
+    #: the window whose boundary triggered the flush; the final flush
+    #: (after the last window) uses the one-past-last index so it sorts
+    #: after every window flush
+    window: int
+    #: serialized :class:`SpanRecord` dicts, in span-id (creation) order
+    spans: Tuple[Dict[str, object], ...]
+    #: cumulative ``MetricsRegistry.as_dict()`` snapshot
+    metrics: Dict[str, Dict[str, Dict[str, float]]]
+    #: worker thread-index -> name mapping (Chrome metadata)
+    thread_names: Tuple[str, ...]
+    #: the worker tracer's wall-clock epoch (telemetry; aligns timelines)
+    epoch_s: float
+
+
+# ---------------------------------------------------------------------------
+# Span (de)serialization
+# ---------------------------------------------------------------------------
+def encode_records(records: List[SpanRecord]) -> Tuple[Dict[str, object], ...]:
+    """Serialize spans for the queue (plain dicts of scalars)."""
+    return tuple(record.as_dict() for record in records)
+
+
+def decode_records(spans: Tuple[Dict[str, object], ...]) -> List[SpanRecord]:
+    """Rebuild :class:`SpanRecord`\\ s from a batch's serialized spans."""
+    return [
+        SpanRecord(
+            name=str(span["name"]),
+            span_id=int(span["span_id"]),  # type: ignore[arg-type]
+            parent_id=(
+                int(span["parent_id"])  # type: ignore[arg-type]
+                if span["parent_id"] is not None
+                else None
+            ),
+            thread=int(span["thread"]),  # type: ignore[arg-type]
+            depth=int(span["depth"]),  # type: ignore[arg-type]
+            start_us=int(span["start_us"]),  # type: ignore[arg-type]
+            duration_us=int(span["duration_us"]),  # type: ignore[arg-type]
+            attrs=dict(span["attrs"]),  # type: ignore[call-overload]
+            counters=dict(span["counters"]),  # type: ignore[call-overload]
+        )
+        for span in spans
+    ]
+
+
+# ---------------------------------------------------------------------------
+# Chrome-trace stitching
+# ---------------------------------------------------------------------------
+def shard_trace_events(tracer) -> List[Dict[str, object]]:
+    """Chrome trace events for every shard batch attached to ``tracer``.
+
+    Each shard becomes its own process track: ``pid = shard + 1`` with a
+    ``process_name`` metadata event, worker threads keep their stable
+    ``tid``\\ s, and span timestamps are re-based from the worker's epoch
+    onto the coordinator tracer's so all tracks share one timeline.
+    """
+    events: List[Dict[str, object]] = []
+    named: set = set()
+    for batch in tracer.shard_batches:
+        ctx = batch.context
+        pid = shard_pid(ctx.shard)
+        if pid not in named:
+            named.add(pid)
+            events.append(
+                {
+                    "name": "process_name",
+                    "ph": "M",
+                    "pid": pid,
+                    "tid": 0,
+                    "args": {"name": f"shard{ctx.shard}"},
+                }
+            )
+        for index, name in enumerate(batch.thread_names):
+            key = (pid, index)
+            if key in named:
+                continue
+            named.add(key)
+            events.append(
+                {
+                    "name": "thread_name",
+                    "ph": "M",
+                    "pid": pid,
+                    "tid": index,
+                    "args": {"name": name},
+                }
+            )
+        offset_us = int((batch.epoch_s - tracer.epoch_s) * 1e6)
+        for record in decode_records(batch.spans):
+            args: Dict[str, object] = dict(record.attrs)
+            args["trace_id"] = ctx.trace_id
+            args["generation"] = ctx.generation
+            for counter, value in sorted(record.counters.items()):
+                args[f"counter.{counter}"] = value
+            events.append(
+                {
+                    "name": record.name,
+                    "cat": "repro",
+                    "ph": "X",
+                    "pid": pid,
+                    "tid": record.thread,
+                    "ts": max(record.start_us + offset_us, 0),
+                    "dur": record.duration_us,
+                    "args": args,
+                }
+            )
+    return events
+
+
+# ---------------------------------------------------------------------------
+# Canonical merged span log
+# ---------------------------------------------------------------------------
+def shard_span_lines(tracer) -> List[str]:
+    """The canonical merged shard-span log, one JSON line per span.
+
+    The *deterministic* view of a distributed trace: spans from every
+    shard batch, ordered by ``(shard, generation, span id)``, carrying
+    only workload-derived fields — name, shard, generation, local span
+    and parent ids, depth, attrs, counters — and **no wall-clock
+    fields**.  Two traced runs over the same stream produce byte-equal
+    logs (the regression test in ``tests/test_obs_dist.py``); wall-clock
+    telemetry belongs to the Chrome trace.
+    """
+    lines: List[str] = []
+    for batch in tracer.shard_batches:
+        ctx = batch.context
+        for record in decode_records(batch.spans):
+            lines.append(
+                json.dumps(
+                    {
+                        "shard": ctx.shard,
+                        "generation": ctx.generation,
+                        "name": record.name,
+                        "span_id": record.span_id,
+                        "parent_id": record.parent_id,
+                        "depth": record.depth,
+                        "attrs": {
+                            key: record.attrs[key] for key in sorted(record.attrs)
+                        },
+                        "counters": {
+                            key: record.counters[key]
+                            for key in sorted(record.counters)
+                        },
+                    },
+                    sort_keys=True,
+                )
+            )
+    return lines
+
+
+def write_shard_span_jsonl(tracer, path):
+    """Write :func:`shard_span_lines` to ``path`` (one JSON object/line)."""
+    from pathlib import Path
+
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    lines = shard_span_lines(tracer)
+    path.write_text("\n".join(lines) + ("\n" if lines else ""))
+    return path
+
+
+# ---------------------------------------------------------------------------
+# Metrics aggregation
+# ---------------------------------------------------------------------------
+def latest_shard_metrics(tracer) -> Dict[int, Dict[str, Dict[str, Dict[str, float]]]]:
+    """Each shard's most recent cumulative metrics snapshot.
+
+    Snapshots are cumulative per generation, so the latest batch of the
+    *highest* generation is the shard's best view of its totals.  On a
+    restart-free run (every generation 0, every window merged exactly
+    once) these totals reconcile exactly with
+    :class:`~repro.dist.stats.ShardedStats` — the attribution test; a
+    crashed generation's replayed windows make them approximate, which
+    the restart counter flags.
+    """
+    latest: Dict[int, Tuple[Tuple[int, int], Dict]] = {}
+    for batch in tracer.shard_batches:
+        ctx = batch.context
+        key = (ctx.generation, batch.window)
+        held = latest.get(ctx.shard)
+        if held is None or key >= held[0]:
+            latest[ctx.shard] = (key, batch.metrics)
+    return {shard: snapshot for shard, (_, snapshot) in sorted(latest.items())}
+
+
+def aggregate_shard_counters(tracer) -> Dict[str, Dict[str, float]]:
+    """Global counters summed across every shard's latest registry.
+
+    Returns ``{counter: {"total": ..., "events": ..., "shard<N>": ...}}``
+    — the global fold plus the per-shard breakdown the load-balance view
+    is built from (cut-edge traffic, ingested events, segment counts).
+    """
+    merged: Dict[str, Dict[str, float]] = {}
+    for shard, snapshot in latest_shard_metrics(tracer).items():
+        for name, counter in snapshot.get("counters", {}).items():
+            into = merged.setdefault(name, {"total": 0.0, "events": 0.0})
+            into["total"] += counter["total"]
+            into["events"] += counter["events"]
+            into[f"shard{shard}"] = counter["total"]
+    return {name: merged[name] for name in sorted(merged)}
+
+
+def merged_metrics_registry(tracer) -> MetricsRegistry:
+    """A registry holding the aggregated cross-shard counters.
+
+    Convenience for report code that wants the global counters in the
+    ordinary :class:`MetricsRegistry` shape.
+    """
+    registry = MetricsRegistry()
+    for name, fold in aggregate_shard_counters(tracer).items():
+        counter = registry.counter(name)
+        counter.total = fold["total"]
+        counter.events = int(fold["events"])
+    return registry
+
+
+# ---------------------------------------------------------------------------
+# Per-shard phase totals (the load-balance axis)
+# ---------------------------------------------------------------------------
+def shard_phase_totals(tracer) -> Dict[str, Dict[int, int]]:
+    """``{span name: {shard: summed duration_us}}`` over all shard batches.
+
+    The raw material of the :class:`~repro.obs.report.PhaseReport`
+    imbalance view: per-shard stage time, whose max/mean ratio is the
+    paper's load-balance axis for the distributed pipeline.
+    """
+    totals: Dict[str, Dict[int, int]] = {}
+    for batch in tracer.shard_batches:
+        shard = batch.context.shard
+        for record in decode_records(batch.spans):
+            per_shard = totals.setdefault(record.name, {})
+            per_shard[shard] = per_shard.get(shard, 0) + record.duration_us
+    return totals
+
+
+def resolve_context(
+    trace_id: str, parent_span_id: Optional[int], shard: int, generation: int
+) -> TraceContext:
+    """Build a worker's :class:`TraceContext` (``None`` parent -> 0)."""
+    return TraceContext(
+        trace_id=trace_id,
+        parent_span_id=parent_span_id if parent_span_id is not None else 0,
+        shard=shard,
+        generation=generation,
+    )

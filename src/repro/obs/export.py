@@ -17,10 +17,12 @@ import json
 from pathlib import Path
 from typing import Dict, List, Optional, Union
 
+from .distributed import COORDINATOR_PID, shard_trace_events
 from .span import SpanRecord
 from .tracer import Tracer
 
 __all__ = [
+    "TRACE_SCHEMA_VERSION",
     "chrome_trace_events",
     "write_chrome_trace",
     "write_span_jsonl",
@@ -28,19 +30,35 @@ __all__ = [
     "validate_trace_file",
 ]
 
-#: the one process all spans belong to in the Chrome trace
-_PID = 1
+#: exported trace schema: 1 = single-process (one implicit pid track),
+#: 2 = multi-process (coordinator pid 0 + one pid per shard, every pid
+#: carrying a ``process_name`` metadata event)
+TRACE_SCHEMA_VERSION = 2
 
 
 def chrome_trace_events(tracer: Tracer) -> Dict[str, object]:
-    """The tracer's spans as a Chrome trace-event JSON object."""
-    events: List[Dict[str, object]] = []
+    """The tracer's spans as a Chrome trace-event JSON object.
+
+    The coordinator's own spans land on ``pid`` 0; spans flushed back by
+    shard workers (:mod:`repro.obs.distributed`) land on ``pid`` =
+    shard + 1, each pid with its ``process_name``/``thread_name``
+    metadata — one multi-track timeline for the whole distributed run.
+    """
+    events: List[Dict[str, object]] = [
+        {
+            "name": "process_name",
+            "ph": "M",
+            "pid": COORDINATOR_PID,
+            "tid": 0,
+            "args": {"name": "coordinator"},
+        }
+    ]
     for index, name in enumerate(tracer.thread_names()):
         events.append(
             {
                 "name": "thread_name",
                 "ph": "M",
-                "pid": _PID,
+                "pid": COORDINATOR_PID,
                 "tid": index,
                 "args": {"name": name},
             }
@@ -55,17 +73,24 @@ def chrome_trace_events(tracer: Tracer) -> Dict[str, object]:
                 "name": record.name,
                 "cat": "repro",
                 "ph": "X",
-                "pid": _PID,
+                "pid": COORDINATOR_PID,
                 "tid": record.thread,
                 "ts": record.start_us,
                 "dur": record.duration_us,
                 "args": args,
             }
         )
+    shard_events = shard_trace_events(tracer)
+    events.extend(shard_events)
     return {
         "traceEvents": events,
         "displayTimeUnit": "ms",
-        "otherData": {"tracer": tracer.name, "spans": len(tracer.records)},
+        "otherData": {
+            "tracer": tracer.name,
+            "schema": TRACE_SCHEMA_VERSION,
+            "spans": len(tracer.records),
+            "shard_batches": len(tracer.shard_batches),
+        },
     }
 
 
@@ -105,6 +130,17 @@ def _check_event(event: object, index: int, errors: List[str]) -> None:
             errors.append(f"{where}: {key} must be an integer")
     if "args" in event and not isinstance(event["args"], dict):
         errors.append(f"{where}: args must be an object")
+    if phase == "M":
+        if event.get("name") not in ("thread_name", "process_name"):
+            errors.append(
+                f"{where}: metadata event must be thread_name or "
+                f"process_name, got {event.get('name')!r}"
+            )
+        args = event.get("args")
+        if not isinstance(args, dict) or not isinstance(
+            args.get("name"), str
+        ):
+            errors.append(f"{where}: metadata args.name must be a string")
     if phase == "X":
         for key in ("ts", "dur"):
             value = event.get(key)
@@ -115,15 +151,38 @@ def _check_event(event: object, index: int, errors: List[str]) -> None:
 
 
 def validate_trace_events(payload: object) -> List[str]:
-    """Structural errors in a Chrome trace-event payload (empty = valid)."""
+    """Structural errors in a Chrome trace-event payload (empty = valid).
+
+    Schema 2 (multi-process) adds a per-process rule: when duration
+    events span more than one ``pid`` track, every such track must carry
+    a ``process_name`` metadata event — a merged distributed trace in
+    which a shard's track renders as a bare pid number is a bug, not a
+    cosmetic nit.
+    """
     errors: List[str] = []
     if not isinstance(payload, dict):
         return ["top level must be an object with a traceEvents list"]
     events = payload.get("traceEvents")
     if not isinstance(events, list):
         return ["traceEvents must be a list"]
+    span_pids = set()
+    named_pids = set()
     for index, event in enumerate(events):
         _check_event(event, index, errors)
+        if isinstance(event, dict) and isinstance(event.get("pid"), int):
+            if event.get("ph") == "X":
+                span_pids.add(event["pid"])
+            elif (
+                event.get("ph") == "M"
+                and event.get("name") == "process_name"
+            ):
+                named_pids.add(event["pid"])
+    if len(span_pids) > 1:
+        for pid in sorted(span_pids - named_pids):
+            errors.append(
+                f"multi-process trace: pid {pid} has duration events but "
+                "no process_name metadata event"
+            )
     return errors
 
 

@@ -19,10 +19,19 @@ import json
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional
 
+from .distributed import aggregate_shard_counters, shard_phase_totals
 from .span import SpanRecord, span_paths
 from .tracer import Tracer
 
 __all__ = ["PhaseNode", "PhaseReport", "build_phase_report"]
+
+
+def _child_key(sort: str):
+    """Child ordering for renderers: ``"time"`` (descending, name tie-break)
+    or ``"name"`` (run-to-run stable — wall times vary, names do not)."""
+    if sort == "name":
+        return lambda n: n.name
+    return lambda n: (-n.total_us, n.name)
 
 
 @dataclass
@@ -53,8 +62,8 @@ class PhaseNode:
         self.children.append(node)
         return node
 
-    def as_dict(self) -> Dict[str, object]:
-        """JSON representation (children sorted by time, descending)."""
+    def as_dict(self, sort: str = "time") -> Dict[str, object]:
+        """JSON representation (children sorted by ``sort``)."""
         return {
             "name": self.name,
             "path": self.path,
@@ -62,10 +71,8 @@ class PhaseNode:
             "total_us": self.total_us,
             "counters": {k: self.counters[k] for k in sorted(self.counters)},
             "children": [
-                c.as_dict()
-                for c in sorted(
-                    self.children, key=lambda n: (-n.total_us, n.name)
-                )
+                c.as_dict(sort)
+                for c in sorted(self.children, key=_child_key(sort))
             ],
         }
 
@@ -76,6 +83,14 @@ class PhaseReport:
 
     root: PhaseNode
     metrics: Dict[str, Dict[str, Dict[str, float]]] = field(default_factory=dict)
+    #: per-shard stage-time view (multi-process runs): phase name ->
+    #: ``{"per_shard": {shard: us}, "max_us", "mean_us", "imbalance"}``.
+    #: ``imbalance`` is max/mean stage time — the paper's load-balance
+    #: axis; 1.0 = perfectly balanced shards
+    shards: Dict[str, Dict[str, object]] = field(default_factory=dict)
+    #: global counters folded across every shard's flushed registry,
+    #: each with its per-shard breakdown (``shard<N>`` keys)
+    shard_counters: Dict[str, Dict[str, float]] = field(default_factory=dict)
 
     def phase(self, path: str) -> Optional[PhaseNode]:
         """Look a phase up by its ``a/b/c`` path (``None`` if absent)."""
@@ -103,8 +118,14 @@ class PhaseReport:
     # ------------------------------------------------------------------
     # Rendering
     # ------------------------------------------------------------------
-    def render_text(self) -> str:
-        """The human-readable phase table (the ``repro trace`` output)."""
+    def render_text(self, sort: str = "time") -> str:
+        """The human-readable phase table (the ``repro trace`` output).
+
+        ``sort="time"`` orders siblings by descending wall time (the
+        profiling view); ``sort="name"`` orders them alphabetically, a
+        row order that is stable across runs of the same workload.
+        """
+        key = _child_key(sort)
         lines = [
             f"{'phase':<44} {'count':>6} {'time_ms':>10} {'%parent':>8}  counters"
         ]
@@ -125,15 +146,45 @@ class PhaseReport:
                 f"{label:<44} {node.count:>6} {node.total_us / 1e3:>10.3f} "
                 f"{share:>8}  {fmt_counters(node.counters)}"
             )
-            for child in sorted(
-                node.children, key=lambda n: (-n.total_us, n.name)
-            ):
+            for child in sorted(node.children, key=key):
                 walk(child, node.total_us, indent + 1)
 
-        for top in sorted(
-            self.root.children, key=lambda n: (-n.total_us, n.name)
-        ):
+        for top in sorted(self.root.children, key=key):
             walk(top, None, 0)
+        if self.shards:
+            lines.append("")
+            lines.append(
+                f"{'shard phase':<28} {'max_ms':>10} {'mean_ms':>10} "
+                f"{'imbalance':>10}  per-shard ms"
+            )
+            for name in sorted(self.shards):
+                view = self.shards[name]
+                per_shard = view["per_shard"]
+                detail = "  ".join(
+                    f"s{shard}={per_shard[shard] / 1e3:.3f}"
+                    for shard in sorted(per_shard)
+                )
+                lines.append(
+                    f"{name:<28} {view['max_us'] / 1e3:>10.3f} "
+                    f"{view['mean_us'] / 1e3:>10.3f} "
+                    f"{view['imbalance']:>10.2f}  {detail}"
+                )
+        if self.shard_counters:
+            lines.append("")
+            lines.append(
+                f"{'shard counter':<28} {'total':>12} {'events':>8}  per-shard"
+            )
+            for name in sorted(self.shard_counters):
+                fold = self.shard_counters[name]
+                detail = "  ".join(
+                    f"{key_}={fold[key_]:.6g}"
+                    for key_ in sorted(fold)
+                    if key_.startswith("shard")
+                )
+                lines.append(
+                    f"{name:<28} {fold['total']:>12.6g} "
+                    f"{fold['events']:>8.0f}  {detail}"
+                )
         gauges = self.metrics.get("gauges", {})
         if gauges:
             lines.append("")
@@ -155,15 +206,30 @@ class PhaseReport:
                 )
         return "\n".join(lines)
 
-    def render_json(self) -> str:
-        """The machine-readable report."""
+    def render_json(self, sort: str = "name") -> str:
+        """The machine-readable report (name-sorted rows by default, so
+        two reports of the same workload have rows in the same order)."""
         return json.dumps(
-            {"phases": self.root.as_dict(), "metrics": self.metrics}, indent=1
+            {
+                "phases": self.root.as_dict(sort),
+                "metrics": self.metrics,
+                "shards": {k: self.shards[k] for k in sorted(self.shards)},
+                "shard_counters": {
+                    k: self.shard_counters[k]
+                    for k in sorted(self.shard_counters)
+                },
+            },
+            indent=1,
         )
 
 
 def build_phase_report(tracer: Tracer) -> PhaseReport:
-    """Aggregate a tracer's finished spans into a :class:`PhaseReport`."""
+    """Aggregate a tracer's finished spans into a :class:`PhaseReport`.
+
+    Multi-process runs additionally get the per-shard imbalance view
+    (max/mean stage time per shard-span name) and the cross-shard
+    counter fold with per-shard breakdowns.
+    """
     records = tracer.records
     paths = span_paths(records)
     root = PhaseNode(name="", path="")
@@ -172,4 +238,20 @@ def build_phase_report(tracer: Tracer) -> PhaseReport:
         for part in paths[record.span_id].split("/"):
             node = node.child(part)
         node.absorb(record)
-    return PhaseReport(root=root, metrics=tracer.metrics.as_dict())
+    shards: Dict[str, Dict[str, object]] = {}
+    for name, per_shard in sorted(shard_phase_totals(tracer).items()):
+        values = [per_shard[s] for s in sorted(per_shard)]
+        mean_us = sum(values) / len(values)
+        max_us = max(values)
+        shards[name] = {
+            "per_shard": {s: per_shard[s] for s in sorted(per_shard)},
+            "max_us": max_us,
+            "mean_us": mean_us,
+            "imbalance": (max_us / mean_us) if mean_us > 0 else 0.0,
+        }
+    return PhaseReport(
+        root=root,
+        metrics=tracer.metrics.as_dict(),
+        shards=shards,
+        shard_counters=aggregate_shard_counters(tracer),
+    )

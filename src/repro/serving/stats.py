@@ -223,6 +223,19 @@ class ServiceStats:
         return self.windows / self.batches
 
     @property
+    def shed_rate(self) -> float:
+        """Fraction of closed windows dropped by load shedding.
+
+        ``shed / (served + shed)``, and a defined ``0.0`` when the run
+        closed no windows at all — the SLO monitor evaluates this on
+        every run, including empty ones.
+        """
+        offered = self.windows + self.shed_windows
+        if offered == 0:
+            return 0.0
+        return self.shed_windows / offered
+
+    @property
     def overlap_ratio(self) -> float:
         """Fraction of worker execution time hidden from the dispatch
         thread — by the worker pool and, at ``pipeline_depth > 1``, by
@@ -274,6 +287,7 @@ class ServiceStats:
             "retries": self.retries,
             "windows_failed": self.windows_failed,
             "shed_windows": self.shed_windows,
+            "shed_rate": self.shed_rate,
             "quarantined_events": self.quarantined_events,
             "plan_breaker_hits": self.plan_breaker_hits,
             "breaker_trips": self.breaker_trips,

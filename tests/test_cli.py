@@ -308,3 +308,91 @@ class TestTrace:
     def test_trace_requires_mode(self):
         with pytest.raises(SystemExit):
             build_parser().parse_args(["trace"])
+
+    def test_trace_format_json_rows_are_name_sorted(self, capsys):
+        assert main(
+            ["trace", "plan", *self.WORKLOAD, "--format", "json"]
+        ) == 0
+        out = capsys.readouterr().out
+        payload = json.loads(out[out.index("{"):])
+        names = [c["name"] for c in payload["phases"]["children"]]
+        assert names == sorted(names)
+        assert "shards" in payload and "shard_counters" in payload
+
+    def test_trace_text_sort_name_is_stable(self, capsys):
+        rows = []
+        for _ in range(2):
+            assert main(
+                ["trace", "plan", *self.WORKLOAD, "--sort", "name"]
+            ) == 0
+            out = capsys.readouterr().out
+            table = out[out.index("%parent"):]
+            rows.append(
+                [line.split()[0] for line in table.splitlines()[1:]
+                 if line and not line.startswith(("trace ", "gauge",
+                                                 "counter"))]
+            )
+        assert rows[0] == rows[1]
+
+    def test_trace_serve_sharded_exports_merged_trace_and_slo(
+        self, tmp_path, capsys
+    ):
+        out_dir = tmp_path / "t"
+        assert main(
+            ["trace", "serve", "--events", "600", "--vertices", "48",
+             "--shards", "2", "--pipeline-depth", "2",
+             "--out", str(out_dir), "--slo-json", str(out_dir / "slo.json")]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "SLO OK" in out
+        assert "shard phase" in out
+        payload = json.loads((out_dir / "trace.json").read_text())
+        pids = {
+            e["pid"] for e in payload["traceEvents"] if e.get("ph") == "X"
+        }
+        assert pids == {0, 1, 2}
+        assert (out_dir / "shard_spans.jsonl").exists()
+        assert (out_dir / "flame.folded").exists()
+        assert json.loads((out_dir / "slo.json").read_text())["healthy"]
+
+
+class TestSLOCommand:
+    ARGS = ["--events", "600", "--vertices", "48", "--hidden-dim", "16"]
+
+    def test_healthy_run_exits_zero(self, capsys):
+        assert main(["slo", *self.ARGS]) == 0
+        out = capsys.readouterr().out
+        assert "SLO OK" in out
+        assert "p95_window_latency" in out
+
+    def test_violated_target_exits_one(self, capsys):
+        assert main(["slo", *self.ARGS, "--p95-latency", "1e-9"]) == 1
+        out = capsys.readouterr().out
+        assert "SLO VIOLATED" in out
+        assert "window(s) over the latency target" in out
+
+    def test_json_format_and_artifact(self, tmp_path, capsys):
+        out_path = tmp_path / "slo.json"
+        assert main(
+            ["slo", *self.ARGS, "--format", "json",
+             "--slo-json", str(out_path)]
+        ) == 0
+        out = capsys.readouterr().out
+        payload = json.loads(out[out.index("{"):out.rindex("}") + 1])
+        assert payload["healthy"] is True
+        assert json.loads(out_path.read_text()) == payload
+
+    def test_sharded_run(self, capsys):
+        assert main(["slo", *self.ARGS, "--shards", "2"]) == 0
+        out = capsys.readouterr().out
+        assert "restart_budget" in out
+
+    def test_serve_slo_json_writes_report(self, tmp_path, capsys):
+        out_path = tmp_path / "slo.json"
+        assert main(
+            ["serve", "--events", "300", "--vertices", "32",
+             "--hidden-dim", "16", "--slo-json", str(out_path)]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "SLO OK" in out
+        assert json.loads(out_path.read_text())["healthy"] is True

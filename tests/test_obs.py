@@ -252,7 +252,7 @@ class TestTraceSession:
             with span("work"):
                 pass
         assert session.report is not None
-        assert sorted(session.written) == ["phases", "spans", "trace"]
+        assert sorted(session.written) == ["flame", "phases", "spans", "trace"]
         for path in session.written.values():
             assert path.exists()
         assert validate_trace_file(session.written["trace"]) == []

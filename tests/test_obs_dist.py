@@ -1,0 +1,375 @@
+"""Tests for distributed tracing, shard telemetry, and SLO monitoring.
+
+The load-bearing assertions mirror the dist parity suite: tracing a
+sharded run must not perturb its per-window results (bit-identical to
+the offline reference across a depth x shard sweep), the canonical
+merged shard-span log must be byte-identical across runs of the same
+workload, and the telemetry the shard workers flush back must reconcile
+*exactly* with :class:`~repro.dist.stats.ShardedStats` on healthy runs.
+"""
+
+import json
+import re
+from dataclasses import replace
+
+import pytest
+
+from repro.core.plan import DGNNSpec
+from repro.dist import ShardedConfig, ShardedService
+from repro.obs import (
+    SLOMonitor,
+    SLOTarget,
+    TraceSession,
+    aggregate_shard_counters,
+    build_phase_report,
+    chrome_trace_events,
+    collapsed_stacks,
+    default_targets,
+    latest_shard_metrics,
+    shard_span_lines,
+    validate_trace_events,
+    write_flamegraph,
+    write_shard_span_jsonl,
+)
+from repro.obs.distributed import COORDINATOR_PID, shard_pid
+from repro.serving import (
+    ServiceConfig,
+    serve_offline,
+    synthetic_event_stream,
+)
+from repro.serving.stats import ServiceStats
+
+SPEC = DGNNSpec(gcn_dims=(8, 8), rnn_hidden_dim=8)
+
+
+@pytest.fixture(scope="module")
+def stream():
+    return synthetic_event_stream(num_vertices=64, num_events=1500, seed=3)
+
+
+@pytest.fixture(scope="module")
+def service_config(stream):
+    first, last = stream.time_span
+    return ServiceConfig(window=(last - first) / 10, workers=2)
+
+
+@pytest.fixture(scope="module")
+def offline(stream, service_config):
+    return serve_offline(stream, SPEC, config=service_config)
+
+
+def _traced_serve(stream, config, shards):
+    with TraceSession() as session:
+        report = ShardedService(
+            config=ShardedConfig(shards=shards, service=config)
+        ).serve(stream, SPEC)
+    return session, report
+
+
+@pytest.fixture(scope="module")
+def traced2(stream, service_config):
+    """One traced 2-shard run shared by the read-only assertions."""
+    return _traced_serve(stream, service_config, shards=2)
+
+
+class TestMergedTrace:
+    def test_pid_track_per_process(self, traced2):
+        session, _ = traced2
+        payload = chrome_trace_events(session.tracer)
+        span_pids = {
+            e["pid"] for e in payload["traceEvents"] if e["ph"] == "X"
+        }
+        assert span_pids == {COORDINATOR_PID, shard_pid(0), shard_pid(1)}
+        names = {
+            e["pid"]: e["args"]["name"]
+            for e in payload["traceEvents"]
+            if e["ph"] == "M" and e["name"] == "process_name"
+        }
+        assert names == {
+            COORDINATOR_PID: "coordinator",
+            shard_pid(0): "shard0",
+            shard_pid(1): "shard1",
+        }
+
+    def test_merged_trace_passes_schema_validation(self, traced2):
+        session, _ = traced2
+        assert validate_trace_events(chrome_trace_events(session.tracer)) == []
+
+    def test_schema_version_bumped(self, traced2):
+        session, _ = traced2
+        payload = chrome_trace_events(session.tracer)
+        assert payload["otherData"]["schema"] == 2
+        assert payload["otherData"]["shard_batches"] == len(
+            session.tracer.shard_batches
+        )
+
+    def test_context_rides_every_shard_span(self, traced2):
+        session, _ = traced2
+        for batch in session.tracer.shard_batches:
+            assert batch.context.shard in (0, 1)
+            assert batch.context.trace_id
+            for span in batch.spans:
+                assert span["name"].startswith("shard.")
+
+    def test_batches_cover_every_window_per_shard(self, traced2):
+        session, report = traced2
+        windows = report.stats.windows
+        for shard in (0, 1):
+            flushed = sorted(
+                b.window
+                for b in session.tracer.shard_batches
+                if b.context.shard == shard
+            )
+            # One flush per window plus the terminal flush at end_window.
+            assert flushed == list(range(windows)) + [windows]
+
+
+class TestCanonicalShardLog:
+    def test_byte_identical_across_runs(
+        self, stream, service_config, tmp_path
+    ):
+        paths = []
+        for run in range(2):
+            session, _ = _traced_serve(stream, service_config, shards=2)
+            paths.append(
+                write_shard_span_jsonl(
+                    session.tracer, tmp_path / f"run{run}.jsonl"
+                )
+            )
+        assert paths[0].read_bytes() == paths[1].read_bytes()
+
+    def test_no_wallclock_fields_in_canonical_log(self, traced2):
+        session, _ = traced2
+        lines = shard_span_lines(session.tracer)
+        assert lines
+        for line in lines:
+            record = json.loads(line)
+            assert set(record) == {
+                "attrs",
+                "counters",
+                "depth",
+                "generation",
+                "name",
+                "parent_id",
+                "shard",
+                "span_id",
+            }
+
+
+class TestParityUnderTracing:
+    @pytest.mark.parametrize("depth", [1, 2, 4])
+    @pytest.mark.parametrize("shards", [1, 2])
+    def test_traced_results_bit_identical_to_offline(
+        self, stream, service_config, offline, depth, shards
+    ):
+        config = replace(service_config, pipeline_depth=depth)
+        _, traced = _traced_serve(stream, config, shards=shards)
+        untraced = ShardedService(
+            config=ShardedConfig(shards=shards, service=config)
+        ).serve(stream, SPEC)
+        assert traced.results == offline
+        assert untraced.results == offline
+        assert traced.results == untraced.results
+
+
+class TestShardTelemetry:
+    def test_counters_reconcile_exactly_with_sharded_stats(self, traced2):
+        session, report = traced2
+        stats = report.stats
+        folded = aggregate_shard_counters(session.tracer)
+        assert folded["shard.events"]["total"] == stats.events
+        assert folded["shard.windows"]["total"] == stats.windows * stats.shards
+        for shard_stats in stats.shard_stats:
+            key = f"shard{shard_stats.shard}"
+            assert folded["shard.events"][key] == shard_stats.events
+            assert folded["shard.segments"][key] == shard_stats.segments
+
+    def test_latest_gauges_match_final_shard_state(self, traced2):
+        session, report = traced2
+        latest = latest_shard_metrics(session.tracer)
+        for shard_stats in report.stats.shard_stats:
+            gauges = latest[shard_stats.shard]["gauges"]
+            assert gauges["shard.edges"]["last"] == shard_stats.edges_final
+            assert (
+                gauges["shard.cut_edges"]["last"]
+                == shard_stats.cut_edges_final
+            )
+
+    def test_phase_report_carries_imbalance_view(self, traced2):
+        session, _ = traced2
+        report = build_phase_report(session.tracer)
+        assert "shard.window" in report.shards
+        view = report.shards["shard.window"]
+        assert set(view["per_shard"]) == {0, 1}
+        assert view["max_us"] >= view["mean_us"] > 0
+        assert view["imbalance"] >= 1.0
+        assert "shard.events" in report.shard_counters
+        rendered = report.render_text()
+        assert "shard phase" in rendered
+        assert "imbalance" in rendered
+
+
+class TestFlamegraph:
+    def test_collapsed_stack_format(self, traced2):
+        session, _ = traced2
+        lines = collapsed_stacks(session.tracer)
+        assert lines
+        for line in lines:
+            assert re.fullmatch(r"[^ ]+ \d+", line), line
+        roots = {line.split(";")[0].split(" ")[0] for line in lines}
+        assert "shard0" in roots and "shard1" in roots
+
+    def test_write_flamegraph(self, traced2, tmp_path):
+        session, _ = traced2
+        path = write_flamegraph(session.tracer, tmp_path / "flame.folded")
+        content = path.read_text()
+        assert content.endswith("\n")
+        assert content.splitlines() == collapsed_stacks(session.tracer)
+
+
+class TestSchema2Validation:
+    @staticmethod
+    def _payload(events):
+        return {"traceEvents": events}
+
+    def test_multi_pid_without_process_name_is_an_error(self):
+        events = [
+            {"name": "a", "ph": "X", "pid": 0, "tid": 0, "ts": 0, "dur": 1},
+            {"name": "b", "ph": "X", "pid": 1, "tid": 0, "ts": 0, "dur": 1},
+        ]
+        errors = validate_trace_events(self._payload(events))
+        assert any("pid 0" in e for e in errors)
+        assert any("pid 1" in e for e in errors)
+
+    def test_multi_pid_with_process_names_is_valid(self):
+        events = [
+            {
+                "name": "process_name",
+                "ph": "M",
+                "pid": pid,
+                "tid": 0,
+                "args": {"name": f"p{pid}"},
+            }
+            for pid in (0, 1)
+        ] + [
+            {"name": "a", "ph": "X", "pid": 0, "tid": 0, "ts": 0, "dur": 1},
+            {"name": "b", "ph": "X", "pid": 1, "tid": 0, "ts": 0, "dur": 1},
+        ]
+        assert validate_trace_events(self._payload(events)) == []
+
+    def test_single_pid_needs_no_process_name(self):
+        events = [
+            {"name": "a", "ph": "X", "pid": 5, "tid": 0, "ts": 0, "dur": 1}
+        ]
+        assert validate_trace_events(self._payload(events)) == []
+
+    def test_metadata_event_name_is_checked(self):
+        events = [
+            {
+                "name": "frobnicate",
+                "ph": "M",
+                "pid": 0,
+                "tid": 0,
+                "args": {"name": "x"},
+            }
+        ]
+        errors = validate_trace_events(self._payload(events))
+        assert any("thread_name or process_name" in e for e in errors)
+
+    def test_metadata_args_name_must_be_string(self):
+        events = [
+            {
+                "name": "thread_name",
+                "ph": "M",
+                "pid": 0,
+                "tid": 0,
+                "args": {"name": 7},
+            }
+        ]
+        errors = validate_trace_events(self._payload(events))
+        assert any("args.name" in e for e in errors)
+
+
+class TestSLO:
+    def test_target_ops(self):
+        assert SLOTarget(metric="m", op="max", threshold=1.0).ok(0.5)
+        assert not SLOTarget(metric="m", op="max", threshold=1.0).ok(1.5)
+        assert SLOTarget(metric="m", op="min", threshold=0.5).ok(0.7)
+        assert not SLOTarget(metric="m", op="min", threshold=0.5).ok(0.2)
+
+    def test_invalid_op_rejected(self):
+        with pytest.raises(ValueError):
+            SLOTarget(metric="m", op="between", threshold=1.0)
+
+    def test_unknown_metric_raises(self):
+        monitor = SLOMonitor([SLOTarget(metric="nope", op="max", threshold=1)])
+        with pytest.raises(KeyError):
+            monitor.evaluate(ServiceStats())
+
+    def test_healthy_run(self, traced2):
+        _, report = traced2
+        slo = SLOMonitor().evaluate(report.stats)
+        assert slo.healthy
+        assert slo.exit_code == 0
+        assert slo.violations == []
+        assert "SLO OK" in slo.render_text()
+
+    def test_violation_flips_exit_code_and_window_records(self, traced2):
+        _, report = traced2
+        monitor = SLOMonitor(default_targets(p95_latency_s=1e-9))
+        slo = monitor.evaluate(report.stats)
+        assert not slo.healthy
+        assert slo.exit_code == 1
+        assert all(r.window is None for r in slo.violations)
+        breached = [r for r in slo.window_records if not r.ok]
+        assert breached and all(r.window is not None for r in breached)
+        assert "SLO VIOLATED" in slo.render_text()
+        payload = json.loads(slo.render_json())
+        assert payload["healthy"] is False
+        assert payload["windows"]  # per-window breaches are listed
+
+    def test_restart_budget_defaults_for_single_process_stats(self):
+        # ServiceStats has no ``restarts`` field; the monitor treats the
+        # single-process service as a zero-restart run.
+        slo = SLOMonitor().evaluate(ServiceStats())
+        observed = {r.metric: r.observed for r in slo.run_records}
+        assert observed["restarts"] == 0.0
+
+    def test_report_roundtrip(self, traced2, tmp_path):
+        _, report = traced2
+        slo = SLOMonitor().evaluate(report.stats)
+        path = slo.write(tmp_path / "slo.json")
+        payload = json.loads(path.read_text())
+        assert payload["healthy"] is True
+        assert {t["metric"] for t in payload["targets"]} == {
+            "p95_latency_s",
+            "shed_rate",
+            "restarts",
+            "overlap_ratio",
+        }
+
+
+class TestEmptyRunStats:
+    """Regression tests: an empty run must report, not divide by zero."""
+
+    def test_summary_on_empty_run(self):
+        stats = ServiceStats()
+        text = stats.summary()
+        assert "windows served     0" in text
+        assert "p95=0.00 ms" in text
+
+    def test_as_dict_on_empty_run_is_all_finite(self):
+        values = ServiceStats().as_dict()
+        for name, value in values.items():
+            assert value == value and abs(value) != float("inf"), name
+        assert values["p95_latency_s"] == 0.0
+        assert values["overlap_ratio"] == 0.0
+        assert values["shed_rate"] == 0.0
+
+    def test_empty_sharded_stats(self):
+        from repro.dist.stats import ShardedStats
+
+        values = ShardedStats().as_dict()
+        assert values["cut_edges_final"] == 0
+        assert values["shed_rate"] == 0.0
+        assert "windows served     0" in ShardedStats().summary()

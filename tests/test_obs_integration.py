@@ -178,6 +178,7 @@ class TestZeroCostWhenOff:
             "planner_tiling_pm.trace.json",
             "planner_tiling_pm.spans.jsonl",
             "planner_tiling_pm.phases.json",
+            "planner_tiling_pm.flame.folded",
         }
 
     def test_simulation_results_identical_with_and_without_tracing(
