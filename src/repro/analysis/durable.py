@@ -1,0 +1,158 @@
+"""Durability rule (DUR001) for the write-ahead log / checkpoint layer.
+
+The crash-consistency argument of :mod:`repro.durability`
+(``docs/resilience.md``, "Durability & recovery") rests on one write
+protocol: durable state is **never** written in place.  A checkpoint or
+log-index file is written to a temporary path, flushed and ``fsync``\\ ed,
+then published with ``os.replace`` (and the directory fsynced) so a
+crash at any instruction leaves either the old complete file or the new
+complete file — never a torn half of each.  DUR001 enforces the protocol
+mechanically: any function in the durability layer that opens a file for
+a create/truncate write must also rename it into place and fsync it.
+
+Append-mode opens are exempt — the WAL's active segment is *designed* to
+have a torn tail (recovery truncates it) — as are read and in-place
+(``r+``) opens.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator, List, Optional, Tuple
+
+from .astutil import ImportMap
+from .findings import FileRule, Finding, PathScope
+from .source import SourceFile
+
+__all__ = ["AtomicPublishRule", "DURABILITY_PATHS", "DURABILITY_RULES"]
+
+#: Paths that own crash-consistent on-disk state: the WAL, checkpoint
+#: store, recovery manager, and the kill/resume harness.
+DURABILITY_PATHS = PathScope(include=("durability/",), exclude=("analysis/",))
+
+#: rename-into-place calls that publish a completed file atomically
+_RENAME_ATTRS = {"replace", "rename"}
+
+
+def _own_statements(func: ast.AST) -> Iterator[ast.AST]:
+    """Walk ``func``'s body without descending into nested functions."""
+    body = getattr(func, "body", [])
+    stack: List[ast.AST] = list(body)
+    while stack:
+        node = stack.pop()
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef, ast.Lambda)):
+            continue
+        yield node
+        stack.extend(ast.iter_child_nodes(node))
+
+
+def _own_calls(func: ast.AST) -> Iterator[ast.Call]:
+    for node in _own_statements(func):
+        if isinstance(node, ast.Call):
+            yield node
+
+
+def _write_mode(call: ast.Call, imports: ImportMap) -> Optional[str]:
+    """The mode string if ``call`` opens a file for create/truncate write.
+
+    Matches the builtin ``open(path, "wb")`` and the ``Path.open("wb")``
+    method form.  ``os.open`` takes integer flags, and append/read/in-place
+    modes are not publications, so neither matches.
+    """
+    mode: Optional[ast.AST] = None
+    if isinstance(call.func, ast.Name):
+        if imports.resolve(call.func) != "open":
+            return None
+        if len(call.args) >= 2:
+            mode = call.args[1]
+    elif isinstance(call.func, ast.Attribute) and call.func.attr == "open":
+        if call.args:
+            mode = call.args[0]
+    else:
+        return None
+    for keyword in call.keywords:
+        if keyword.arg == "mode":
+            mode = keyword.value
+    if not (isinstance(mode, ast.Constant) and isinstance(mode.value, str)):
+        return None
+    value = mode.value
+    if ("w" in value or "x" in value) and "r" not in value:
+        return value
+    return None
+
+
+class AtomicPublishRule(FileRule):
+    """DUR001: durable file written without fsync-then-rename."""
+
+    id = "DUR001"
+    name = "durable file written without the fsync-then-rename protocol"
+    rationale = (
+        "A file opened with a truncating write mode is visible half-"
+        "written: a crash mid-write leaves a torn file that recovery "
+        "must then treat as corruption.  Durable state is written to a "
+        "temporary path, flushed and fsync()ed, and published with "
+        "os.replace() so every crash point leaves a complete file."
+    )
+    scope = DURABILITY_PATHS
+    example = (
+        'def save(path, blob):\n'
+        '    with open(path, "wb") as fh:   # DUR001: written in place\n'
+        '        fh.write(blob)\n'
+        '    # ok: open(tmp, "wb") + fsync(fh.fileno()) + os.replace(tmp, path)\n'
+    )
+
+    def check(self, source: SourceFile) -> Iterator[Finding]:
+        assert source.tree is not None
+        imports = ImportMap(source.tree)
+        functions: List[ast.AST] = [source.tree]
+        functions.extend(
+            node
+            for node in ast.walk(source.tree)
+            if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef))
+        )
+        for func in functions:
+            yield from self._check_function(source, imports, func)
+
+    def _check_function(
+        self, source: SourceFile, imports: ImportMap, func: ast.AST
+    ) -> Iterator[Finding]:
+        opens: List[Tuple[ast.Call, str]] = []
+        renamed = fsynced = False
+        for call in _own_calls(func):
+            mode = _write_mode(call, imports)
+            if mode is not None:
+                opens.append((call, mode))
+                continue
+            resolved = imports.resolve(call.func)
+            if resolved in ("os.replace", "os.rename") or (
+                isinstance(call.func, ast.Attribute)
+                and call.func.attr in _RENAME_ATTRS
+            ):
+                renamed = True
+            elif resolved == "os.fsync" or (
+                isinstance(call.func, ast.Attribute)
+                and call.func.attr == "fsync"
+            ):
+                fsynced = True
+        for call, mode in opens:
+            if not renamed:
+                yield self.finding(
+                    source,
+                    call.lineno,
+                    call.col_offset,
+                    f"file opened for write (mode {mode!r}) is published in "
+                    "place; write to a temporary path, fsync, then "
+                    "os.replace() it into the final name",
+                )
+            elif not fsynced:
+                yield self.finding(
+                    source,
+                    call.lineno,
+                    call.col_offset,
+                    f"file opened for write (mode {mode!r}) is renamed into "
+                    "place but never fsync()ed; the rename can become "
+                    "durable before the data it publishes",
+                )
+
+
+DURABILITY_RULES = (AtomicPublishRule(),)

@@ -132,6 +132,7 @@ DETERMINISTIC_PATHS = PathScope(
         "accel/",
         "serving/",
         "dist/",
+        "durability/",
         "resilience/",
         "graphs/",
         "baselines/",
@@ -152,9 +153,11 @@ UNIT_PATHS = PathScope(include=("accel/", "core/"), exclude=("analysis/",))
 #: loop + worker pool) or across processes (shard workers + coordinator).
 #: ``obs/distributed.py`` is listed by file: it carries the shard-trace
 #: payloads across the process boundary, while the rest of ``obs/`` is
-#: single-threaded within each process.
+#: single-threaded within each process.  ``durability/`` is in scope
+#: because the WAL/checkpoint commit barrier runs on the pipeline's
+#: collector thread while the ingest thread appends records.
 THREADED_PATHS = PathScope(
-    include=("serving/", "dist/", "obs/distributed.py"),
+    include=("serving/", "dist/", "durability/", "obs/distributed.py"),
     exclude=("analysis/",),
 )
 
@@ -244,11 +247,18 @@ class RuleRegistry:
 def default_registry() -> RuleRegistry:
     """All built-in rules (imported lazily to avoid module cycles)."""
     from .determinism import DETERMINISM_RULES
+    from .durable import DURABILITY_RULES
     from .processes import PROCESS_RULES
     from .threads import THREAD_RULES
     from .units import UNIT_RULES
 
     registry = RuleRegistry()
-    for rule in (*DETERMINISM_RULES, *UNIT_RULES, *THREAD_RULES, *PROCESS_RULES):
+    for rule in (
+        *DETERMINISM_RULES,
+        *UNIT_RULES,
+        *THREAD_RULES,
+        *PROCESS_RULES,
+        *DURABILITY_RULES,
+    ):
         registry.register(rule)
     return registry

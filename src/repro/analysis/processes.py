@@ -59,10 +59,13 @@ __all__ = [
 ]
 
 #: Paths that cross process boundaries: the shard workers, coordinator,
-#: shared-memory plumbing, and the shard-trace payloads the workers
-#: flush back over the result queues.
+#: shared-memory plumbing, the shard-trace payloads the workers flush
+#: back over the result queues, and the durability layer (whose recovery
+#: harness forks victim processes and whose WAL/checkpoint directories
+#: are handed across coordinator restarts).
 PROCESS_PATHS = PathScope(
-    include=("dist/", "obs/distributed.py"), exclude=("analysis/",)
+    include=("dist/", "durability/", "obs/distributed.py"),
+    exclude=("analysis/",),
 )
 
 #: Constructors that start (or wrap machinery that starts) threads.

@@ -12,13 +12,18 @@ Commands
     Regenerate evaluation artifacts (default: all of Table 1 / Figs 7-14).
 ``serve [DATASET]``
     Run the online streaming-inference service over a dataset replay or a
-    synthetic event stream and print the service statistics.
-``chaos {serve,sweep}``
+    synthetic event stream and print the service statistics.  ``--wal
+    DIR`` makes the run durable (write-ahead event log + checkpoints);
+    ``--resume`` recovers a crashed run byte-identically.
+``chaos {serve,sweep,recover}``
     Resilience tooling (see ``docs/resilience.md``): ``serve`` replays a
     stream under seeded fault injection (worker crashes, latency, poison
-    events) and prints the deterministic chaos report; ``sweep`` produces
-    the slowdown-vs-fault-rate curve comparing the reconfigurable
-    ring+Re-Link NoC against a static mesh.  ``compare`` and ``serve``
+    events, real shard-worker SIGKILLs via ``--sigkill``) and prints the
+    deterministic chaos report; ``sweep`` produces the
+    slowdown-vs-fault-rate curve comparing the reconfigurable ring+Re-Link
+    NoC against a static mesh; ``recover`` SIGKILLs the serving process at
+    window boundaries, resumes from the WAL, and byte-compares the results
+    against an uninterrupted reference.  ``compare`` and ``serve``
     accept ``--faults SPEC`` to simulate a degraded array.
 ``trace {plan,compare,serve}``
     Run a workload under the tracer (see ``docs/observability.md``) and
@@ -139,8 +144,33 @@ def build_parser() -> argparse.ArgumentParser:
         help="retry budget per window (attempts, including the first)",
     )
     chaos_serve.add_argument(
+        "--sigkill", type=int, default=0, metavar="N",
+        help="schedule N real SIGKILLs of shard workers (requires "
+        "--shards >= 1; kills are seeded and deterministic)",
+    )
+    chaos_serve.add_argument(
         "--json", default=None, metavar="OUT",
         help="write the deterministic chaos report (JSON) to OUT",
+    )
+    chaos_recover = chaos_sub.add_parser(
+        "recover",
+        help="kill-and-resume sweep: SIGKILL the serving process at "
+        "window boundaries, resume from the WAL, byte-compare results",
+    )
+    _add_serve_args(chaos_recover)
+    chaos_recover.add_argument(
+        "--kill-points", default=None, metavar="K,K,...",
+        help="comma-separated window boundaries to kill at "
+        "(default: every boundary)",
+    )
+    chaos_recover.add_argument(
+        "--artifacts", default=None, metavar="DIR",
+        help="keep WAL/checkpoint artifacts of every kill point in DIR "
+        "(failures always keep theirs)",
+    )
+    chaos_recover.add_argument(
+        "--json", default=None, metavar="OUT",
+        help="write the deterministic recovery report (JSON) to OUT",
     )
     chaos_sweep = chaos_sub.add_parser(
         "sweep", help="slowdown-vs-fault-rate curve: ring+Re-Link vs mesh"
@@ -370,6 +400,23 @@ def _add_serve_args(parser: argparse.ArgumentParser) -> None:
                         "either way — see docs/distributed.md)")
     parser.add_argument("--partition-seed", type=int, default=0,
                         help="consistent-hash partition seed (sharded mode)")
+    parser.add_argument("--wal", default=None, metavar="DIR",
+                        help="durable ingest: write-ahead-log every event "
+                        "and checkpoint every committed window under DIR "
+                        "(see docs/resilience.md 'Durability & recovery')")
+    parser.add_argument("--resume", action="store_true",
+                        help="resume from the newest valid checkpoint in "
+                        "--wal DIR, replaying the WAL suffix (results are "
+                        "byte-identical to the uninterrupted run)")
+    parser.add_argument("--checkpoint-interval", type=int, default=1,
+                        help="windows between checkpoints (durable mode)")
+    parser.add_argument("--wal-retain", type=int, default=3,
+                        help="checkpoints retained on disk (durable mode)")
+    parser.add_argument("--kill-after-commit", type=int, default=None,
+                        metavar="K",
+                        help="chaos hook: SIGKILL this process right after "
+                        "window K's commit is durable (durable mode; the "
+                        "CI chaos-recovery job)")
 
 
 def _add_slo_args(parser: argparse.ArgumentParser) -> None:
@@ -394,6 +441,26 @@ def _add_slo_args(parser: argparse.ArgumentParser) -> None:
         "--slo-json", default=None, metavar="OUT",
         help="evaluate the SLO targets and write the health report "
         "(JSON) to OUT",
+    )
+
+
+def _durability_config(args: argparse.Namespace):
+    """The :class:`DurabilityConfig` the serve flags describe (or None)."""
+    wal = getattr(args, "wal", None)
+    if not wal:
+        if getattr(args, "resume", False):
+            raise SystemExit("--resume requires --wal DIR")
+        if getattr(args, "kill_after_commit", None) is not None:
+            raise SystemExit("--kill-after-commit requires --wal DIR")
+        return None
+    from .durability import DurabilityConfig
+
+    return DurabilityConfig(
+        directory=wal,
+        resume=args.resume,
+        checkpoint_interval=args.checkpoint_interval,
+        retain=args.wal_retain,
+        kill_after_commit=args.kill_after_commit,
     )
 
 
@@ -610,6 +677,7 @@ def _cmd_serve(args: argparse.Namespace) -> None:
         plan_cache_capacity=args.plan_cache_capacity,
         drift_threshold=args.drift_threshold,
         faults=_parse_faults(args),
+        durability=_durability_config(args),
     )
     first, last = stream.time_span
     print(
@@ -675,11 +743,15 @@ def _cmd_chaos(args: argparse.Namespace) -> int:
         print(fig.to_text())
         return 0
 
+    if args.chaos_command == "recover":
+        return _cmd_chaos_recover(args)
+
     # chaos serve
     from .resilience import (
         BreakerConfig,
         ChaosSchedule,
         RetryPolicy,
+        ShardKillSchedule,
         run_chaos,
     )
     from .serving import ServiceConfig
@@ -704,7 +776,18 @@ def _cmd_chaos(args: argparse.Namespace) -> int:
         retry=RetryPolicy(max_attempts=args.max_attempts, backoff_s=0.0005),
         breaker=BreakerConfig(),
         quarantine=True,
+        durability=_durability_config(args),
     )
+    shard_kills = None
+    if args.sigkill:
+        if args.shards < 1:
+            raise SystemExit("--sigkill requires --shards >= 1")
+        shard_kills = ShardKillSchedule.sample(
+            seed=args.chaos_seed,
+            shards=args.shards,
+            num_windows=stream.num_windows(window, origin=origin),
+            kills=args.sigkill,
+        )
     first, last = stream.time_span
     print(
         f"stream: {stream.name} |O|={stream.num_events} events over "
@@ -714,9 +797,11 @@ def _cmd_chaos(args: argparse.Namespace) -> int:
     print(f"chaos: {schedule.describe()}")
     if args.shards >= 1:
         print(f"shards: {args.shards} worker processes")
+    if shard_kills is not None:
+        print(f"kills: {shard_kills.describe()}")
     report, chaos_report = run_chaos(
         stream, spec, schedule, config=config, model=ditile_model(),
-        shards=args.shards,
+        shards=args.shards, shard_kills=shard_kills,
     )
     print(report.stats.summary())
     print(chaos_report.summary())
@@ -734,6 +819,59 @@ def _cmd_chaos(args: argparse.Namespace) -> int:
     return 0 if chaos_report.windows_failed == 0 else 1
 
 
+def _cmd_chaos_recover(args: argparse.Namespace) -> int:
+    from .durability import run_recover_sweep
+    from .serving import ServiceConfig
+
+    stream, spec, window, origin = _serve_workload(args)
+    config = ServiceConfig(
+        window=window,
+        origin=origin,
+        workers=args.workers,
+        max_batch_windows=args.batch,
+        pipeline_depth=args.pipeline_depth,
+        queue_capacity=args.queue_capacity,
+        plan_cache_capacity=args.plan_cache_capacity,
+        drift_threshold=args.drift_threshold,
+    )
+    kill_points = None
+    if args.kill_points:
+        kill_points = [
+            int(part) for part in args.kill_points.split(",") if part.strip()
+        ]
+    first, last = stream.time_span
+    print(
+        f"stream: {stream.name} |O|={stream.num_events} events over "
+        f"[{first:g}, {last:g}], V={stream.num_vertices}, "
+        f"window={window:g} ({stream.num_windows(window, origin=origin)} windows)"
+    )
+    shards = args.shards if args.shards >= 1 else 0
+    print(
+        f"recover: shards={shards or 'single-process'} "
+        f"depth={args.pipeline_depth} "
+        f"kill points={'all boundaries' if kill_points is None else kill_points}"
+    )
+    report, _reference = run_recover_sweep(
+        stream,
+        spec,
+        config=config,
+        shards=shards,
+        kill_points=kill_points,
+        root=args.artifacts,
+        keep_artifacts=args.artifacts is not None,
+        progress=print,
+    )
+    print(report.summary())
+    if args.json:
+        from pathlib import Path
+
+        out = Path(args.json)
+        out.parent.mkdir(parents=True, exist_ok=True)
+        out.write_text(report.to_json() + "\n")
+        print(f"recovery report written to {out}")
+    return report.exit_code
+
+
 def _cmd_slo(args: argparse.Namespace) -> int:
     """Serve a stream, evaluate SLO targets, exit 1 on any violation."""
     from .serving import ServiceConfig, StreamingService
@@ -748,6 +886,7 @@ def _cmd_slo(args: argparse.Namespace) -> int:
         queue_capacity=args.queue_capacity,
         plan_cache_capacity=args.plan_cache_capacity,
         drift_threshold=args.drift_threshold,
+        durability=_durability_config(args),
     )
     if args.shards >= 1:
         from .dist import ShardedConfig, ShardedService

@@ -42,6 +42,23 @@ class ShardedConfig:
     #: the generation-0 worker hard-exits *before* materializing the
     #: window — the restart-path test hook (parity must still hold)
     crash_windows: Tuple[Tuple[int, int], ...] = ()
+    #: deterministic SIGKILL injection: ``(shard, window)`` pairs at
+    #: which the coordinator sends a real ``SIGKILL`` to the
+    #: generation-0 worker right before gathering that window — unlike
+    #: the cooperative ``crash_windows`` hook the victim gets no chance
+    #: to clean up, so this exercises the orphaned-segment sweep and the
+    #: fresh-queue restart path operators will actually hit
+    sigkill_windows: Tuple[Tuple[int, int], ...] = ()
+    #: base delay of the bounded-exponential restart backoff (0 restores
+    #: the immediate-restart behaviour); attempt ``n`` on a shard waits
+    #: ``min(cap, base * 2**(n-1)) * (1 + 0.25 * jitter)``
+    restart_backoff_s: float = 0.01
+    #: backoff ceiling per attempt
+    restart_backoff_cap_s: float = 0.25
+    #: seed of the deterministic backoff jitter (drawn per
+    #: ``(seed, shard, attempt)``, so repeated runs sleep identically
+    #: and chaos reports stay byte-identical)
+    restart_jitter_seed: int = 0
 
     def __post_init__(self) -> None:
         if self.shards < 1:
@@ -50,6 +67,12 @@ class ShardedConfig:
             raise ValueError("heartbeat_s must be positive")
         if self.max_restarts < 0:
             raise ValueError("max_restarts must be >= 0")
+        if self.restart_backoff_s < 0:
+            raise ValueError("restart_backoff_s must be >= 0")
+        if self.restart_backoff_cap_s < self.restart_backoff_s:
+            raise ValueError(
+                "restart_backoff_cap_s must be >= restart_backoff_s"
+            )
         if self.service.load_shedding:
             raise ValueError(
                 "load_shedding is incompatible with sharded serving: "

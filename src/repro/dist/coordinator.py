@@ -26,10 +26,22 @@ results are byte-for-byte equal to ``StreamingService.serve`` and
 parity sweeps in ``tests/test_dist.py``).
 
 Worker death is detected by liveness probes on queue-poll timeouts; the
-dead shard restarts (bounded by ``max_restarts``) from the shard
-subgraph of the last merged global snapshot, replaying only the routed
-events from the first unmerged window — restarts are invisible in the
-results.
+dead shard restarts (bounded by ``max_restarts``, after a bounded
+exponential backoff with seeded jitter) from the shard subgraph of the
+last merged global snapshot, replaying only the routed events from the
+first unmerged window — restarts are invisible in the results.  The
+``sigkill_windows`` schedule delivers *real* ``SIGKILL``\\ s to workers
+(no cooperative cleanup) through the same restart path.
+
+With ``service.durability`` set the coordinator runs under a
+:class:`~repro.durability.recovery.DurableRun`: the routed stream is
+WAL-logged before any window is served, every merged window commits
+through the shared :class:`~repro.serving.pipeline.WindowPipeline`
+barrier, and checkpoints carry the merged global snapshot plus the
+per-shard accounting needed to restore ``ShardStats`` exactly.  Worker
+pids and the segment-name grid are recorded in the run lock so a resume
+after a coordinator SIGKILL can reclaim orphaned workers and
+shared-memory segments before re-serving.
 """
 
 from __future__ import annotations
@@ -37,9 +49,12 @@ from __future__ import annotations
 import itertools
 import multiprocessing
 import os
+import pickle
 import queue as queue_mod
+import signal
+import time
 from contextlib import ExitStack
-from typing import List, Optional
+from typing import Dict, List, Optional, Tuple
 
 import numpy as np
 
@@ -151,6 +166,13 @@ class ShardedService:
         self._restarts = 0
         self._merged_upto = 0
         self._num_windows = 0
+        self._attempts: List[int] = []
+        self._sigkill_pending: set = set()
+        self._sigkills = 0
+        #: per-merged-window ``(events_by_shard, segment_by_shard)`` —
+        #: what a checkpoint needs to restore ShardStats exactly
+        self._window_acct: Dict[int, Tuple[Tuple[int, ...], Tuple[int, ...]]] = {}
+        self._dur = None
 
     # ------------------------------------------------------------------
     # Serving
@@ -173,16 +195,45 @@ class ShardedService:
     def _serve(
         self, stream: ContinuousDynamicGraph, spec: DGNNSpec
     ) -> ServingReport:
+        svc = self.config.service
+        dur = None
+        if svc.durability is not None:
+            from ..durability.recovery import DurableRun
+
+            dur = DurableRun(
+                svc.durability, window=svc.window, origin=svc.origin
+            ).start()
+        self._dur = dur
+        try:
+            return self._serve_run(stream, spec, dur)
+        finally:
+            self._dur = None
+            if dur is not None:
+                dur.close()
+
+    def _serve_run(
+        self,
+        stream: ContinuousDynamicGraph,
+        spec: DGNNSpec,
+        dur=None,
+    ) -> ServingReport:
         cfg = self.config
         svc = cfg.service
         chaos = (
             svc.chaos if svc.chaos is not None and not svc.chaos.is_quiet else None
         )
+        checkpoint = dur.checkpoint if dur is not None else None
         events = stream.events
         if chaos is not None and chaos.poison_rate > 0.0:
             # Poison is injected before routing — the shard workers see
             # exactly the stream the single-process ingest thread would.
             events = chaos.inject(events, num_vertices=stream.num_vertices)
+        if dur is not None:
+            # The coordinator routes the whole stream up front, so the
+            # wrapped iterator WAL-logs every live event during routing —
+            # before any window is served (log-before-ack holds a
+            # fortiori) — and replays the logged suffix on resume.
+            events = dur.wrap_stream(events)
         self._partition = hash_vertex_partition(
             stream.num_vertices, cfg.shards, seed=cfg.partition_seed
         )
@@ -202,6 +253,18 @@ class ShardedService:
         self._origin = routing.origin
         self._current = self._initial_snapshot(stream, spec)
         self._merged_upto = 0
+        self._window_acct = {}
+        self._sigkill_pending = set(cfg.sigkill_windows)
+        self._sigkills = 0
+        start_window = 0
+        if checkpoint is not None:
+            # The merged prefix is already durable: restart the merge
+            # clock at the watermark, seed workers from shard subgraphs
+            # of the checkpointed global snapshot (the same derivation
+            # the worker-restart path uses).
+            self._current = checkpoint.snapshot
+            self._merged_upto = checkpoint.watermark
+            start_window = checkpoint.watermark
 
         started = wall_clock()
         ctx = multiprocessing.get_context(cfg.mp_start_method)
@@ -210,10 +273,13 @@ class ShardedService:
         ]
         self._procs = [None] * cfg.shards
         self._gens = [0] * cfg.shards
+        self._attempts = [0] * cfg.shards
         # Fork all workers *before* the thread pool exists — forking a
         # multi-threaded process is where fork() gets dangerous.
         for shard in range(cfg.shards):
-            self._spawn(ctx, shard, start_window=0)
+            self._spawn(ctx, shard, start_window=start_window)
+        if dur is not None:
+            self._record_workers()
 
         stats = ShardedStats(shards=cfg.shards)
         shard_stats = [ShardStats(shard=s) for s in range(cfg.shards)]
@@ -228,6 +294,74 @@ class ShardedService:
         runner = WindowRunner(
             self.model, spec, chaos=chaos, faults=svc.faults, retry=svc.retry
         )
+        prev_snapshot = None
+        committer = None
+        if dur is not None:
+            from ..durability.checkpoint import Checkpoint
+
+            if checkpoint is not None:
+                # Restore the committed prefix exactly as the
+                # single-process service does, plus the dist-only state:
+                # the per-window edge accounting and the per-shard
+                # window/event/segment tallies the merged prefix accrued.
+                manager.restore_state(checkpoint.plan_state)
+                results.extend(checkpoint.results)
+                stats.records.extend(checkpoint.records)
+                stats.retries = checkpoint.counters.get("retries", 0)
+                stats.windows_failed = checkpoint.counters.get(
+                    "windows_failed", 0
+                )
+                stats.failures.extend(checkpoint.counters.get("failures", []))
+                shard_state = checkpoint.shard_state or {}
+                stats.edge_accounts.extend(shard_state.get("edge_accounts", []))
+                acct = shard_state.get("window_acct", {})
+                self._window_acct.update(acct)
+                for st in shard_stats:
+                    st.windows = len(acct)
+                    st.events = sum(ev[st.shard] for ev, _ in acct.values())
+                    st.segments = sum(sg[st.shard] for _, sg in acct.values())
+                if stats.edge_accounts:
+                    last = stats.edge_accounts[-1]
+                    for st in shard_stats:
+                        st.edges_final = last.shard_edges[st.shard]
+                        st.cut_edges_final = last.cut_edges[st.shard]
+                prev_snapshot = checkpoint.snapshot
+
+            def _capture(watermark, snapshot, plan_state) -> Checkpoint:
+                return Checkpoint(
+                    watermark=watermark,
+                    snapshot=snapshot,
+                    plan_state=plan_state,
+                    results=list(results),
+                    records=list(stats.records),
+                    counters={
+                        "retries": stats.retries,
+                        "windows_failed": stats.windows_failed,
+                        "failures": list(stats.failures),
+                    },
+                    wal_records=len(dur.records) + dur.wal.records_appended,
+                    meta={
+                        "window": svc.window,
+                        "origin": svc.origin,
+                        "shards": cfg.shards,
+                    },
+                    # Merging runs ahead of commit at depth > 1, so both
+                    # slices filter to the committed prefix only.
+                    shard_state={
+                        "edge_accounts": [
+                            a
+                            for a in stats.edge_accounts
+                            if a.window < watermark
+                        ],
+                        "window_acct": {
+                            w: a
+                            for w, a in self._window_acct.items()
+                            if w < watermark
+                        },
+                    },
+                )
+
+            committer = dur.committer(_capture)
         pool = WindowExecutor(svc.workers)
         try:
             # Identical dispatch discipline to StreamingService — the
@@ -247,6 +381,8 @@ class ShardedService:
                 depth=svc.pipeline_depth,
                 max_batch_windows=svc.max_batch_windows,
                 queue_gauge="dist.queue_depth",
+                prev=prev_snapshot,
+                committer=committer,
             ).drive()
         finally:
             pool.shutdown(wait=True, cancel_pending=True)
@@ -258,8 +394,13 @@ class ShardedService:
         stats.late_events = routing.late_events
         stats.quarantined_events = routing.quarantined_events
         stats.restarts = self._restarts
+        stats.sigkills = self._sigkills
+        for st in shard_stats:
+            st.restart_attempts = self._attempts[st.shard]
         stats.shard_stats = shard_stats
         stats.from_plan_manager(manager)
+        if dur is not None:
+            dur.finalize_stats(stats)
         self._emit_gauges(stats, chaos)
         return ServingReport(results=results, stats=stats)
 
@@ -293,6 +434,10 @@ class ShardedService:
             st.edges_final = msg.shard_edges
             st.cut_edges_final = msg.cut_edges
             st.generation = self._gens[msg.shard]
+        self._window_acct[index] = (
+            tuple(m.num_events for m in msgs),
+            tuple(1 if m.segment is not None else 0 for m in msgs),
+        )
         stats.edge_accounts.append(
             EdgeAccount(
                 window=index,
@@ -345,6 +490,7 @@ class ShardedService:
         worker triggers the restart path; a silent live one (a slow
         window) just keeps the coordinator waiting.
         """
+        self._maybe_sigkill(ctx, shard, window)
         while True:
             try:
                 msg = self._queues[shard].get(timeout=self.config.heartbeat_s)
@@ -352,6 +498,11 @@ class ShardedService:
                 proc = self._procs[shard]
                 if proc is None or not proc.is_alive():
                     self._restart(ctx, shard, window)
+                continue
+            except (EOFError, OSError, pickle.UnpicklingError):
+                # A worker SIGKILLed mid-put can leave a torn frame on
+                # the queue pipe; the read error is the death signal.
+                self._restart(ctx, shard, window)
                 continue
             if msg.generation != self._gens[shard]:
                 # Stale message from a pre-restart incarnation.
@@ -388,6 +539,29 @@ class ShardedService:
                 )
             return msg
 
+    def _maybe_sigkill(self, ctx, shard: int, window: int) -> None:
+        """Deliver a scheduled real SIGKILL and restart through the
+        normal path.
+
+        Firing at gather time and restarting *immediately* (instead of
+        waiting for the liveness probe to notice) keeps the schedule
+        deterministic: every consumed kill costs exactly one restart and
+        the new generation replays from ``window``, regardless of how
+        far the dead worker had prefetched.
+        """
+        key = (shard, window)
+        if key not in self._sigkill_pending:
+            return
+        self._sigkill_pending.discard(key)
+        if self._gens[shard] != 0:
+            return
+        proc = self._procs[shard]
+        if proc is None or not proc.is_alive() or not proc.pid:
+            return
+        os.kill(proc.pid, signal.SIGKILL)
+        self._sigkills += 1
+        self._restart(ctx, shard, window)
+
     def _restart(self, ctx, shard: int, window: int) -> None:
         """Replace a dead shard worker, resuming at ``window``.
 
@@ -409,10 +583,54 @@ class ShardedService:
         if proc is not None:
             proc.join()
         self._drain_queue(shard)
+        # A SIGKILLed writer can die holding the queue's feeder lock or
+        # mid-frame on the pipe; a fresh queue per generation sidesteps
+        # both instead of trying to repair shared queue state.
+        old = self._queues[shard]
+        self._queues[shard] = ctx.Queue(
+            maxsize=self.config.service.queue_capacity
+        )
+        old.close()
+        old.cancel_join_thread()
         self._sweep_segments(shard, self._gens[shard], window)
         self._gens[shard] += 1
+        self._attempts[shard] += 1
+        self._backoff(shard)
         obs_gauge_set("dist.restarts", self._restarts)
         self._spawn(ctx, shard, start_window=window)
+        if self._dur is not None:
+            self._record_workers()
+
+    def _backoff(self, shard: int) -> None:
+        """Bounded exponential backoff before respawning ``shard``.
+
+        The jitter is drawn from an rng seeded by
+        ``(restart_jitter_seed, shard, attempt)``, so repeated runs of
+        the same chaos schedule sleep identically — the delay decorrelates
+        concurrent respawns without making reports timing-dependent.
+        """
+        cfg = self.config
+        if cfg.restart_backoff_s <= 0:
+            return
+        attempt = self._attempts[shard]
+        delay = min(
+            cfg.restart_backoff_cap_s,
+            cfg.restart_backoff_s * 2 ** (attempt - 1),
+        )
+        jitter = np.random.default_rng(
+            (cfg.restart_jitter_seed, shard, attempt)
+        ).random()
+        time.sleep(delay * (1.0 + 0.25 * jitter))
+
+    def _record_workers(self) -> None:
+        """Stamp the live worker grid into the run lock for stale reclaim."""
+        self._dur.record_workers(
+            session=self._session,
+            shards=self.config.shards,
+            num_windows=self._num_windows,
+            max_generations=self.config.max_restarts + 1,
+            pids=[p.pid for p in self._procs if p is not None and p.pid],
+        )
 
     # ------------------------------------------------------------------
     # Process management
@@ -454,6 +672,7 @@ class ShardedService:
                 self._partition.assignment,
                 self.config.crash_windows,
                 trace_ctx,
+                os.getpid(),
             ),
             daemon=True,
         )
@@ -536,6 +755,11 @@ class ShardedService:
             try:
                 msg = self._queues[shard].get_nowait()
             except queue_mod.Empty:
+                return
+            except (EOFError, OSError, pickle.UnpicklingError):
+                # Torn frame from a SIGKILLed writer — everything behind
+                # it is unreadable; the segment sweep reclaims whatever
+                # the lost messages announced.
                 return
             if isinstance(msg, ShardWindowMessage) and msg.segment is not None:
                 unlink_segment(msg.segment.name)

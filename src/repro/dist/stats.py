@@ -31,6 +31,9 @@ class ShardStats:
     cut_edges_final: int = 0
     #: process incarnation serving the shard (restarts bump it)
     generation: int = 0
+    #: restart attempts spent on this shard (drives the per-shard
+    #: exponential backoff schedule)
+    restart_attempts: int = 0
 
 
 @dataclass(frozen=True)
@@ -65,6 +68,8 @@ class ShardedStats(ServiceStats):
     shards: int = 0
     #: shard-worker restarts performed over the whole run
     restarts: int = 0
+    #: real SIGKILLs the chaos schedule delivered to workers
+    sigkills: int = 0
     shard_stats: List[ShardStats] = field(default_factory=list, repr=False)
     #: per-window cut-edge accounting, in window order
     edge_accounts: List[EdgeAccount] = field(default_factory=list, repr=False)
@@ -83,6 +88,10 @@ class ShardedStats(ServiceStats):
             {
                 "shards": self.shards,
                 "restarts": self.restarts,
+                "restart_attempts": sum(
+                    s.restart_attempts for s in self.shard_stats
+                ),
+                "sigkills": self.sigkills,
                 "cut_edges_final": self.cut_edges_final,
             }
         )
@@ -98,7 +107,8 @@ class ShardedStats(ServiceStats):
         lines = [
             super().summary(),
             f"distribution       {self.shards} shards, "
-            f"{self.restarts} restarts, "
-            f"{self.cut_edges_final} cut edges ({per_shard})",
+            f"{self.restarts} restarts"
+            + (f" ({self.sigkills} sigkilled)" if self.sigkills else "")
+            + f", {self.cut_edges_final} cut edges ({per_shard})",
         ]
         return "\n".join(lines)

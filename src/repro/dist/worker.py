@@ -12,6 +12,7 @@ message payloads are scalars plus a :class:`~repro.dist.shmem.SegmentSpec`
 from __future__ import annotations
 
 import os
+import queue as queue_mod
 from dataclasses import dataclass
 from typing import List, Optional, Tuple
 
@@ -117,6 +118,7 @@ def shard_worker_main(
     assignment: np.ndarray,
     crash_windows: Tuple[Tuple[int, int], ...] = (),
     trace_ctx: Optional[TraceContext] = None,
+    parent_pid: Optional[int] = None,
 ) -> None:
     """Worker process entry point (run under the ``fork`` start method).
 
@@ -128,6 +130,14 @@ def shard_worker_main(
     ``(shard, window)`` hard-exits the generation-0 worker *before* the
     window's segment exists, so the restart path never has to reconcile
     a half-written segment from an injected crash.
+
+    ``parent_pid`` arms the orphan watchdog: every queue put becomes a
+    bounded-timeout loop that re-checks whether the coordinator is still
+    this process's parent.  A SIGKILLed coordinator reparents the worker
+    (``getppid`` changes) while the worker is blocked on a full queue
+    nobody will ever drain — the watchdog turns that hang into a prompt
+    ``_exit``, so a durable resume never finds live orphans holding the
+    previous run's shared-memory segments.
 
     ``trace_ctx`` switches on in-worker tracing: the worker replaces the
     tracer it inherited from the coordinator's fork (recording into that
@@ -141,10 +151,23 @@ def shard_worker_main(
         uninstall()
         tracer = install(Tracer(name=f"shard{shard}"))
 
+    def _put(msg) -> None:
+        """Queue put that gives up when the coordinator is gone."""
+        if parent_pid is None:
+            out_queue.put(msg)
+            return
+        while True:
+            try:
+                out_queue.put(msg, timeout=0.5)
+                return
+            except queue_mod.Full:
+                if os.getppid() != parent_pid:
+                    os._exit(3)
+
     def _flush(boundary: int) -> None:
         """Drain the local tracer into a trace message for ``boundary``."""
         assert tracer is not None and trace_ctx is not None
-        out_queue.put(
+        _put(
             ShardTraceMessage(
                 shard=shard,
                 generation=generation,
@@ -211,7 +234,7 @@ def shard_worker_main(
                 gauge_set("shard.edges", win.snapshot.num_edges)
                 gauge_set("shard.cut_edges", cut)
                 _flush(win.index)
-            out_queue.put(
+            _put(
                 ShardWindowMessage(
                     shard=shard,
                     generation=generation,
@@ -230,9 +253,9 @@ def shard_worker_main(
             # uses the one-past-last window index so it sorts after every
             # window flush in the merged trace.
             _flush(end_window)
-        out_queue.put(ShardDoneMessage(shard=shard, generation=generation))
+        _put(ShardDoneMessage(shard=shard, generation=generation))
     except BaseException as exc:  # noqa: BLE001 - process boundary
-        out_queue.put(
+        _put(
             ShardErrorMessage(
                 shard=shard,
                 generation=generation,

@@ -1,0 +1,78 @@
+"""Configuration of the durable-ingest layer.
+
+Kept dependency-free (no serving imports) so
+:class:`~repro.serving.service.ServiceConfig` can carry an optional
+``durability`` field without an import cycle.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Optional, Union
+
+__all__ = ["DurabilityConfig"]
+
+
+@dataclass(frozen=True)
+class DurabilityConfig:
+    """Tunable knobs of the write-ahead log / checkpoint / recovery stack.
+
+    ``None`` on :class:`~repro.serving.service.ServiceConfig` (the
+    default) disables durability entirely — the service then runs the
+    exact pre-durability code path, which the bench counter gate relies
+    on.
+    """
+
+    #: durability root: WAL segments under ``<dir>/wal``, checkpoints
+    #: under ``<dir>/checkpoints``, the run lock at ``<dir>/LOCK``
+    directory: Union[str, Path] = "wal"
+    #: resume from the newest valid checkpoint + WAL suffix instead of
+    #: refusing to reuse a non-empty durability directory
+    resume: bool = False
+    #: windows between checkpoints (1 = checkpoint at every commit)
+    checkpoint_interval: int = 1
+    #: checkpoints retained on disk (older ones are deleted after a
+    #: successful atomic write of a newer one)
+    retain: int = 3
+    #: WAL segment rotation threshold, in bytes of encoded records
+    segment_bytes: int = 256 * 1024
+    #: fsync WAL segments and checkpoints (disable only in tests that
+    #: measure the pure CPU cost of the durable path)
+    fsync: bool = True
+    #: chaos hook: SIGKILL the serving process right after the commit of
+    #: this window index is durable (checkpoint written and fsynced) —
+    #: the ``repro chaos recover`` harness and the CI chaos-recovery job
+    kill_after_commit: Optional[int] = None
+    #: test hook: raise :class:`~repro.durability.recovery.SimulatedCrash`
+    #: after the commit of this window index (in-process crash-point
+    #: sweeps; the run lock is released on the way out, unlike SIGKILL)
+    abort_after_commit: Optional[int] = None
+
+    def __post_init__(self) -> None:
+        if self.checkpoint_interval < 1:
+            raise ValueError("checkpoint_interval must be >= 1")
+        if self.retain < 1:
+            raise ValueError("retain must be >= 1")
+        if self.segment_bytes < 64:
+            raise ValueError("segment_bytes must be >= 64")
+
+    @property
+    def root(self) -> Path:
+        """The durability root directory as a :class:`~pathlib.Path`."""
+        return Path(self.directory)
+
+    @property
+    def wal_dir(self) -> Path:
+        """Where WAL segments live."""
+        return self.root / "wal"
+
+    @property
+    def checkpoint_dir(self) -> Path:
+        """Where checkpoints live."""
+        return self.root / "checkpoints"
+
+    @property
+    def lock_path(self) -> Path:
+        """The run-lock file."""
+        return self.root / "LOCK"

@@ -103,8 +103,9 @@ def default_targets(
       latency at or under ``p95_latency_s`` seconds;
     * ``shed_rate`` — fraction of closed windows dropped by load
       shedding at or under ``shed_rate``;
-    * ``restart_budget`` — shard-worker restarts at or under
-      ``restart_budget`` (0 for single-process runs);
+    * ``restart_budget`` — shard-worker restarts plus durable resumes
+      at or under ``restart_budget`` (0 for single-process,
+      non-durable runs);
     * ``overlap_floor`` — pipeline overlap ratio at or over
       ``overlap_floor`` (0.0 disables the floor: a zero-window run
       legitimately overlaps nothing).
@@ -216,10 +217,15 @@ class SLOMonitor:
         """Read ``metric`` off ``stats`` (property, field, or derived).
 
         ``restarts`` reads 0 on single-process stats so one target set
-        covers sharded and unsharded runs alike.
+        covers sharded and unsharded runs alike.  Durable resumes count
+        against the same budget: a crash-and-recover cycle is a process
+        restart from the operator's point of view, whether the process
+        that died was a shard worker or the whole service.
         """
         if metric == "restarts":
-            return float(getattr(stats, "restarts", 0))
+            return float(
+                getattr(stats, "restarts", 0) + getattr(stats, "resumes", 0)
+            )
         value = getattr(stats, metric, None)
         if value is None:
             raise KeyError(f"unknown SLO metric {metric!r}")

@@ -18,7 +18,13 @@ schedule the fault-free path is bit-identical to the unfaulted code (the
 bench counters gate this in CI).  See ``docs/resilience.md``.
 """
 
-from .chaos import ChaosReport, ChaosSchedule, InjectedFault, run_chaos
+from .chaos import (
+    ChaosReport,
+    ChaosSchedule,
+    InjectedFault,
+    ShardKillSchedule,
+    run_chaos,
+)
 from .faults import FaultModel, FaultSpecError, parse_fault_spec
 from .policies import BreakerConfig, CircuitBreaker, RetryPolicy
 
@@ -30,6 +36,7 @@ __all__ = [
     "BreakerConfig",
     "CircuitBreaker",
     "ChaosSchedule",
+    "ShardKillSchedule",
     "ChaosReport",
     "InjectedFault",
     "run_chaos",

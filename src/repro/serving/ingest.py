@@ -258,16 +258,26 @@ class WindowedIngestor:
         origin: Optional[float] = None,
         strict_time_order: bool = False,
         quarantine: bool = False,
+        start_window: int = 0,
     ):
         if window <= 0:
             raise ValueError(f"window must be positive, got {window}")
+        if start_window < 0:
+            raise ValueError(f"start_window must be >= 0, got {start_window}")
         self.window = window
         self.origin = origin
         self.strict_time_order = strict_time_order
         self.quarantine = quarantine
+        #: durable-resume watermark: windows below it were already served
+        #: (and are baked into ``initial``), so their replayed events are
+        #: consumed for validation/late accounting but never re-applied
+        #: or re-yielded — the exactly-once half of crash recovery
+        self.start_window = start_window
         self.builder = IncrementalWindowBuilder(num_vertices, feature_dim, initial)
         self.late_events = 0
         self.total_events = 0
+        #: events consumed into already-recovered windows during a resume
+        self.replayed_events = 0
         #: dead-letter queue (populated only with ``quarantine=True``)
         self.rejected: List[RejectedEvent] = []
 
@@ -285,16 +295,25 @@ class WindowedIngestor:
         origin: Optional[float] = None,
         strict_time_order: bool = False,
         quarantine: bool = False,
+        initial: Optional[GraphSnapshot] = None,
+        start_window: int = 0,
     ) -> "WindowedIngestor":
-        """An ingestor matched to ``stream``'s vertex space and initial graph."""
+        """An ingestor matched to ``stream``'s vertex space and initial graph.
+
+        ``initial``/``start_window`` are the durable-resume overrides:
+        recovery seeds the builder with the checkpointed snapshot (which
+        already contains windows below the watermark) instead of the
+        stream's own initial graph.
+        """
         return cls(
             num_vertices=stream.num_vertices,
             window=window,
             feature_dim=feature_dim or stream.initial.feature_dim,
-            initial=stream.initial,
+            initial=initial if initial is not None else stream.initial,
             origin=origin,
             strict_time_order=strict_time_order,
             quarantine=quarantine,
+            start_window=start_window,
         )
 
     def _close(self, index: int, buffer: List[EdgeEvent]) -> Window:
@@ -316,6 +335,13 @@ class WindowedIngestor:
         is exhausted.  An empty stream yields a single window holding the
         initial graph, matching
         :meth:`ContinuousDynamicGraph.discretize_windows`.
+
+        With ``start_window > 0`` (durable resume) the window clock still
+        runs from 0 — validation, origin anchoring, and the late-event
+        rule see exactly what the uninterrupted run saw — but windows
+        below the watermark are *suppressed*: their events are dropped at
+        close (counted in ``replayed_events``) instead of being applied,
+        because the builder's initial snapshot already contains them.
         """
         current = 0
         buffer: List[EdgeEvent] = []
@@ -341,11 +367,19 @@ class WindowedIngestor:
                 self.late_events += 1
                 continue
             if index > current:
-                yield self._close(current, buffer)
+                if current >= self.start_window:
+                    yield self._close(current, buffer)
+                else:
+                    self.replayed_events += len(buffer)
                 buffer = []
-                for gap in range(current + 1, index):
+                for gap in range(max(current + 1, self.start_window), index):
                     yield self._close(gap, [])
                 current = index
             buffer.append(event)
         # Always flush: an empty stream still serves one (initial) window.
-        yield self._close(current, buffer)
+        # On a resume whose stream ends inside the recovered prefix the
+        # flush would re-serve a committed window — suppress it instead.
+        if current >= self.start_window:
+            yield self._close(current, buffer)
+        else:
+            self.replayed_events += len(buffer)

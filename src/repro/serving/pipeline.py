@@ -142,6 +142,12 @@ class _InFlight(NamedTuple):
     window: Window
     decision_value: str
     future: "object"  # Future[(result, seconds, retries, failure)]
+    #: plan-manager snapshot taken right after this window's plan
+    #: resolved (durable runs only) — the state a checkpoint at this
+    #: window must carry.  Resolution runs ahead of commit at depth > 1,
+    #: so exporting at commit time would leak future resolutions into
+    #: the checkpoint and break post-resume decision parity.
+    plan_state: Optional[dict] = None
 
 
 class WindowPipeline:
@@ -166,6 +172,8 @@ class WindowPipeline:
         depth: int = 1,
         max_batch_windows: int = 4,
         queue_gauge: str = "serve.queue_depth",
+        prev: Optional[GraphSnapshot] = None,
+        committer=None,
     ):
         if depth < 1:
             raise ValueError(f"pipeline depth must be >= 1, got {depth}")
@@ -179,7 +187,15 @@ class WindowPipeline:
         self.depth = depth
         self.max_batch_windows = max_batch_windows
         self._queue_gauge = queue_gauge
-        self._prev: Optional[GraphSnapshot] = None
+        #: predecessor snapshot of the first window — ``None`` on a fresh
+        #: run, the checkpointed snapshot on a durable resume (so the
+        #: first re-executed window's transition graph matches the
+        #: uninterrupted run's exactly)
+        self._prev: Optional[GraphSnapshot] = prev
+        #: durability commit barrier
+        #: (:class:`~repro.durability.recovery.WindowCommitter`);
+        #: ``None`` keeps the pre-durability code path byte-identical
+        self._committer = committer
         self._profile: Optional[WindowProfile] = None
         self._in_flight: Deque[List[_InFlight]] = deque()
 
@@ -259,6 +275,11 @@ class WindowPipeline:
                             self._runner.execute_resilient(t, p, i)
                         )
                     ),
+                    plan_state=(
+                        self._manager.export_state()
+                        if self._committer is not None
+                        else None
+                    ),
                 )
             )
             self._prev = window.snapshot
@@ -276,7 +297,7 @@ class WindowPipeline:
         first, last = entries[0].window.index, entries[-1].window.index
         with obs_span("collect", first=first, last=last) as sp:
             stall_s = 0.0
-            for window, decision_value, future in entries:
+            for window, decision_value, future, plan_state in entries:
                 started = wall_clock()
                 result, execute_s, retries, failure = future.result()
                 stall_s += wall_clock() - started
@@ -290,17 +311,23 @@ class WindowPipeline:
                             index=window.index, attempts=attempts, error=error
                         )
                     )
-                    continue
-                self._results.append(result)
-                stats.records.append(
-                    WindowRecord(
-                        index=window.index,
-                        num_events=window.num_events,
-                        latency_s=wall_clock() - window.closed_at,
-                        cycles=result.execution_cycles,
-                        plan_decision=decision_value,
+                else:
+                    self._results.append(result)
+                    stats.records.append(
+                        WindowRecord(
+                            index=window.index,
+                            num_events=window.num_events,
+                            latency_s=wall_clock() - window.closed_at,
+                            cycles=result.execution_cycles,
+                            plan_decision=decision_value,
+                        )
                     )
-                )
+                if self._committer is not None:
+                    # The commit barrier: a window — served or recorded
+                    # failed — is durable before the next one collects.
+                    self._committer.commit(
+                        window.index, window.snapshot, plan_state
+                    )
             stats.collect_stall_s += stall_s
             if sp.enabled:
                 sp.set_attr("stall_s", stall_s)

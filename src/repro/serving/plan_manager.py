@@ -20,7 +20,7 @@ from __future__ import annotations
 
 import enum
 from dataclasses import dataclass
-from typing import Optional, Tuple
+from typing import Any, Dict, Optional, Tuple
 
 from ..caching import LRUCache
 from ..core.plan import DGNNSpec, ExecutionPlan
@@ -152,6 +152,61 @@ class PlanManager:
         if self._breaker is not None:
             self._breaker.record_invocation()
         return plan
+
+    # ------------------------------------------------------------------
+    # Durability
+    # ------------------------------------------------------------------
+    def export_state(self) -> Dict[str, Any]:
+        """Snapshot resolution state for a durability checkpoint.
+
+        Captures the LRU entries (stalest first — re-``put`` in that
+        order reproduces the recency order exactly), the decision
+        counters, the last-good plan, and the breaker scalars.  Entries
+        are immutable once cached (:meth:`_resolve` always ``put``\\ s a
+        fresh :class:`PlanEntry`), so the shallow copy is stable no
+        matter how far resolution runs ahead of the checkpoint.  A
+        resumed manager restored from this snapshot makes decisions
+        byte-identical to the uninterrupted run — the plan half of the
+        recovery parity guarantee.
+        """
+        state: Dict[str, Any] = {
+            "entries": list(self._cache.items()),
+            "hits": self.hits,
+            "misses": self.misses,
+            "replans": self.replans,
+            "breaker_hits": self.breaker_hits,
+            "last_good": self._last_good,
+            "cache_stats": {
+                "hits": self._cache.stats.hits,
+                "misses": self._cache.stats.misses,
+                "evictions": self._cache.stats.evictions,
+            },
+            "breaker": None,
+        }
+        if self._breaker is not None:
+            state["breaker"] = {
+                key: value
+                for key, value in vars(self._breaker).items()
+                if key != "config"
+            }
+        return state
+
+    def restore_state(self, state: Dict[str, Any]) -> None:
+        """Apply an :meth:`export_state` snapshot to this (fresh) manager."""
+        self._cache.clear()
+        for signature, entry in state["entries"]:
+            self._cache.put(signature, entry)
+        self.hits = state["hits"]
+        self.misses = state["misses"]
+        self.replans = state["replans"]
+        self.breaker_hits = state["breaker_hits"]
+        self._last_good = state["last_good"]
+        cache_stats = state["cache_stats"]
+        self._cache.stats.hits = cache_stats["hits"]
+        self._cache.stats.misses = cache_stats["misses"]
+        self._cache.stats.evictions = cache_stats["evictions"]
+        if state["breaker"] is not None and self._breaker is not None:
+            vars(self._breaker).update(state["breaker"])
 
     # ------------------------------------------------------------------
     # Introspection

@@ -34,7 +34,10 @@ from __future__ import annotations
 import queue
 import threading
 from dataclasses import dataclass
-from typing import List, Optional
+from typing import TYPE_CHECKING, List, Optional
+
+if TYPE_CHECKING:  # import-cycle guard: durability imports serving.stats
+    from ..durability.config import DurabilityConfig
 
 from ..accel.metrics import SimulationResult
 from ..core.plan import DGNNSpec
@@ -102,10 +105,20 @@ class ServiceConfig:
     chaos: Optional[ChaosSchedule] = None
     #: hardware fault model applied to every window simulation
     faults: Optional[FaultModel] = None
+    #: durable ingest (write-ahead log + checkpoints + crash recovery);
+    #: ``None`` runs the exact pre-durability code path
+    durability: Optional["DurabilityConfig"] = None
 
     def __post_init__(self) -> None:
         if self.window <= 0:
             raise ValueError("window must be positive")
+        if self.durability is not None and self.load_shedding:
+            raise ValueError(
+                "load_shedding is incompatible with durable ingest: "
+                "timing-dependent drops cannot be replayed crash-"
+                "consistently (a resumed run must re-serve exactly the "
+                "windows the original run served)"
+            )
         if self.max_batch_windows < 1:
             raise ValueError("max_batch_windows must be >= 1")
         if self.queue_capacity < 1:
@@ -183,9 +196,30 @@ class StreamingService:
         self, stream: ContinuousDynamicGraph, spec: DGNNSpec
     ) -> ServingReport:
         cfg = self.config
+        dur = None
+        if cfg.durability is not None:
+            from ..durability.recovery import DurableRun
+
+            dur = DurableRun(
+                cfg.durability, window=cfg.window, origin=cfg.origin
+            ).start()
+        try:
+            return self._serve_run(stream, spec, dur)
+        finally:
+            if dur is not None:
+                dur.close()
+
+    def _serve_run(
+        self,
+        stream: ContinuousDynamicGraph,
+        spec: DGNNSpec,
+        dur=None,
+    ) -> ServingReport:
+        cfg = self.config
         chaos = (
             cfg.chaos if cfg.chaos is not None and not cfg.chaos.is_quiet else None
         )
+        checkpoint = dur.checkpoint if dur is not None else None
         ingestor = WindowedIngestor.for_stream(
             stream,
             window=cfg.window,
@@ -193,10 +227,17 @@ class StreamingService:
             origin=cfg.origin,
             strict_time_order=cfg.strict_time_order,
             quarantine=cfg.quarantine,
+            initial=checkpoint.snapshot if checkpoint is not None else None,
+            start_window=dur.watermark if dur is not None else 0,
         )
         events = stream.events
         if chaos is not None and chaos.poison_rate > 0.0:
+            # Poison before logging: the WAL records the stream the
+            # service actually consumed, so replay reproduces the exact
+            # injected events without re-running the chaos schedule.
             events = chaos.inject(events, num_vertices=stream.num_vertices)
+        if dur is not None:
+            events = dur.wrap_stream(events)
         window_queue: "queue.Queue" = queue.Queue(maxsize=cfg.queue_capacity)
         stop = threading.Event()
         shed = [0]  # mutated by the ingest thread, read after join
@@ -241,6 +282,44 @@ class StreamingService:
         results: List[SimulationResult] = []
         manager = self._plan_manager()
         runner = self._window_runner(spec, chaos)
+        prev_snapshot = None
+        committer = None
+        if dur is not None:
+            from ..durability.checkpoint import Checkpoint
+
+            if checkpoint is not None:
+                # Restore the committed prefix: served results/records,
+                # the execution-failure counters (those windows are never
+                # re-executed), and the plan-manager state as of the
+                # watermark — everything else (events, late, quarantine)
+                # is re-derived identically by the WAL replay itself.
+                manager.restore_state(checkpoint.plan_state)
+                results.extend(checkpoint.results)
+                stats.records.extend(checkpoint.records)
+                stats.retries = checkpoint.counters.get("retries", 0)
+                stats.windows_failed = checkpoint.counters.get(
+                    "windows_failed", 0
+                )
+                stats.failures.extend(checkpoint.counters.get("failures", []))
+                prev_snapshot = checkpoint.snapshot
+
+            def _capture(watermark, snapshot, plan_state) -> Checkpoint:
+                return Checkpoint(
+                    watermark=watermark,
+                    snapshot=snapshot,
+                    plan_state=plan_state,
+                    results=list(results),
+                    records=list(stats.records),
+                    counters={
+                        "retries": stats.retries,
+                        "windows_failed": stats.windows_failed,
+                        "failures": list(stats.failures),
+                    },
+                    wal_records=len(dur.records) + dur.wal.records_appended,
+                    meta={"window": cfg.window, "origin": cfg.origin},
+                )
+
+            committer = dur.committer(_capture)
         started = wall_clock()
         ingest_thread.start()
         pool = WindowExecutor(cfg.workers)
@@ -259,6 +338,8 @@ class StreamingService:
                 results=results,
                 depth=cfg.pipeline_depth,
                 max_batch_windows=cfg.max_batch_windows,
+                prev=prev_snapshot,
+                committer=committer,
             ).drive()
         finally:
             # Drain in-flight simulations (queued-but-unstarted ones are
@@ -275,6 +356,8 @@ class StreamingService:
         stats.shed_windows = shed[0]
         stats.quarantined_events = ingestor.quarantined_events
         stats.from_plan_manager(manager)
+        if dur is not None:
+            dur.finalize_stats(stats)
         obs_gauge_set("serve.plan_cache_hit_rate", stats.plan_hit_rate)
         if (
             cfg.retry is not None

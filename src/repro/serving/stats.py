@@ -145,6 +145,22 @@ class ServiceStats:
     plan_breaker_hits: int = 0
     #: times the plan-manager circuit breaker tripped open
     breaker_trips: int = 0
+    # Durability counters (all zero without ``--wal``; a resumed run
+    # reports what recovery restored/replayed — see docs/resilience.md
+    # "Durability & recovery").
+    #: 1 when this run resumed from a durability directory, else 0
+    resumes: int = 0
+    #: windows restored straight from the checkpoint (never re-executed)
+    recovered_windows: int = 0
+    #: windows re-executed from replayed WAL events during recovery
+    replayed_windows: int = 0
+    #: seconds from recovery start until the run re-reached the crash
+    #: frontier (lock + checkpoint load + WAL replay + re-execution)
+    recovery_s: float = 0.0
+    #: events in the write-ahead log at the end of the run
+    wal_records: int = 0
+    #: checkpoints cut during this run
+    checkpoints: int = 0
     queue_depth_samples: List[int] = field(default_factory=list, repr=False)
     records: List[WindowRecord] = field(default_factory=list, repr=False)
     failures: List[WindowFailure] = field(default_factory=list, repr=False)
@@ -291,6 +307,12 @@ class ServiceStats:
             "quarantined_events": self.quarantined_events,
             "plan_breaker_hits": self.plan_breaker_hits,
             "breaker_trips": self.breaker_trips,
+            "resumes": self.resumes,
+            "recovered_windows": self.recovered_windows,
+            "replayed_windows": self.replayed_windows,
+            "recovery_s": self.recovery_s,
+            "wal_records": self.wal_records,
+            "checkpoints": self.checkpoints,
         }
 
     def summary(self) -> str:
@@ -341,6 +363,18 @@ class ServiceStats:
                 f"breaker {self.breaker_trips} trips / "
                 f"{self.plan_breaker_hits} short-circuits"
             )
+        if self.wal_records or self.checkpoints or self.resumes:
+            line = (
+                f"durability         {self.wal_records} WAL records, "
+                f"{self.checkpoints} checkpoints"
+            )
+            if self.resumes:
+                line += (
+                    f"; resumed ({self.recovered_windows} recovered, "
+                    f"{self.replayed_windows} replayed, "
+                    f"recovery {1e3 * self.recovery_s:.2f} ms)"
+                )
+            lines.append(line)
         return "\n".join(lines)
 
     def record_queue_depth(self, depth: int) -> None:

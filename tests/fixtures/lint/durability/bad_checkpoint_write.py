@@ -1,0 +1,11 @@
+"""Lint fixture: a checkpoint written in place (DUR001).
+
+The blob goes straight to the final path: a crash mid-``write`` leaves a
+torn checkpoint that the loader can only classify as corruption, and the
+previous good checkpoint has already been truncated away.
+"""
+
+
+def save_checkpoint(path, blob):
+    with open(path, "wb") as handle:
+        handle.write(blob)

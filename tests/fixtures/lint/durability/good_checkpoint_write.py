@@ -1,0 +1,21 @@
+"""Lint fixture: the fsync-then-rename checkpoint protocol (DUR001 clean)."""
+
+import os
+
+
+def save_checkpoint(path, blob):
+    # Write-to-temp, flush, fsync, then publish atomically: every crash
+    # point leaves either the old complete file or the new complete file.
+    tmp = path + ".tmp"
+    with open(tmp, "wb") as handle:
+        handle.write(blob)
+        handle.flush()
+        os.fsync(handle.fileno())
+    os.replace(tmp, path)
+
+
+def append_wal_record(path, record):
+    # Append-mode opens are exempt: the active WAL segment is designed
+    # to have a torn tail, which recovery truncates.
+    with open(path, "ab") as handle:
+        handle.write(record)

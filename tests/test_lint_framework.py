@@ -101,6 +101,7 @@ class TestRegistry:
             "UNIT001", "UNIT002", "UNIT003",
             "THR001",
             "MP001", "MP002", "MP003", "MP004", "MP005",
+            "DUR001",
         ]
 
     def test_duplicate_registration_rejected(self):

@@ -43,6 +43,7 @@ class TestFixtures:
             ("core/bad_wall_clock.py", "DET001"),
             ("core/bad_set_accumulation.py", "DET003"),
             ("serving/bad_unlocked.py", "THR001"),
+            ("durability/bad_checkpoint_write.py", "DUR001"),
         ],
     )
     def test_bad_fixture_triggers_exactly_its_rule(self, relpath, rule):
@@ -56,6 +57,7 @@ class TestFixtures:
             "accel/good_units.py",
             "core/good_seeded_rng.py",
             "serving/good_locked.py",
+            "durability/good_checkpoint_write.py",
             "suppress/core/justified.py",
         ],
     )
@@ -360,5 +362,83 @@ class TestThreadSafety:
             "    def b(self):\n"
             "        self.items.append(2)\n",
             "serving/plain.py",
+        )
+        assert report.findings == []
+
+
+# ---------------------------------------------------------------------------
+# DUR001 — fsync-then-rename publication
+# ---------------------------------------------------------------------------
+class TestAtomicPublish:
+    def test_in_place_write_fires(self):
+        report = lint_text(
+            'def save(path, blob):\n'
+            '    with open(path, "wb") as fh:\n'
+            "        fh.write(blob)\n",
+            "durability/store.py",
+        )
+        assert fired(report) == ["DUR001"]
+        assert "os.replace" in report.findings[0].message
+
+    def test_rename_without_fsync_fires(self):
+        report = lint_text(
+            "import os\n\n"
+            "def save(path, blob):\n"
+            '    with open(path + ".tmp", "wb") as fh:\n'
+            "        fh.write(blob)\n"
+            '    os.replace(path + ".tmp", path)\n',
+            "durability/store.py",
+        )
+        assert fired(report) == ["DUR001"]
+        assert "fsync" in report.findings[0].message
+
+    def test_full_protocol_is_clean(self):
+        report = lint_text(
+            "import os\n\n"
+            "def save(path, blob):\n"
+            '    with open(path + ".tmp", "wb") as fh:\n'
+            "        fh.write(blob)\n"
+            "        fh.flush()\n"
+            "        os.fsync(fh.fileno())\n"
+            '    os.replace(path + ".tmp", path)\n',
+            "durability/store.py",
+        )
+        assert report.findings == []
+
+    def test_append_and_read_modes_are_exempt(self):
+        report = lint_text(
+            'def tail(path, record):\n'
+            '    with open(path, "ab") as fh:\n'
+            "        fh.write(record)\n"
+            '    with open(path, "rb") as fh:\n'
+            "        return fh.read()\n",
+            "durability/segment.py",
+        )
+        assert report.findings == []
+
+    def test_path_open_method_is_matched(self):
+        report = lint_text(
+            "def save(path, blob):\n"
+            '    with path.open("wb") as fh:\n'
+            "        fh.write(blob)\n",
+            "durability/store.py",
+        )
+        assert fired(report) == ["DUR001"]
+
+    def test_keyword_mode_is_matched(self):
+        report = lint_text(
+            "def save(path, blob):\n"
+            '    with open(path, mode="w") as fh:\n'
+            "        fh.write(blob)\n",
+            "durability/store.py",
+        )
+        assert fired(report) == ["DUR001"]
+
+    def test_out_of_scope_path_is_exempt(self):
+        report = lint_text(
+            'def save(path, blob):\n'
+            '    with open(path, "wb") as fh:\n'
+            "        fh.write(blob)\n",
+            "serving/store.py",
         )
         assert report.findings == []
